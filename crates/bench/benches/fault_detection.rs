@@ -1,0 +1,81 @@
+//! Fault-detection experiment (experiment E6 in DESIGN.md, the paper's
+//! future-work item on test effectiveness): time and detection score of a
+//! full mutation campaign with strategy-based testing versus the random
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiga_bench::smart_light_harness;
+use tiga_models::smart_light;
+use tiga_testing::{
+    default_policies, generate_mutants, run_mutation_campaign, run_random_campaign,
+    MutationConfig, Verdict,
+};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let harness = smart_light_harness();
+    let plant = smart_light::plant().expect("model builds");
+    let mutants = generate_mutants(&plant, &MutationConfig::default()).expect("mutants");
+    let policies = default_policies();
+
+    // Report the scores once (the figure-style payload of this experiment).
+    let strategic =
+        run_mutation_campaign(&harness, &plant, &mutants, &policies, 1).expect("campaign");
+    let random = run_random_campaign(
+        harness.spec(),
+        &plant,
+        &mutants,
+        &policies,
+        harness.config(),
+        0xD47E_2008,
+    )
+    .expect("campaign");
+    eprintln!(
+        "fault_detection: {} mutants | strategy-based score {:.2} ({} false alarms) | random score {:.2} ({} false alarms)",
+        mutants.len(),
+        strategic.mutation_score(),
+        strategic.false_alarms(),
+        random.mutation_score(),
+        random.false_alarms()
+    );
+    assert_eq!(strategic.false_alarms(), 0, "soundness: conformant runs never fail");
+    assert!(strategic
+        .runs
+        .iter()
+        .filter(|r| r.expected_conformant)
+        .all(|r| matches!(r.report.verdict, Verdict::Pass)));
+
+    let mut group = c.benchmark_group("fault_detection");
+    group.sample_size(10);
+    group.bench_function("strategy_campaign", |b| {
+        b.iter(|| {
+            black_box(
+                run_mutation_campaign(&harness, &plant, &mutants, &policies, 1)
+                    .expect("campaign"),
+            )
+        });
+    });
+    group.bench_function("random_campaign", |b| {
+        b.iter(|| {
+            black_box(
+                run_random_campaign(
+                    harness.spec(),
+                    &plant,
+                    &mutants,
+                    &policies,
+                    harness.config(),
+                    0xD47E_2008,
+                )
+                .expect("campaign"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaigns
+}
+criterion_main!(benches);

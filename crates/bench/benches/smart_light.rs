@@ -1,0 +1,61 @@
+//! Benchmarks of the Smart Light running example (experiments E2/E3 in
+//! DESIGN.md): strategy synthesis for the Fig. 5 purpose and the cost of one
+//! complete strategy-driven test execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiga_bench::smart_light_harness;
+use tiga_models::smart_light;
+use tiga_solver::{solve_reachability, SolveOptions};
+use tiga_tctl::TestPurpose;
+use tiga_testing::{OutputPolicy, SimulatedIut};
+
+fn bench_strategy_synthesis(c: &mut Criterion) {
+    let product = smart_light::product().expect("model builds");
+    let mut group = c.benchmark_group("smart_light/synthesis");
+    for (name, text) in [
+        ("bright", smart_light::PURPOSE_BRIGHT),
+        ("dim", smart_light::PURPOSE_DIM),
+        ("bright_and_user_ready", smart_light::PURPOSE_BRIGHT_AND_USER_READY),
+    ] {
+        let purpose = TestPurpose::parse(text, &product).expect("parses");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    solve_reachability(&product, &purpose, &SolveOptions::default())
+                        .expect("solvable"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_test_execution(c: &mut Criterion) {
+    let harness = smart_light_harness();
+    let plant = smart_light::plant().expect("model builds");
+    let mut group = c.benchmark_group("smart_light/execution");
+    for policy in [
+        OutputPolicy::Eager,
+        OutputPolicy::Lazy,
+        OutputPolicy::Jittery { seed: 7 },
+    ] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                let mut iut = SimulatedIut::new(
+                    "bench-iut",
+                    plant.clone(),
+                    harness.config().scale,
+                    policy,
+                );
+                let report = harness.execute(&mut iut).expect("executes");
+                assert!(report.verdict.is_pass());
+                black_box(report);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_synthesis, bench_test_execution);
+criterion_main!(benches);

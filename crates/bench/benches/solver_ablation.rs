@@ -1,0 +1,80 @@
+//! Solver ablations (experiment E7 in DESIGN.md):
+//!
+//! * Jacobi (round-based, strategy-producing) fixpoint vs. worklist
+//!   propagation;
+//! * goal pruning on vs. off during forward exploration;
+//! * strategy extraction on vs. off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiga_bench::lep_instance;
+use tiga_models::smart_light;
+use tiga_solver::{
+    solve_reachability, solve_reachability_worklist, ExploreOptions, SolveOptions,
+};
+use tiga_tctl::TestPurpose;
+
+fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
+    SolveOptions {
+        explore: ExploreOptions {
+            stop_at_goal,
+            ..ExploreOptions::default()
+        },
+        extract_strategy,
+        ..SolveOptions::default()
+    }
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let smart = smart_light::product().expect("model builds");
+    let smart_purpose =
+        TestPurpose::parse(smart_light::PURPOSE_BRIGHT, &smart).expect("parses");
+    let (lep, lep_purpose) = lep_instance(3, 1); // TP2, n = 3
+
+    let cases: Vec<(&str, &tiga_model::System, &tiga_tctl::TestPurpose)> = vec![
+        ("smart_light_bright", &smart, &smart_purpose),
+        ("lep3_tp2", &lep, &lep_purpose),
+    ];
+
+    let mut group = c.benchmark_group("solver_ablation");
+    group.sample_size(10);
+    for (name, system, purpose) in &cases {
+        group.bench_with_input(BenchmarkId::new("jacobi", name), name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solve_reachability(system, purpose, &options(true, true)).expect("solves"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_no_strategy", name), name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solve_reachability(system, purpose, &options(true, false)).expect("solves"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("worklist", name), name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solve_reachability_worklist(system, purpose, &options(true, false))
+                        .expect("solves"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("no_goal_pruning", name), name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    solve_reachability(system, purpose, &options(false, true)).expect("solves"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines
+}
+criterion_main!(benches);

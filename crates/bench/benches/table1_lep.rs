@@ -1,0 +1,51 @@
+//! Regenerates **Table 1** of the paper (experiment E1 in DESIGN.md):
+//! strategy-generation cost for the Leader Election Protocol under test
+//! purposes TP1–TP3 as the number of nodes grows.
+//!
+//! Criterion reports the timing series; a summary row with the explored
+//! state counts and estimated symbolic memory is printed to stderr so the
+//! full table (time / memory / states, as in the paper) can be read off one
+//! run.  The sweep range is controlled by `TIGA_LEP_MAX_N` (default 4,
+//! paper goes to 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiga_bench::{lep_instance, lep_max_nodes, solve_lep};
+use tiga_solver::{solve_reachability, SolveOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let max_n = lep_max_nodes();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (idx, tp) in ["TP1", "TP2", "TP3"].iter().enumerate() {
+        for n in 3..=max_n {
+            // Print the paper's table row data once per configuration.
+            let solution = solve_lep(n, idx);
+            let stats = solution.stats();
+            eprintln!(
+                "table1 {tp} n={n}: {} discrete states, {} winning zones, ~{:.1} MB, winnable={}",
+                stats.discrete_states,
+                stats.winning_zones,
+                stats.estimated_zone_bytes(5) as f64 / (1024.0 * 1024.0),
+                solution.winning_from_initial
+            );
+            let (system, purpose) = lep_instance(n, idx);
+            group.bench_with_input(BenchmarkId::new(*tp, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        solve_reachability(&system, &purpose, &SolveOptions::default())
+                            .expect("solvable"),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks of the test-execution machinery (experiment E4 in DESIGN.md):
+//! the per-run cost of Algorithm 3.1 and of the online tioco monitor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiga_bench::smart_light_harness;
+use tiga_models::{coffee_machine, smart_light};
+use tiga_testing::{
+    OutputPolicy, SimulatedIut, SpecMonitor, TestConfig, TestHarness,
+};
+
+fn bench_algorithm_31(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution");
+    let light = smart_light_harness();
+    let light_plant = smart_light::plant().expect("model builds");
+    group.bench_function("smart_light_pass", |b| {
+        b.iter(|| {
+            let mut iut = SimulatedIut::new(
+                "iut",
+                light_plant.clone(),
+                light.config().scale,
+                OutputPolicy::Jittery { seed: 1 },
+            );
+            black_box(light.execute(&mut iut).expect("executes"));
+        });
+    });
+
+    let coffee = TestHarness::synthesize(
+        coffee_machine::product().expect("builds"),
+        coffee_machine::plant().expect("builds"),
+        coffee_machine::PURPOSE_COFFEE,
+        TestConfig::default(),
+    )
+    .expect("enforceable");
+    let coffee_plant = coffee_machine::plant().expect("builds");
+    group.bench_function("coffee_machine_pass", |b| {
+        b.iter(|| {
+            let mut iut = SimulatedIut::new(
+                "iut",
+                coffee_plant.clone(),
+                coffee.config().scale,
+                OutputPolicy::Lazy,
+            );
+            black_box(coffee.execute(&mut iut).expect("executes"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let spec = smart_light::plant().expect("model builds");
+    c.bench_function("monitor/observe_trace", |b| {
+        b.iter(|| {
+            let mut monitor = SpecMonitor::new(&spec, 4).expect("monitor");
+            // A representative conformant trace: touch, dim, touch, bright.
+            monitor.observe_delay(8).unwrap();
+            monitor.observe_input("touch").unwrap();
+            monitor.observe_delay(4).unwrap();
+            monitor.observe_output("dim").unwrap();
+            monitor.observe_delay(4).unwrap();
+            monitor.observe_input("touch").unwrap();
+            monitor.observe_delay(4).unwrap();
+            monitor.observe_output("bright").unwrap();
+            black_box(monitor.elapsed_ticks());
+        });
+    });
+}
+
+criterion_group!(benches, bench_algorithm_31, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! # tiga-bench — shared workloads for the benchmark harness
+//!
+//! The Criterion benches in `benches/` regenerate every table and figure of
+//! the paper's evaluation (see `EXPERIMENTS.md` at the workspace root); this
+//! small library holds the workload generators they share so that the
+//! individual bench files stay focused on measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tiga_dbm::{Bound, Dbm, Federation};
+use tiga_model::System;
+use tiga_models::{leader_election, smart_light};
+use tiga_solver::{solve_reachability, GameSolution, SolveOptions};
+use tiga_tctl::TestPurpose;
+use tiga_testing::{TestConfig, TestHarness};
+
+/// Number of LEP nodes the benches sweep by default (raise with the
+/// `TIGA_LEP_MAX_N` environment variable, up to the paper's 8).
+#[must_use]
+pub fn lep_max_nodes() -> usize {
+    std::env::var("TIGA_LEP_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .clamp(3, 8)
+}
+
+/// Builds the LEP product system for `n` nodes together with one of the
+/// paper's test purposes (0 = TP1, 1 = TP2, 2 = TP3).
+///
+/// # Panics
+///
+/// Panics if the model cannot be built (a bug, not a runtime condition).
+#[must_use]
+pub fn lep_instance(n: usize, purpose_index: usize) -> (System, TestPurpose) {
+    let config = leader_election::LepConfig::new(n);
+    let system = leader_election::product(config).expect("LEP model builds");
+    let purposes = config.purposes();
+    let (_, text) = &purposes[purpose_index];
+    let purpose = TestPurpose::parse(text, &system).expect("purpose parses");
+    (system, purpose)
+}
+
+/// Solves one LEP instance and returns the solution (used by the Table 1
+/// bench and the smoke tests).
+///
+/// # Panics
+///
+/// Panics if solving fails.
+#[must_use]
+pub fn solve_lep(n: usize, purpose_index: usize) -> GameSolution {
+    let (system, purpose) = lep_instance(n, purpose_index);
+    solve_reachability(&system, &purpose, &SolveOptions::default()).expect("solvable")
+}
+
+/// Synthesizes the Smart Light test harness for `A<> IUT.Bright`.
+///
+/// # Panics
+///
+/// Panics if the model cannot be built or the purpose is not enforceable
+/// (both would be reproduction bugs).
+#[must_use]
+pub fn smart_light_harness() -> TestHarness {
+    TestHarness::synthesize(
+        smart_light::product().expect("model builds"),
+        smart_light::plant().expect("model builds"),
+        smart_light::PURPOSE_BRIGHT,
+        TestConfig::default(),
+    )
+    .expect("A<> IUT.Bright is enforceable")
+}
+
+/// Generates a pseudo-random non-empty zone of the given dimension with
+/// constants below `max_const`.
+#[must_use]
+pub fn random_zone(rng: &mut StdRng, dim: usize, max_const: i32) -> Dbm {
+    loop {
+        let mut zone = Dbm::universe(dim);
+        let constraints = rng.gen_range(0..2 * dim);
+        for _ in 0..constraints {
+            let i = rng.gen_range(0..dim);
+            let j = rng.gen_range(0..dim);
+            if i == j {
+                continue;
+            }
+            let m = rng.gen_range(-max_const..=max_const);
+            let bound = if rng.gen_bool(0.5) {
+                Bound::le(m)
+            } else {
+                Bound::lt(m)
+            };
+            zone.constrain(i, j, bound);
+        }
+        if !zone.is_empty() {
+            return zone;
+        }
+    }
+}
+
+/// Generates a pseudo-random federation with up to `zones` member zones.
+#[must_use]
+pub fn random_federation(rng: &mut StdRng, dim: usize, zones: usize, max_const: i32) -> Federation {
+    let count = rng.gen_range(1..=zones.max(1));
+    Federation::from_zones(dim, (0..count).map(|_| random_zone(rng, dim, max_const)))
+}
+
+/// A deterministic RNG for the benches.
+#[must_use]
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0x2008_D47E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lep_instances_build_for_all_purposes() {
+        for idx in 0..3 {
+            let (system, purpose) = lep_instance(3, idx);
+            assert_eq!(system.automata().len(), 3);
+            assert!(!purpose.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_zones_are_nonempty_and_in_range() {
+        let mut rng = bench_rng();
+        for _ in 0..50 {
+            let z = random_zone(&mut rng, 4, 10);
+            assert!(!z.is_empty());
+        }
+        let fed = random_federation(&mut rng, 4, 3, 10);
+        assert!(!fed.is_empty());
+    }
+
+    #[test]
+    fn smart_light_harness_synthesizes() {
+        let harness = smart_light_harness();
+        assert!(harness.strategy().rule_count() > 0);
+    }
+}

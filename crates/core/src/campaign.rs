@@ -1,0 +1,302 @@
+//! Test campaigns: running a synthesized test case against pools of
+//! implementations (mutants), and a random-testing baseline for the
+//! fault-detection comparison (future-work item 3 of the paper).
+
+use crate::exec::{TestConfig, TestReport};
+use crate::harness::TestHarness;
+use crate::iut::{DelayOutcome, Iut, OutputPolicy, SimulatedIut};
+use crate::monitor::{MonitorOutcome, SpecMonitor};
+use crate::mutation::Mutant;
+use crate::trace::TimedTrace;
+use crate::verdict::{InconclusiveReason, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use tiga_model::{ChannelKind, ModelError, System};
+
+/// The result of running one implementation through a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignRun {
+    /// Implementation name (mutant name or "conformant").
+    pub iut_name: String,
+    /// Whether the implementation is expected to conform (true for the
+    /// unmutated plant).
+    pub expected_conformant: bool,
+    /// The report of the run.
+    pub report: TestReport,
+}
+
+/// Aggregate results of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    /// Individual runs.
+    pub runs: Vec<CampaignRun>,
+}
+
+impl CampaignSummary {
+    /// Number of mutants whose fault was detected (verdict `fail`).
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| !r.expected_conformant && r.report.verdict.is_fail())
+            .count()
+    }
+
+    /// Number of mutants in the campaign.
+    #[must_use]
+    pub fn mutant_count(&self) -> usize {
+        self.runs.iter().filter(|r| !r.expected_conformant).count()
+    }
+
+    /// Number of expected-conformant implementations that (incorrectly)
+    /// failed — this must be zero by the soundness theorem.
+    #[must_use]
+    pub fn false_alarms(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.expected_conformant && r.report.verdict.is_fail())
+            .count()
+    }
+
+    /// Mutation score: detected / mutants.
+    #[must_use]
+    pub fn mutation_score(&self) -> f64 {
+        let m = self.mutant_count();
+        if m == 0 {
+            return 1.0;
+        }
+        self.detected() as f64 / m as f64
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} runs, {} mutants, {} detected (score {:.2}), {} false alarms",
+            self.runs.len(),
+            self.mutant_count(),
+            self.detected(),
+            self.mutation_score(),
+            self.false_alarms()
+        )?;
+        for run in &self.runs {
+            writeln!(
+                f,
+                "  {:<40} {:<12} {}",
+                run.iut_name,
+                if run.expected_conformant { "conformant" } else { "mutant" },
+                run.report.verdict
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Output-scheduling policies used for the simulated implementations of a
+/// campaign.
+#[must_use]
+pub fn default_policies() -> Vec<OutputPolicy> {
+    vec![
+        OutputPolicy::Eager,
+        OutputPolicy::Lazy,
+        OutputPolicy::Jittery { seed: 2008 },
+    ]
+}
+
+/// Runs a synthesized test case against the conformant plant and a pool of
+/// mutants, each simulated under several output policies.
+///
+/// `repetitions` controls how many times each implementation is exercised
+/// (useful for jittery policies).
+///
+/// # Errors
+///
+/// Propagates internal model-evaluation errors.
+pub fn run_mutation_campaign(
+    harness: &TestHarness,
+    plant: &System,
+    mutants: &[Mutant],
+    policies: &[OutputPolicy],
+    repetitions: usize,
+) -> Result<CampaignSummary, ModelError> {
+    let scale = harness.config().scale;
+    let mut summary = CampaignSummary::default();
+    for policy in policies {
+        let mut conformant = SimulatedIut::new(
+            &format!("conformant-{policy:?}"),
+            plant.clone(),
+            scale,
+            *policy,
+        );
+        let report = harness.execute_repeated(&mut conformant, repetitions)?;
+        summary.runs.push(CampaignRun {
+            iut_name: conformant.name().to_string(),
+            expected_conformant: true,
+            report,
+        });
+        for mutant in mutants {
+            let mut iut = SimulatedIut::new(
+                &format!("{}-{policy:?}", mutant.name),
+                mutant.system.clone(),
+                scale,
+                *policy,
+            );
+            let report = harness.execute_repeated(&mut iut, repetitions)?;
+            summary.runs.push(CampaignRun {
+                iut_name: iut.name().to_string(),
+                expected_conformant: false,
+                report,
+            });
+        }
+    }
+    Ok(summary)
+}
+
+/// A baseline tester that sends random inputs at random times while
+/// monitoring tioco, used to compare fault-detection capability against
+/// strategy-based testing.
+#[derive(Clone, Debug)]
+pub struct RandomTester<'a> {
+    spec: &'a System,
+    config: TestConfig,
+    seed: u64,
+}
+
+impl<'a> RandomTester<'a> {
+    /// Creates a random tester monitoring conformance against `spec`.
+    #[must_use]
+    pub fn new(spec: &'a System, config: TestConfig, seed: u64) -> Self {
+        RandomTester { spec, config, seed }
+    }
+
+    /// Drives the implementation with random stimuli, returning `Fail` on the
+    /// first tioco violation and `Inconclusive` when the budget is exhausted
+    /// (a random tester has no test purpose to `Pass`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal model-evaluation errors.
+    pub fn run(&self, iut: &mut dyn Iut) -> Result<TestReport, ModelError> {
+        iut.reset();
+        let scale = self.config.scale;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut monitor = SpecMonitor::new(self.spec, scale)?;
+        let mut trace = TimedTrace::new();
+        let inputs: Vec<String> = self
+            .spec
+            .channels()
+            .iter()
+            .filter(|c| c.kind() == ChannelKind::Input)
+            .map(|c| c.name().to_string())
+            .collect();
+        let mut now = 0i64;
+        let mut steps = 0usize;
+        while steps < self.config.max_steps && now < self.config.max_ticks {
+            steps += 1;
+            // Randomly either send an input (if any) or wait a random amount.
+            let send_input = !inputs.is_empty() && rng.gen_bool(0.5);
+            if send_input {
+                let channel = &inputs[rng.gen_range(0..inputs.len())];
+                iut.offer_input(channel);
+                monitor.observe_input(channel)?;
+                trace.push_input(channel);
+            } else {
+                let wait = rng.gen_range(1..=self.config.default_wait.max(1));
+                match iut.delay(wait) {
+                    DelayOutcome::Quiet => {
+                        if let MonitorOutcome::Violation(fail) = monitor.observe_delay(wait)? {
+                            trace.push_delay(wait);
+                            return Ok(TestReport {
+                                verdict: Verdict::Fail(fail),
+                                trace,
+                                scale,
+                                steps,
+                                iut_name: iut.name().to_string(),
+                            });
+                        }
+                        trace.push_delay(wait);
+                        now += wait;
+                    }
+                    DelayOutcome::Output { after, channel } => {
+                        if after > 0 {
+                            if let MonitorOutcome::Violation(fail) = monitor.observe_delay(after)? {
+                                trace.push_delay(after);
+                                return Ok(TestReport {
+                                    verdict: Verdict::Fail(fail),
+                                    trace,
+                                    scale,
+                                    steps,
+                                    iut_name: iut.name().to_string(),
+                                });
+                            }
+                            trace.push_delay(after);
+                            now += after;
+                        }
+                        trace.push_output(&channel);
+                        if let MonitorOutcome::Violation(fail) = monitor.observe_output(&channel)? {
+                            return Ok(TestReport {
+                                verdict: Verdict::Fail(fail),
+                                trace,
+                                scale,
+                                steps,
+                                iut_name: iut.name().to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(TestReport {
+            verdict: Verdict::Inconclusive(InconclusiveReason::StepBudgetExhausted),
+            trace,
+            scale,
+            steps,
+            iut_name: iut.name().to_string(),
+        })
+    }
+}
+
+/// Runs the random-tester baseline against the same pool of implementations
+/// as [`run_mutation_campaign`], for fault-detection comparison.
+///
+/// # Errors
+///
+/// Propagates internal model-evaluation errors.
+pub fn run_random_campaign(
+    spec: &System,
+    plant: &System,
+    mutants: &[Mutant],
+    policies: &[OutputPolicy],
+    config: &TestConfig,
+    seed: u64,
+) -> Result<CampaignSummary, ModelError> {
+    let mut summary = CampaignSummary::default();
+    let tester = RandomTester::new(spec, config.clone(), seed);
+    for policy in policies {
+        let mut conformant =
+            SimulatedIut::new(&format!("conformant-{policy:?}"), plant.clone(), config.scale, *policy);
+        let report = tester.run(&mut conformant)?;
+        summary.runs.push(CampaignRun {
+            iut_name: conformant.name().to_string(),
+            expected_conformant: true,
+            report,
+        });
+        for mutant in mutants {
+            let mut iut = SimulatedIut::new(
+                &format!("{}-{policy:?}", mutant.name),
+                mutant.system.clone(),
+                config.scale,
+                *policy,
+            );
+            let report = tester.run(&mut iut)?;
+            summary.runs.push(CampaignRun {
+                iut_name: iut.name().to_string(),
+                expected_conformant: false,
+                report,
+            });
+        }
+    }
+    Ok(summary)
+}

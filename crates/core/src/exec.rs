@@ -1,0 +1,382 @@
+//! Strategy-driven test execution (Algorithm 3.1 of the paper).
+//!
+//! The executor incrementally builds a test run by consulting the winning
+//! strategy: either it sends the prescribed input to the implementation, or
+//! it waits — for a bounded amount of time derived from the strategy's next
+//! action region and the product invariant — observing outputs.  Every
+//! observation is checked against the specification through the
+//! [`SpecMonitor`] (tioco), producing `fail` on a violation and `pass` once
+//! the test purpose is reached.
+
+use crate::iut::{DelayOutcome, Iut};
+use crate::monitor::{MonitorOutcome, SpecMonitor};
+use crate::trace::TimedTrace;
+use crate::verdict::{FailReason, InconclusiveReason, Verdict};
+use tiga_model::{ConcreteState, DiscreteState, Interpreter, JointEdge, ModelError, System};
+use tiga_solver::{Strategy, StrategyDecision};
+use tiga_tctl::TestPurpose;
+
+/// Configuration of a test execution.
+#[derive(Clone, Debug)]
+pub struct TestConfig {
+    /// Ticks per model time unit (must match the implementation under test).
+    pub scale: i64,
+    /// Maximum number of executor steps before giving up.
+    pub max_steps: usize,
+    /// Maximum total virtual time, in ticks.
+    pub max_ticks: i64,
+    /// Wait chunk (in ticks) used when neither the strategy nor an invariant
+    /// bounds the wait.
+    pub default_wait: i64,
+}
+
+impl Default for TestConfig {
+    fn default() -> Self {
+        TestConfig {
+            scale: 4,
+            max_steps: 10_000,
+            max_ticks: 100_000,
+            default_wait: 32,
+        }
+    }
+}
+
+/// The outcome of one test execution.
+#[derive(Clone, Debug)]
+pub struct TestReport {
+    /// Final verdict.
+    pub verdict: Verdict,
+    /// The observable timed trace of the run.
+    pub trace: TimedTrace,
+    /// Ticks per time unit used during the run.
+    pub scale: i64,
+    /// Number of executor steps taken.
+    pub steps: usize,
+    /// Name of the implementation under test.
+    pub iut_name: String,
+}
+
+impl TestReport {
+    /// Total virtual duration of the run in time units.
+    #[must_use]
+    pub fn duration_units(&self) -> f64 {
+        self.trace.total_ticks() as f64 / self.scale as f64
+    }
+}
+
+/// Strategy-driven test executor (the paper's `TestExec`).
+#[derive(Clone, Debug)]
+pub struct TestExecutor<'a> {
+    product: &'a System,
+    spec: &'a System,
+    strategy: &'a Strategy,
+    purpose: &'a TestPurpose,
+    config: TestConfig,
+}
+
+impl<'a> TestExecutor<'a> {
+    /// Creates an executor.
+    ///
+    /// * `product` — the closed plant∥environment network the strategy was
+    ///   synthesized on; the executor tracks its state to consult the
+    ///   strategy.
+    /// * `spec` — the plant-only specification used for tioco monitoring.
+    /// * `strategy` — a winning strategy for `purpose` on `product`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the configuration is invalid (non-positive
+    /// scale).
+    pub fn new(
+        product: &'a System,
+        spec: &'a System,
+        strategy: &'a Strategy,
+        purpose: &'a TestPurpose,
+        config: TestConfig,
+    ) -> Result<Self, ModelError> {
+        if config.scale <= 0 {
+            return Err(ModelError::Invalid("tick scale must be positive".to_string()));
+        }
+        Ok(TestExecutor {
+            product,
+            spec,
+            strategy,
+            purpose,
+            config,
+        })
+    }
+
+    fn discrete_of(state: &ConcreteState) -> DiscreteState {
+        DiscreteState {
+            locations: state.locations.clone(),
+            vars: state.vars.clone(),
+        }
+    }
+
+    /// Runs the test against an implementation and produces a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] only for internal evaluation failures of the
+    /// models (not for conformance violations, which yield a
+    /// [`Verdict::Fail`]).
+    pub fn run(&self, iut: &mut dyn Iut) -> Result<TestReport, ModelError> {
+        iut.reset();
+        let scale = self.config.scale;
+        let iut_name = iut.name().to_string();
+        let interp = Interpreter::new(self.product, scale)?;
+        let mut product_state = interp.initial_state()?;
+        let mut monitor = SpecMonitor::new(self.spec, scale)?;
+        let mut trace = TimedTrace::new();
+        let mut now: i64 = 0;
+        let mut steps = 0usize;
+
+        let finish = move |verdict: Verdict, trace: TimedTrace, steps: usize| TestReport {
+            verdict,
+            trace,
+            scale,
+            steps,
+            iut_name: iut_name.clone(),
+        };
+
+        loop {
+            steps += 1;
+            if steps > self.config.max_steps {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::StepBudgetExhausted),
+                    trace,
+                    steps,
+                ));
+            }
+            // Goal check (pass as soon as the purpose holds).
+            if self
+                .purpose
+                .predicate
+                .holds_concrete(self.product, &product_state)
+                .map_err(|e| ModelError::Invalid(e.to_string()))?
+            {
+                return Ok(finish(Verdict::Pass, trace, steps));
+            }
+            if now >= self.config.max_ticks {
+                return Ok(finish(
+                    Verdict::Inconclusive(InconclusiveReason::TimeBudgetExhausted),
+                    trace,
+                    steps,
+                ));
+            }
+
+            let discrete = Self::discrete_of(&product_state);
+            let decision = self
+                .strategy
+                .decide(&discrete, &product_state.clocks, scale);
+            match decision {
+                None => {
+                    return Ok(finish(
+                        Verdict::Inconclusive(InconclusiveReason::OffStrategy {
+                            state: format!("{}", discrete.display(self.product)),
+                        }),
+                        trace,
+                        steps,
+                    ));
+                }
+                Some(StrategyDecision::Take(joint)) => {
+                    match joint {
+                        JointEdge::Sync { channel, .. } => {
+                            let name = self.product.channel(*channel).name().to_string();
+                            iut.offer_input(&name);
+                            monitor.observe_input(&name)?;
+                            match interp.fire_sync(&product_state, *channel)? {
+                                Some(next) => product_state = next,
+                                None => {
+                                    return Ok(finish(
+                                        Verdict::Inconclusive(InconclusiveReason::OffStrategy {
+                                            state: format!(
+                                                "strategy prescribed {name}? but the product cannot fire it"
+                                            ),
+                                        }),
+                                        trace,
+                                        steps,
+                                    ));
+                                }
+                            }
+                            trace.push_input(&name);
+                        }
+                        JointEdge::Internal { automaton, edge } => {
+                            // A controllable internal move of the environment
+                            // model: only the product state changes.
+                            let edge_ref = tiga_model::EdgeRef {
+                                automaton: *automaton,
+                                edge: *edge,
+                            };
+                            match interp.fire_edge(&product_state, edge_ref)? {
+                                Some(next) => product_state = next,
+                                None => {
+                                    return Ok(finish(
+                                        Verdict::Inconclusive(InconclusiveReason::OffStrategy {
+                                            state: "strategy prescribed a disabled internal move"
+                                                .to_string(),
+                                        }),
+                                        trace,
+                                        steps,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(StrategyDecision::Wait { .. }) => {
+                    let take_hint = self
+                        .strategy
+                        .next_take_delay(&discrete, &product_state.clocks, scale);
+                    let inv_bound = interp.max_delay(&product_state)?;
+                    let remaining = self.config.max_ticks - now;
+                    let mut wait = self.config.default_wait.max(1);
+                    // A zero hint would mean an immediately applicable action,
+                    // which `decide` already ruled out (it can only come from
+                    // a higher-rank rule); ignore it as a wake-up hint.
+                    if let Some(h) = take_hint {
+                        if h > 0 {
+                            wait = wait.min(h);
+                        }
+                    }
+                    if let Some(b) = inv_bound {
+                        wait = wait.min(b);
+                    }
+                    wait = wait.min(remaining).max(0);
+
+                    if wait == 0 {
+                        // The product invariant forbids further delay: an
+                        // uncontrollable output is due *now*.
+                        match iut.delay(0) {
+                            DelayOutcome::Output { channel, .. } => {
+                                match self.handle_output(
+                                    &interp,
+                                    &mut monitor,
+                                    &mut product_state,
+                                    &mut trace,
+                                    &channel,
+                                    now,
+                                )? {
+                                    Some(fail) => {
+                                        return Ok(finish(Verdict::Fail(fail), trace, steps))
+                                    }
+                                    None => continue,
+                                }
+                            }
+                            DelayOutcome::Quiet => {
+                                // Nothing happened although the specification
+                                // requires progress: check whose deadline it is.
+                                let spec_bound = monitor.max_allowed_delay()?;
+                                if spec_bound == Some(0) {
+                                    return Ok(finish(
+                                        Verdict::Fail(FailReason::MissedDeadline { at_ticks: now }),
+                                        trace,
+                                        steps,
+                                    ));
+                                }
+                                return Ok(finish(
+                                    Verdict::Inconclusive(InconclusiveReason::UnboundedWait),
+                                    trace,
+                                    steps,
+                                ));
+                            }
+                        }
+                    }
+
+                    match iut.delay(wait) {
+                        DelayOutcome::Quiet => {
+                            if let MonitorOutcome::Violation(fail) = monitor.observe_delay(wait)? {
+                                trace.push_delay(wait);
+                                return Ok(finish(Verdict::Fail(fail), trace, steps));
+                            }
+                            match interp.delayed(&product_state, wait)? {
+                                Some(next) => product_state = next,
+                                None => {
+                                    return Ok(finish(
+                                        Verdict::Inconclusive(InconclusiveReason::OffStrategy {
+                                            state: "product invariant violated while waiting"
+                                                .to_string(),
+                                        }),
+                                        trace,
+                                        steps,
+                                    ));
+                                }
+                            }
+                            trace.push_delay(wait);
+                            now += wait;
+                        }
+                        DelayOutcome::Output { after, channel } => {
+                            if after > 0 {
+                                if let MonitorOutcome::Violation(fail) =
+                                    monitor.observe_delay(after)?
+                                {
+                                    trace.push_delay(after);
+                                    return Ok(finish(Verdict::Fail(fail), trace, steps));
+                                }
+                                match interp.delayed(&product_state, after)? {
+                                    Some(next) => product_state = next,
+                                    None => {
+                                        return Ok(finish(
+                                            Verdict::Inconclusive(InconclusiveReason::OffStrategy {
+                                                state: "product invariant violated before output"
+                                                    .to_string(),
+                                            }),
+                                            trace,
+                                            steps,
+                                        ));
+                                    }
+                                }
+                                trace.push_delay(after);
+                                now += after;
+                            }
+                            match self.handle_output(
+                                &interp,
+                                &mut monitor,
+                                &mut product_state,
+                                &mut trace,
+                                &channel,
+                                now,
+                            )? {
+                                Some(fail) => return Ok(finish(Verdict::Fail(fail), trace, steps)),
+                                None => continue,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes an observed output: tioco check, product update, trace.
+    /// Returns `Some(reason)` if the output is a conformance violation.
+    fn handle_output(
+        &self,
+        interp: &Interpreter<'_>,
+        monitor: &mut SpecMonitor<'_>,
+        product_state: &mut ConcreteState,
+        trace: &mut TimedTrace,
+        channel: &str,
+        now: i64,
+    ) -> Result<Option<FailReason>, ModelError> {
+        trace.push_output(channel);
+        if let MonitorOutcome::Violation(fail) = monitor.observe_output(channel)? {
+            return Ok(Some(fail));
+        }
+        let Some(ch) = self.product.channel_by_name(channel) else {
+            return Ok(Some(FailReason::UnexpectedOutput {
+                channel: channel.to_string(),
+                at_ticks: now,
+            }));
+        };
+        match interp.fire_sync(product_state, ch)? {
+            Some(next) => {
+                *product_state = next;
+                Ok(None)
+            }
+            None => Ok(Some(FailReason::EnvironmentRefusedOutput {
+                channel: channel.to_string(),
+                at_ticks: now,
+            })),
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Black-box implementations under test (IUTs).
+//!
+//! The test-execution engine only sees the [`Iut`] trait: it can offer inputs
+//! and let (virtual) time pass, observing outputs.  Two implementations are
+//! provided:
+//!
+//! * [`SimulatedIut`] interprets a (possibly mutated) plant model with a
+//!   deterministic output-scheduling policy — this realizes the paper's test
+//!   hypothesis (the implementation is a deterministic, input-enabled,
+//!   output-urgent TIOTS) while letting benchmarks inject faults;
+//! * [`ScriptedIut`] replays a fixed timetable of outputs, used by unit tests
+//!   of the executor.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use tiga_model::{ChannelId, ChannelKind, CmpOp, ConcreteState, EdgeRef, Interpreter, System};
+
+/// Result of letting time pass on an implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelayOutcome {
+    /// No output occurred within the granted delay.
+    Quiet,
+    /// The implementation produced `channel!` after `after` ticks
+    /// (`0 <= after <= granted delay`).
+    Output {
+        /// Ticks elapsed before the output.
+        after: i64,
+        /// Output channel name.
+        channel: String,
+    },
+}
+
+/// A black-box implementation under test.
+///
+/// All times are in ticks; the tester and the implementation must agree on
+/// the tick scale (ticks per model time unit).
+pub trait Iut {
+    /// Resets the implementation to its initial state.
+    fn reset(&mut self);
+
+    /// Offers an input to the implementation (identified by channel name).
+    ///
+    /// Implementations are assumed input-enabled; inputs that a faulty
+    /// implementation cannot process are silently ignored.
+    fn offer_input(&mut self, channel: &str);
+
+    /// Lets up to `max_ticks` of time pass and reports the first output
+    /// produced in that window, if any.
+    fn delay(&mut self, max_ticks: i64) -> DelayOutcome;
+
+    /// A short name used in reports.
+    fn name(&self) -> &str {
+        "iut"
+    }
+}
+
+/// When, inside its allowed window, a simulated implementation produces its
+/// outputs.
+///
+/// The specification leaves the output time uncertain (that is the point of
+/// the paper); a concrete deterministic implementation picks one behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputPolicy {
+    /// Produce outputs as early as the guard allows.
+    Eager,
+    /// Produce outputs as late as the invariant allows (never spontaneously
+    /// if no deadline forces them).
+    Lazy,
+    /// Produce outputs a fixed number of ticks after they become enabled
+    /// (clamped to the deadline).
+    Offset(i64),
+    /// Pick a reproducible pseudo-random instant inside the allowed window,
+    /// derived from the seed and the current state.
+    Jittery {
+        /// Seed making the behaviour deterministic.
+        seed: u64,
+    },
+}
+
+/// A simulated implementation: a plant model interpreted at tick granularity
+/// with a deterministic output-scheduling policy.
+#[derive(Clone, Debug)]
+pub struct SimulatedIut {
+    name: String,
+    system: System,
+    scale: i64,
+    policy: OutputPolicy,
+    state: ConcreteState,
+    ignored_inputs: usize,
+}
+
+impl SimulatedIut {
+    /// Creates a simulated implementation from a plant model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's initial state violates an invariant or `scale`
+    /// is not positive (both indicate construction bugs, not runtime
+    /// conditions).
+    #[must_use]
+    pub fn new(name: &str, system: System, scale: i64, policy: OutputPolicy) -> Self {
+        let state = Interpreter::new(&system, scale)
+            .expect("positive tick scale")
+            .initial_state()
+            .expect("valid initial state");
+        SimulatedIut {
+            name: name.to_string(),
+            system,
+            scale,
+            policy,
+            state,
+            ignored_inputs: 0,
+        }
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Number of inputs that were offered but ignored (useful to detect
+    /// non-input-enabled mutants).
+    #[must_use]
+    pub fn ignored_inputs(&self) -> usize {
+        self.ignored_inputs
+    }
+
+    /// The current internal state (visible for white-box assertions in
+    /// tests; the executor never looks at it).
+    #[must_use]
+    pub fn state(&self) -> &ConcreteState {
+        &self.state
+    }
+
+    fn interpreter(&self) -> Interpreter<'_> {
+        Interpreter::new(&self.system, self.scale).expect("scale validated at construction")
+    }
+
+    /// For every output edge enabled (now or later, by pure delay) in the
+    /// current state: its earliest and latest firing time in ticks.
+    fn output_windows(&self) -> Vec<(EdgeRef, ChannelId, i64, Option<i64>)> {
+        let interp = self.interpreter();
+        let deadline = interp.max_delay(&self.state).unwrap_or(None);
+        let mut windows = Vec::new();
+        for (ai, aut) in self.system.automata().iter().enumerate() {
+            for ei in aut.edges_from(self.state.locations[ai]) {
+                let edge = aut.edge(ei);
+                let tiga_model::Sync::Output(ch) = edge.sync else {
+                    continue;
+                };
+                if self.system.channel(ch).kind() != ChannelKind::Output {
+                    continue;
+                }
+                if !edge
+                    .guard
+                    .data_holds(self.system.vars(), &self.state.vars)
+                    .unwrap_or(false)
+                {
+                    continue;
+                }
+                let mut lo: i64 = 0;
+                let mut hi: Option<i64> = deadline;
+                let mut feasible = true;
+                for c in &edge.guard.clocks {
+                    let Ok(m) = c.bound.eval(self.system.vars(), &self.state.vars) else {
+                        feasible = false;
+                        break;
+                    };
+                    let m = m * self.scale;
+                    let left = self.state.clocks[c.left.index()];
+                    if let Some(right_clock) = c.minus {
+                        // Diagonal constraints are delay-invariant.
+                        let diff = left - self.state.clocks[right_clock.index()];
+                        if !c.op.apply(diff, m) {
+                            feasible = false;
+                            break;
+                        }
+                        continue;
+                    }
+                    match c.op {
+                        CmpOp::Ge => lo = lo.max(m - left),
+                        CmpOp::Gt => lo = lo.max(m - left + 1),
+                        CmpOp::Le => hi = Some(hi.map_or(m - left, |h| h.min(m - left))),
+                        CmpOp::Lt => hi = Some(hi.map_or(m - left - 1, |h| h.min(m - left - 1))),
+                        CmpOp::Eq => {
+                            lo = lo.max(m - left);
+                            hi = Some(hi.map_or(m - left, |h| h.min(m - left)));
+                        }
+                        CmpOp::Ne => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if !feasible {
+                    continue;
+                }
+                if let Some(h) = hi {
+                    if h < lo {
+                        continue;
+                    }
+                }
+                windows.push((
+                    EdgeRef {
+                        automaton: tiga_model::AutomatonId::from_index(ai),
+                        edge: ei,
+                    },
+                    ch,
+                    lo,
+                    hi,
+                ));
+            }
+        }
+        windows
+    }
+
+    /// Decides, per the policy, when (if ever) the next output would occur and
+    /// through which edge.
+    fn next_output_plan(&self) -> Option<(i64, EdgeRef, ChannelId)> {
+        let windows = self.output_windows();
+        if windows.is_empty() {
+            return None;
+        }
+        let deadline = self
+            .interpreter()
+            .max_delay(&self.state)
+            .unwrap_or(None);
+        match self.policy {
+            OutputPolicy::Eager => windows
+                .iter()
+                .min_by_key(|(_, _, lo, _)| *lo)
+                .map(|(e, ch, lo, _)| (*lo, *e, *ch)),
+            OutputPolicy::Lazy => {
+                let Some(deadline) = deadline else {
+                    // No invariant forces an output: a lazy implementation
+                    // stays quiescent.
+                    return None;
+                };
+                // Prefer an edge enabled exactly at the deadline.
+                windows
+                    .iter()
+                    .filter(|(_, _, lo, hi)| *lo <= deadline && hi.is_none_or(|h| h >= deadline))
+                    .map(|(e, ch, _, _)| (deadline, *e, *ch))
+                    .next()
+                    .or_else(|| {
+                        // Otherwise the latest possible firing time.
+                        windows
+                            .iter()
+                            .filter_map(|(e, ch, lo, hi)| hi.map(|h| (h.max(*lo), *e, *ch)))
+                            .max_by_key(|(t, _, _)| *t)
+                    })
+            }
+            OutputPolicy::Offset(k) => windows
+                .iter()
+                .map(|(e, ch, lo, hi)| {
+                    let mut t = lo + k.max(0);
+                    if let Some(h) = hi {
+                        t = t.min(*h);
+                    }
+                    (t, *e, *ch)
+                })
+                .min_by_key(|(t, _, _)| *t),
+            OutputPolicy::Jittery { seed } => {
+                let mut hasher = DefaultHasher::new();
+                seed.hash(&mut hasher);
+                self.state.locations.hash(&mut hasher);
+                self.state.vars.hash(&mut hasher);
+                self.state.clocks.hash(&mut hasher);
+                let h = hasher.finish();
+                windows
+                    .iter()
+                    .map(|(e, ch, lo, hi)| {
+                        let span = match hi {
+                            Some(hi) => (hi - lo).max(0),
+                            None => 4 * self.scale,
+                        };
+                        let offset = if span == 0 { 0 } else { (h % (span as u64 + 1)) as i64 };
+                        (lo + offset, *e, *ch)
+                    })
+                    .min_by_key(|(t, _, _)| *t)
+            }
+        }
+    }
+
+    /// Advances the internal clocks without checking invariants (a silent
+    /// faulty implementation simply lets time pass).
+    fn force_advance(&mut self, ticks: i64) {
+        for c in &mut self.state.clocks {
+            *c += ticks;
+        }
+    }
+}
+
+impl Iut for SimulatedIut {
+    fn reset(&mut self) {
+        self.state = self
+            .interpreter()
+            .initial_state()
+            .expect("valid initial state");
+        self.ignored_inputs = 0;
+    }
+
+    fn offer_input(&mut self, channel: &str) {
+        let Some(ch) = self.system.channel_by_name(channel) else {
+            self.ignored_inputs += 1;
+            return;
+        };
+        match self.interpreter().after_input(&self.state, ch) {
+            Ok(Some(next)) => self.state = next,
+            _ => self.ignored_inputs += 1,
+        }
+    }
+
+    fn delay(&mut self, max_ticks: i64) -> DelayOutcome {
+        let plan = self.next_output_plan();
+        match plan {
+            Some((after, edge, ch)) if after <= max_ticks => {
+                self.force_advance(after);
+                let interp = self.interpreter();
+                match interp.fire_edge(&self.state, edge) {
+                    Ok(Some(next)) => {
+                        self.state = next;
+                        DelayOutcome::Output {
+                            after,
+                            channel: self.system.channel(ch).name().to_string(),
+                        }
+                    }
+                    _ => {
+                        // The planned edge turned out to be blocked (e.g. a
+                        // mutant with an inconsistent update): stay silent.
+                        self.force_advance(max_ticks - after);
+                        DelayOutcome::Quiet
+                    }
+                }
+            }
+            _ => {
+                self.force_advance(max_ticks);
+                DelayOutcome::Quiet
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An implementation that replays a fixed timetable of outputs, ignoring
+/// inputs.  Only useful for unit-testing the executor and the conformance
+/// monitor.
+#[derive(Clone, Debug)]
+pub struct ScriptedIut {
+    name: String,
+    /// Remaining outputs as (absolute tick, channel) pairs, sorted by time.
+    schedule: Vec<(i64, String)>,
+    now: i64,
+    inputs_seen: Vec<(i64, String)>,
+}
+
+impl ScriptedIut {
+    /// Creates a scripted implementation from `(absolute tick, channel)`
+    /// output events.
+    #[must_use]
+    pub fn new(name: &str, mut schedule: Vec<(i64, String)>) -> Self {
+        schedule.sort_by_key(|(t, _)| *t);
+        ScriptedIut {
+            name: name.to_string(),
+            schedule,
+            now: 0,
+            inputs_seen: Vec::new(),
+        }
+    }
+
+    /// The inputs received so far, with their reception times.
+    #[must_use]
+    pub fn inputs_seen(&self) -> &[(i64, String)] {
+        &self.inputs_seen
+    }
+}
+
+impl Iut for ScriptedIut {
+    fn reset(&mut self) {
+        self.now = 0;
+        self.inputs_seen.clear();
+    }
+
+    fn offer_input(&mut self, channel: &str) {
+        self.inputs_seen.push((self.now, channel.to_string()));
+    }
+
+    fn delay(&mut self, max_ticks: i64) -> DelayOutcome {
+        let horizon = self.now + max_ticks;
+        if let Some(pos) = self
+            .schedule
+            .iter()
+            .position(|(t, _)| *t >= self.now && *t <= horizon)
+        {
+            let (t, ch) = self.schedule.remove(pos);
+            let after = t - self.now;
+            self.now = t;
+            DelayOutcome::Output { after, channel: ch }
+        } else {
+            self.now = horizon;
+            DelayOutcome::Quiet
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_model::{AutomatonBuilder, ClockConstraint, EdgeBuilder, SystemBuilder};
+
+    /// Plant: after `req?`, replies `resp!` within [1, 3] (invariant x <= 3).
+    fn responder() -> System {
+        let mut b = SystemBuilder::new("responder");
+        let x = b.clock("x").unwrap();
+        let req = b.input_channel("req").unwrap();
+        let resp = b.output_channel("resp").unwrap();
+        let mut a = AutomatonBuilder::new("Plant");
+        let idle = a.location("Idle").unwrap();
+        let busy = a.location("Busy").unwrap();
+        a.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        a.add_edge(EdgeBuilder::new(idle, busy).input(req).reset(x));
+        a.add_edge(
+            EdgeBuilder::new(busy, idle)
+                .output(resp)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(a.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn eager_iut_replies_at_earliest_time() {
+        let mut iut = SimulatedIut::new("eager", responder(), 4, OutputPolicy::Eager);
+        iut.offer_input("req");
+        match iut.delay(100) {
+            DelayOutcome::Output { after, channel } => {
+                assert_eq!(after, 4); // 1 time unit at scale 4
+                assert_eq!(channel, "resp");
+            }
+            DelayOutcome::Quiet => panic!("expected an output"),
+        }
+        // Nothing further until a new request.
+        assert_eq!(iut.delay(100), DelayOutcome::Quiet);
+    }
+
+    #[test]
+    fn lazy_iut_replies_at_deadline() {
+        let mut iut = SimulatedIut::new("lazy", responder(), 4, OutputPolicy::Lazy);
+        iut.offer_input("req");
+        match iut.delay(100) {
+            DelayOutcome::Output { after, channel } => {
+                assert_eq!(after, 12); // 3 time units at scale 4
+                assert_eq!(channel, "resp");
+            }
+            DelayOutcome::Quiet => panic!("expected an output"),
+        }
+    }
+
+    #[test]
+    fn offset_and_jittery_policies_stay_in_window() {
+        for policy in [
+            OutputPolicy::Offset(3),
+            OutputPolicy::Jittery { seed: 7 },
+            OutputPolicy::Jittery { seed: 12345 },
+        ] {
+            let mut iut = SimulatedIut::new("p", responder(), 4, policy);
+            iut.offer_input("req");
+            match iut.delay(100) {
+                DelayOutcome::Output { after, channel } => {
+                    assert_eq!(channel, "resp");
+                    assert!((4..=12).contains(&after), "after = {after} for {policy:?}");
+                }
+                DelayOutcome::Quiet => panic!("expected an output for {policy:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jittery_policy_is_deterministic() {
+        let run = |seed: u64| {
+            let mut iut =
+                SimulatedIut::new("p", responder(), 4, OutputPolicy::Jittery { seed });
+            iut.offer_input("req");
+            iut.delay(100)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn delay_respects_bound_and_splits() {
+        let mut iut = SimulatedIut::new("eager", responder(), 4, OutputPolicy::Eager);
+        iut.offer_input("req");
+        // Only 2 ticks granted: not enough for the earliest reply at 4 ticks.
+        assert_eq!(iut.delay(2), DelayOutcome::Quiet);
+        match iut.delay(10) {
+            DelayOutcome::Output { after, .. } => assert_eq!(after, 2),
+            DelayOutcome::Quiet => panic!("expected an output"),
+        }
+    }
+
+    #[test]
+    fn inputs_are_ignored_when_not_enabled() {
+        let mut iut = SimulatedIut::new("eager", responder(), 4, OutputPolicy::Eager);
+        iut.offer_input("req");
+        iut.offer_input("req"); // Busy has no req? edge
+        assert_eq!(iut.ignored_inputs(), 1);
+        iut.offer_input("nonexistent");
+        assert_eq!(iut.ignored_inputs(), 2);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut iut = SimulatedIut::new("eager", responder(), 4, OutputPolicy::Eager);
+        iut.offer_input("req");
+        let _ = iut.delay(100);
+        iut.reset();
+        assert_eq!(iut.state().clocks, vec![0]);
+        assert_eq!(iut.ignored_inputs(), 0);
+        assert_eq!(iut.name(), "eager");
+    }
+
+    #[test]
+    fn lazy_iut_without_deadline_stays_quiet() {
+        // Same plant but no invariant: a lazy implementation never replies.
+        let mut b = SystemBuilder::new("nodeadline");
+        let x = b.clock("x").unwrap();
+        let req = b.input_channel("req").unwrap();
+        let resp = b.output_channel("resp").unwrap();
+        let mut a = AutomatonBuilder::new("Plant");
+        let idle = a.location("Idle").unwrap();
+        let busy = a.location("Busy").unwrap();
+        a.add_edge(EdgeBuilder::new(idle, busy).input(req).reset(x));
+        a.add_edge(
+            EdgeBuilder::new(busy, idle)
+                .output(resp)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let mut iut = SimulatedIut::new("lazy", sys, 4, OutputPolicy::Lazy);
+        iut.offer_input("req");
+        assert_eq!(iut.delay(1000), DelayOutcome::Quiet);
+        let _ = req;
+        let _ = resp;
+    }
+
+    #[test]
+    fn scripted_iut_replays_timetable() {
+        let mut iut = ScriptedIut::new(
+            "scripted",
+            vec![(10, "b".to_string()), (4, "a".to_string())],
+        );
+        iut.offer_input("go");
+        assert_eq!(
+            iut.delay(6),
+            DelayOutcome::Output { after: 4, channel: "a".to_string() }
+        );
+        assert_eq!(iut.delay(3), DelayOutcome::Quiet);
+        assert_eq!(
+            iut.delay(10),
+            DelayOutcome::Output { after: 3, channel: "b".to_string() }
+        );
+        assert_eq!(iut.inputs_seen(), &[(0, "go".to_string())]);
+        iut.reset();
+        assert!(iut.inputs_seen().is_empty());
+    }
+}

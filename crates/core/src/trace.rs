@@ -1,0 +1,179 @@
+//! Observable timed traces.
+
+use std::fmt;
+
+/// One observable step of a test run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Time passed (in ticks) with no observable action.
+    Delay(i64),
+    /// The tester sent this input to the implementation.
+    Input(String),
+    /// The implementation produced this output.
+    Output(String),
+}
+
+/// An observable timed trace `d₁ a₁ d₂ a₂ …` recorded during test execution.
+///
+/// Delays are in ticks; the owning [`crate::TestReport`] records the tick
+/// scale.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimedTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl TimedTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        TimedTrace::default()
+    }
+
+    /// Appends a delay, merging it with a preceding delay step.
+    pub fn push_delay(&mut self, ticks: i64) {
+        if ticks == 0 {
+            return;
+        }
+        if let Some(TraceStep::Delay(d)) = self.steps.last_mut() {
+            *d += ticks;
+        } else {
+            self.steps.push(TraceStep::Delay(ticks));
+        }
+    }
+
+    /// Appends an input action.
+    pub fn push_input(&mut self, channel: &str) {
+        self.steps.push(TraceStep::Input(channel.to_string()));
+    }
+
+    /// Appends an output action.
+    pub fn push_output(&mut self, channel: &str) {
+        self.steps.push(TraceStep::Output(channel.to_string()));
+    }
+
+    /// The recorded steps.
+    #[must_use]
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total time elapsed along the trace, in ticks.
+    #[must_use]
+    pub fn total_ticks(&self) -> i64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                TraceStep::Delay(d) => *d,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of observable actions (inputs + outputs).
+    #[must_use]
+    pub fn action_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| !matches!(s, TraceStep::Delay(_)))
+            .count()
+    }
+
+    /// Renders the trace with delays converted to time units.
+    #[must_use]
+    pub fn display(&self, scale: i64) -> DisplayTrace<'_> {
+        DisplayTrace { trace: self, scale }
+    }
+}
+
+impl Extend<TraceStep> for TimedTrace {
+    fn extend<T: IntoIterator<Item = TraceStep>>(&mut self, iter: T) {
+        for step in iter {
+            match step {
+                TraceStep::Delay(d) => self.push_delay(d),
+                TraceStep::Input(c) => self.steps.push(TraceStep::Input(c)),
+                TraceStep::Output(c) => self.steps.push(TraceStep::Output(c)),
+            }
+        }
+    }
+}
+
+impl FromIterator<TraceStep> for TimedTrace {
+    fn from_iter<T: IntoIterator<Item = TraceStep>>(iter: T) -> Self {
+        let mut t = TimedTrace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+/// Helper returned by [`TimedTrace::display`].
+pub struct DisplayTrace<'a> {
+    trace: &'a TimedTrace,
+    scale: i64,
+}
+
+impl fmt::Display for DisplayTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for step in &self.trace.steps {
+            if !first {
+                write!(f, " · ")?;
+            }
+            first = false;
+            match step {
+                TraceStep::Delay(d) => write!(f, "{}", *d as f64 / self.scale as f64)?,
+                TraceStep::Input(c) => write!(f, "{c}?")?,
+                TraceStep::Output(c) => write!(f, "{c}!")?,
+            }
+        }
+        if first {
+            write!(f, "ε")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_merged() {
+        let mut t = TimedTrace::new();
+        t.push_delay(2);
+        t.push_delay(3);
+        t.push_input("touch");
+        t.push_delay(0);
+        t.push_delay(1);
+        t.push_output("bright");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_ticks(), 6);
+        assert_eq!(t.action_count(), 2);
+    }
+
+    #[test]
+    fn display_converts_to_time_units() {
+        let t: TimedTrace = vec![
+            TraceStep::Delay(4),
+            TraceStep::Input("touch".into()),
+            TraceStep::Delay(2),
+            TraceStep::Output("dim".into()),
+        ]
+        .into_iter()
+        .collect();
+        let s = format!("{}", t.display(4));
+        assert_eq!(s, "1 · touch? · 0.5 · dim!");
+        assert_eq!(format!("{}", TimedTrace::new().display(4)), "ε");
+    }
+}

@@ -1,0 +1,162 @@
+//! Test verdicts and failure reasons.
+
+use std::fmt;
+
+/// Why a test run failed (a tioco violation observed during execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FailReason {
+    /// The implementation produced an output the specification does not allow
+    /// at this point of the trace.
+    UnexpectedOutput {
+        /// Offending output channel name.
+        channel: String,
+        /// Absolute test time (in ticks) at which it was observed.
+        at_ticks: i64,
+    },
+    /// The implementation stayed silent although the specification requires
+    /// an output before this point (the invariant of the specification state
+    /// expired).
+    MissedDeadline {
+        /// Absolute test time (in ticks) of the deadline.
+        at_ticks: i64,
+    },
+    /// The implementation let time pass beyond what the specification allows.
+    IllegalDelay {
+        /// The delay (in ticks) that was refused by the specification.
+        delay_ticks: i64,
+        /// Absolute test time (in ticks) at which the delay started.
+        at_ticks: i64,
+    },
+    /// The environment model of the game product cannot accept an output the
+    /// implementation produced (violation of the environment-relativized
+    /// conformance `rtioco`).
+    EnvironmentRefusedOutput {
+        /// Offending output channel name.
+        channel: String,
+        /// Absolute test time (in ticks).
+        at_ticks: i64,
+    },
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::UnexpectedOutput { channel, at_ticks } => {
+                write!(f, "unexpected output `{channel}!` at t={at_ticks} ticks")
+            }
+            FailReason::MissedDeadline { at_ticks } => {
+                write!(f, "required output not produced by t={at_ticks} ticks")
+            }
+            FailReason::IllegalDelay { delay_ticks, at_ticks } => write!(
+                f,
+                "implementation idle for {delay_ticks} ticks from t={at_ticks}, beyond what the specification allows"
+            ),
+            FailReason::EnvironmentRefusedOutput { channel, at_ticks } => write!(
+                f,
+                "output `{channel}!` at t={at_ticks} ticks is not accepted by the environment model"
+            ),
+        }
+    }
+}
+
+/// Why a test run was inconclusive (neither a conformance violation nor the
+/// test purpose was reached).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InconclusiveReason {
+    /// The run left the winning region of the strategy (cannot happen against
+    /// a conformant implementation; reported rather than panicking).
+    OffStrategy {
+        /// Human-readable description of the state.
+        state: String,
+    },
+    /// The configured step budget was exhausted.
+    StepBudgetExhausted,
+    /// The configured time budget was exhausted.
+    TimeBudgetExhausted,
+    /// The strategy prescribed waiting but neither an output nor a deadline
+    /// can bound the wait (should not happen for winning strategies).
+    UnboundedWait,
+}
+
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InconclusiveReason::OffStrategy { state } => {
+                write!(f, "run left the strategy's winning region in state {state}")
+            }
+            InconclusiveReason::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            InconclusiveReason::TimeBudgetExhausted => write!(f, "time budget exhausted"),
+            InconclusiveReason::UnboundedWait => write!(f, "strategy wait is unbounded"),
+        }
+    }
+}
+
+/// The verdict of a test execution (the paper's `{pass, fail}`, extended with
+/// an explicit inconclusive outcome for budget exhaustion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The test purpose was reached and no conformance violation was observed.
+    Pass,
+    /// A tioco violation was observed.
+    Fail(FailReason),
+    /// The run ended without a verdict.
+    Inconclusive(InconclusiveReason),
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Pass`].
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+
+    /// Returns `true` for [`Verdict::Fail`].
+    #[must_use]
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "PASS"),
+            Verdict::Fail(r) => write!(f, "FAIL ({r})"),
+            Verdict::Inconclusive(r) => write!(f, "INCONCLUSIVE ({r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(Verdict::Pass.is_pass());
+        assert!(!Verdict::Pass.is_fail());
+        let fail = Verdict::Fail(FailReason::MissedDeadline { at_ticks: 12 });
+        assert!(fail.is_fail());
+        assert!(!fail.is_pass());
+        let inc = Verdict::Inconclusive(InconclusiveReason::StepBudgetExhausted);
+        assert!(!inc.is_pass() && !inc.is_fail());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Verdict::Fail(FailReason::UnexpectedOutput {
+            channel: "dim".to_string(),
+            at_ticks: 8,
+        });
+        let s = v.to_string();
+        assert!(s.contains("FAIL"), "{s}");
+        assert!(s.contains("dim"), "{s}");
+        assert!(s.contains("t=8"), "{s}");
+        let s = Verdict::Inconclusive(InconclusiveReason::UnboundedWait).to_string();
+        assert!(s.contains("INCONCLUSIVE"), "{s}");
+        let s = Verdict::Fail(FailReason::IllegalDelay { delay_ticks: 4, at_ticks: 2 }).to_string();
+        assert!(s.contains("idle for 4"), "{s}");
+    }
+}

@@ -1,0 +1,708 @@
+//! Federations: finite unions of zones.
+//!
+//! Winning-state sets of timed games are in general non-convex, so the solver
+//! manipulates [`Federation`]s — lists of canonical, non-empty [`Dbm`]s of the
+//! same dimension.  A federation denotes the union of its member zones; the
+//! zones are not required to be disjoint.
+
+use crate::bound::Bound;
+use crate::dbm::{Dbm, Relation};
+use std::fmt;
+
+/// A finite union of clock zones of a common dimension.
+///
+/// # Examples
+///
+/// ```
+/// use tiga_dbm::{Bound, Dbm, Federation};
+///
+/// // x in [0,1] ∪ x in [3,4]
+/// let mut low = Dbm::universe(2);
+/// low.constrain(1, 0, Bound::le(1));
+/// let mut high = Dbm::universe(2);
+/// high.constrain(1, 0, Bound::le(4));
+/// high.constrain(0, 1, Bound::le(-3));
+///
+/// let mut fed = Federation::from_zone(low);
+/// fed.add_zone(high);
+/// assert!(fed.contains_scaled(&[0, 1]));   // x = 0.5
+/// assert!(!fed.contains_scaled(&[0, 4]));  // x = 2 in the gap
+/// assert!(fed.contains_scaled(&[0, 7]));   // x = 3.5
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Federation {
+    dim: usize,
+    zones: Vec<Dbm>,
+}
+
+impl Federation {
+    /// The empty federation (denoting the empty set of valuations).
+    #[must_use]
+    pub fn empty(dim: usize) -> Self {
+        assert!(dim >= 1, "a federation needs at least the reference clock");
+        Federation { dim, zones: Vec::new() }
+    }
+
+    /// The federation containing every valuation (a single universe zone).
+    #[must_use]
+    pub fn universe(dim: usize) -> Self {
+        Federation {
+            dim,
+            zones: vec![Dbm::universe(dim)],
+        }
+    }
+
+    /// The federation containing only the origin valuation.
+    #[must_use]
+    pub fn zero(dim: usize) -> Self {
+        Federation {
+            dim,
+            zones: vec![Dbm::zero(dim)],
+        }
+    }
+
+    /// Wraps a single zone.  An empty zone yields an empty federation.
+    #[must_use]
+    pub fn from_zone(zone: Dbm) -> Self {
+        let dim = zone.dim();
+        if zone.is_empty() {
+            Federation::empty(dim)
+        } else {
+            Federation { dim, zones: vec![zone] }
+        }
+    }
+
+    /// Builds a federation from an iterator of zones, dropping empty ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zones do not all have dimension `dim`.
+    #[must_use]
+    pub fn from_zones<I: IntoIterator<Item = Dbm>>(dim: usize, zones: I) -> Self {
+        let mut fed = Federation::empty(dim);
+        for z in zones {
+            fed.add_zone(z);
+        }
+        fed
+    }
+
+    /// Dimension shared by every member zone.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of member zones.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Returns `true` if the federation denotes the empty set.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Iterates over the member zones.
+    pub fn iter(&self) -> std::slice::Iter<'_, Dbm> {
+        self.zones.iter()
+    }
+
+    /// Consumes the federation and returns its member zones.
+    #[must_use]
+    pub fn into_zones(self) -> Vec<Dbm> {
+        self.zones
+    }
+
+    /// Adds a zone, skipping it if it is empty or already subsumed by a
+    /// member zone, and dropping member zones it subsumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone's dimension differs.
+    pub fn add_zone(&mut self, zone: Dbm) {
+        assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        if zone.is_empty() {
+            return;
+        }
+        for existing in &self.zones {
+            if matches!(zone.relation(existing), Relation::Subset | Relation::Equal) {
+                return;
+            }
+        }
+        self.zones
+            .retain(|existing| !matches!(existing.relation(&zone), Relation::Subset | Relation::Equal));
+        self.zones.push(zone);
+    }
+
+    /// Unions another federation into this one.
+    pub fn union_with(&mut self, other: &Federation) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        for z in &other.zones {
+            self.add_zone(z.clone());
+        }
+    }
+
+    /// Returns the union of two federations.
+    #[must_use]
+    pub fn union(&self, other: &Federation) -> Federation {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Intersects every member zone with `zone`, dropping empty results.
+    pub fn intersect_zone(&mut self, zone: &Dbm) {
+        assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        let zones = std::mem::take(&mut self.zones);
+        for mut z in zones {
+            if z.intersect(zone) {
+                self.add_zone(z);
+            }
+        }
+    }
+
+    /// Returns the intersection with another federation.
+    #[must_use]
+    pub fn intersection(&self, other: &Federation) -> Federation {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut out = Federation::empty(self.dim);
+        for a in &self.zones {
+            for b in &other.zones {
+                if let Some(z) = a.intersection(b) {
+                    out.add_zone(z);
+                }
+            }
+        }
+        out
+    }
+
+    /// Subtracts a single zone from the federation.
+    pub fn subtract_zone(&mut self, zone: &Dbm) {
+        assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        if zone.is_empty() || self.is_empty() {
+            return;
+        }
+        let zones = std::mem::take(&mut self.zones);
+        for z in zones {
+            for piece in zone_subtract(&z, zone) {
+                self.add_zone(piece);
+            }
+        }
+    }
+
+    /// Subtracts another federation from this one.
+    pub fn subtract(&mut self, other: &Federation) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        for z in &other.zones {
+            if self.is_empty() {
+                return;
+            }
+            self.subtract_zone(z);
+        }
+    }
+
+    /// Returns `self \ other` as a new federation.
+    #[must_use]
+    pub fn difference(&self, other: &Federation) -> Federation {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// Applies the delay (future) operator to every member zone.
+    pub fn up(&mut self) {
+        for z in &mut self.zones {
+            z.up();
+        }
+        self.reduce();
+    }
+
+    /// Applies the past operator to every member zone.
+    ///
+    /// The past of a union is the union of the pasts, so this is exact.
+    pub fn down(&mut self) {
+        for z in &mut self.zones {
+            z.down();
+        }
+        self.reduce();
+    }
+
+    /// Frees clock `k` in every member zone.
+    pub fn free(&mut self, k: usize) {
+        for z in &mut self.zones {
+            z.free(k);
+        }
+        self.reduce();
+    }
+
+    /// Resets clock `k` to `v` in every member zone.
+    pub fn reset(&mut self, k: usize, v: i32) {
+        for z in &mut self.zones {
+            z.reset(k, v);
+        }
+        self.reduce();
+    }
+
+    /// Applies an arbitrary zone transformation to every member zone,
+    /// dropping transformed zones that become empty.
+    pub fn transform<F: FnMut(&Dbm) -> Dbm>(&self, mut f: F) -> Federation {
+        let mut out = Federation::empty(self.dim);
+        for z in &self.zones {
+            out.add_zone(f(z));
+        }
+        out
+    }
+
+    /// Removes member zones subsumed by a single other member zone.
+    ///
+    /// This is the cheap `O(k²)` reduction; see [`Federation::reduce_exact`]
+    /// for the exact (but more expensive) variant.
+    pub fn reduce(&mut self) {
+        let mut kept: Vec<Dbm> = Vec::with_capacity(self.zones.len());
+        'outer: for (idx, z) in self.zones.iter().enumerate() {
+            for w in &kept {
+                if matches!(z.relation(w), Relation::Subset | Relation::Equal) {
+                    continue 'outer;
+                }
+            }
+            for (jdx, w) in self.zones.iter().enumerate() {
+                if jdx > idx && matches!(z.relation(w), Relation::Subset | Relation::Equal) {
+                    continue 'outer;
+                }
+            }
+            kept.push(z.clone());
+        }
+        self.zones = kept;
+    }
+
+    /// Removes member zones that are covered by the union of the remaining
+    /// zones (exact but potentially expensive reduction).
+    pub fn reduce_exact(&mut self) {
+        self.reduce();
+        let mut idx = 0;
+        while idx < self.zones.len() {
+            let candidate = self.zones[idx].clone();
+            let rest = Federation {
+                dim: self.dim,
+                zones: self
+                    .zones
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != idx)
+                    .map(|(_, z)| z.clone())
+                    .collect(),
+            };
+            if rest.includes_zone(&candidate) {
+                self.zones.remove(idx);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Checks whether a valuation (scaled by two) belongs to the federation.
+    #[must_use]
+    pub fn contains_scaled(&self, vals2: &[i64]) -> bool {
+        self.zones.iter().any(|z| z.contains_scaled(vals2))
+    }
+
+    /// Checks whether a valuation on a `1/scale` fixed-point grid belongs to
+    /// the federation.
+    #[must_use]
+    pub fn contains_at(&self, vals: &[i64], scale: i64) -> bool {
+        self.zones.iter().any(|z| z.contains_at(vals, scale))
+    }
+
+    /// Returns `true` if the zone is entirely covered by this federation.
+    ///
+    /// This is an exact inclusion check (`zone \ self = ∅`), not a per-zone
+    /// subsumption test.
+    #[must_use]
+    pub fn includes_zone(&self, zone: &Dbm) -> bool {
+        assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        if zone.is_empty() {
+            return true;
+        }
+        let mut remainder = vec![zone.clone()];
+        for covering in &self.zones {
+            let mut next = Vec::new();
+            for piece in remainder {
+                next.extend(zone_subtract(&piece, covering));
+            }
+            remainder = next;
+            if remainder.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if every valuation of `other` belongs to this
+    /// federation.
+    #[must_use]
+    pub fn includes(&self, other: &Federation) -> bool {
+        other.zones.iter().all(|z| self.includes_zone(z))
+    }
+
+    /// Semantic equality: mutual inclusion of the denoted sets (member zone
+    /// lists may differ).
+    #[must_use]
+    pub fn set_equals(&self, other: &Federation) -> bool {
+        self.includes(other) && other.includes(self)
+    }
+
+    /// Safe time-predecessor operator `Pred_t(self, bad)`.
+    ///
+    /// Returns every valuation from which some delay `δ ≥ 0` reaches `self`
+    /// (the *good* set) while the whole trajectory `[0, δ]` avoids `bad`:
+    ///
+    /// ```text
+    /// Pred_t(G, B) = { v | ∃δ ≥ 0. v+δ ∈ G ∧ ∀δ' ∈ [0, δ]. v+δ' ∉ B }
+    /// ```
+    ///
+    /// This is the key operator of the timed-game controllable-predecessor
+    /// computation (Maler–Pnueli–Sifakis; Cassez et al., CONCUR 2005).
+    ///
+    /// For a convex good zone `g` and convex bad zone `b`:
+    /// `Pred_t(g, b) = (g↓ \ b↓) ∪ (g ∩ (b↓ \ b))↓`, and for unions of bad
+    /// zones the results intersect (the set of delays staying inside a convex
+    /// zone along a time trajectory is an interval).
+    #[must_use]
+    pub fn pred_t(&self, bad: &Federation) -> Federation {
+        assert_eq!(self.dim, bad.dim, "dimension mismatch");
+        let mut result = Federation::empty(self.dim);
+        for g in &self.zones {
+            let mut acc: Option<Federation> = None;
+            if bad.is_empty() {
+                let mut d = g.clone();
+                d.down();
+                result.add_zone(d);
+                continue;
+            }
+            for b in &bad.zones {
+                let mut down_g = g.clone();
+                down_g.down();
+                let mut down_b = b.clone();
+                down_b.down();
+                // (g↓ \ b↓)
+                let mut part = Federation::from_zone(down_g);
+                part.subtract_zone(&down_b);
+                // (g ∩ (b↓ \ b))↓
+                let mut before_b = Federation::from_zone(down_b);
+                before_b.subtract_zone(b);
+                before_b.intersect_zone(g);
+                before_b.down();
+                part.union_with(&before_b);
+                acc = Some(match acc {
+                    None => part,
+                    Some(a) => a.intersection(&part),
+                });
+            }
+            if let Some(a) = acc {
+                result.union_with(&a);
+            }
+        }
+        result.reduce();
+        result
+    }
+}
+
+impl From<Dbm> for Federation {
+    fn from(zone: Dbm) -> Self {
+        Federation::from_zone(zone)
+    }
+}
+
+impl Extend<Dbm> for Federation {
+    fn extend<T: IntoIterator<Item = Dbm>>(&mut self, iter: T) {
+        for z in iter {
+            self.add_zone(z);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Federation {
+    type Item = &'a Dbm;
+    type IntoIter = std::slice::Iter<'a, Dbm>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.zones.iter()
+    }
+}
+
+impl fmt::Debug for Federation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Federation(dim={}, {} zones)", self.dim, self.zones.len())
+    }
+}
+
+/// Subtracts zone `b` from zone `a`, returning pairwise-disjoint pieces.
+///
+/// Uses the classical splitting along the constraints of `b`, tightening `a`
+/// progressively so the produced pieces do not overlap.
+#[must_use]
+pub fn zone_subtract(a: &Dbm, b: &Dbm) -> Vec<Dbm> {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    if a.is_empty() {
+        return Vec::new();
+    }
+    if b.is_empty() || !a.intersects(b) {
+        return vec![a.clone()];
+    }
+    let constraints: Vec<(usize, usize, Bound)> = b.iter_constraints().collect();
+    let mut rest = a.clone();
+    let mut out = Vec::new();
+    for (i, j, bound) in constraints {
+        // Piece satisfying the *negation* of constraint (i, j).
+        let mut piece = rest.clone();
+        if piece.constrain(j, i, bound.negated_complement()) {
+            out.push(piece);
+        }
+        // Continue inside the constraint so pieces stay disjoint.
+        if !rest.constrain(i, j, bound) {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Zone `lo ≤ x ≤ hi` over a single clock (dimension 2).
+    fn interval(lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(2);
+        assert!(z.constrain(0, 1, Bound::le(-lo)));
+        assert!(z.constrain(1, 0, Bound::le(hi)));
+        z
+    }
+
+    /// Zone `lo < x < hi`.
+    fn open_interval(lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(2);
+        assert!(z.constrain(0, 1, Bound::lt(-lo)));
+        assert!(z.constrain(1, 0, Bound::lt(hi)));
+        z
+    }
+
+    #[test]
+    fn add_zone_subsumes() {
+        let mut fed = Federation::from_zone(interval(0, 10));
+        fed.add_zone(interval(2, 3));
+        assert_eq!(fed.len(), 1);
+        let mut fed2 = Federation::from_zone(interval(2, 3));
+        fed2.add_zone(interval(0, 10));
+        assert_eq!(fed2.len(), 1);
+        assert!(fed.set_equals(&fed2));
+    }
+
+    #[test]
+    fn zone_subtract_splits_interval() {
+        let pieces = zone_subtract(&interval(0, 10), &interval(3, 4));
+        let fed = Federation::from_zones(2, pieces);
+        assert!(fed.contains_scaled(&[0, 4])); // 2
+        assert!(fed.contains_scaled(&[0, 12])); // 6
+        assert!(!fed.contains_scaled(&[0, 7])); // 3.5 removed
+        assert!(!fed.contains_scaled(&[0, 6])); // 3 removed (closed)
+        assert!(!fed.contains_scaled(&[0, 8])); // 4 removed
+        assert!(fed.contains_scaled(&[0, 9])); // 4.5 kept
+    }
+
+    #[test]
+    fn zone_subtract_disjoint_returns_original() {
+        let pieces = zone_subtract(&interval(0, 2), &interval(5, 6));
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].relation(&interval(0, 2)), Relation::Equal);
+    }
+
+    #[test]
+    fn zone_subtract_total_cover_is_empty() {
+        let pieces = zone_subtract(&interval(3, 4), &interval(0, 10));
+        assert!(pieces.is_empty());
+    }
+
+    #[test]
+    fn subtraction_respects_strictness() {
+        // [0,10] \ (3,4) leaves the boundary points 3 and 4.
+        let mut fed = Federation::from_zone(interval(0, 10));
+        fed.subtract_zone(&open_interval(3, 4));
+        assert!(fed.contains_scaled(&[0, 6])); // x = 3 kept
+        assert!(fed.contains_scaled(&[0, 8])); // x = 4 kept
+        assert!(!fed.contains_scaled(&[0, 7])); // x = 3.5 removed
+    }
+
+    #[test]
+    fn difference_and_includes() {
+        let big = Federation::from_zone(interval(0, 10));
+        let small = Federation::from_zone(interval(2, 5));
+        assert!(big.includes(&small));
+        assert!(!small.includes(&big));
+        let diff = big.difference(&small);
+        assert!(!diff.contains_scaled(&[0, 6]));
+        assert!(diff.contains_scaled(&[0, 2]));
+        assert!(diff.contains_scaled(&[0, 12]));
+        // Union of difference and small recovers big.
+        let recovered = diff.union(&small);
+        assert!(recovered.set_equals(&big));
+    }
+
+    #[test]
+    fn includes_zone_needs_union_cover() {
+        // Two zones covering [0,10] only together.
+        let mut fed = Federation::from_zone(interval(0, 6));
+        fed.add_zone(interval(4, 10));
+        assert_eq!(fed.len(), 2);
+        assert!(fed.includes_zone(&interval(2, 8)));
+        assert!(!fed.includes_zone(&interval(2, 12)));
+    }
+
+    #[test]
+    fn reduce_exact_removes_union_covered_zone() {
+        let mut fed = Federation::from_zone(interval(0, 6));
+        fed.add_zone(interval(4, 10));
+        fed.add_zone(interval(2, 8)); // covered by the union of the others
+        assert_eq!(fed.len(), 3);
+        fed.reduce_exact();
+        assert_eq!(fed.len(), 2);
+        assert!(fed.contains_scaled(&[0, 16]));
+    }
+
+    #[test]
+    fn intersection_of_federations() {
+        let mut a = Federation::from_zone(interval(0, 3));
+        a.add_zone(interval(6, 9));
+        let b = Federation::from_zone(interval(2, 7));
+        let inter = a.intersection(&b);
+        assert!(inter.contains_scaled(&[0, 5])); // 2.5
+        assert!(inter.contains_scaled(&[0, 13])); // 6.5
+        assert!(!inter.contains_scaled(&[0, 9])); // 4.5 in the gap
+    }
+
+    #[test]
+    fn down_of_union_is_union_of_downs() {
+        let mut fed = Federation::from_zone(interval(4, 5));
+        fed.add_zone(interval(8, 9));
+        fed.down();
+        assert!(fed.contains_scaled(&[0, 0]));
+        assert!(fed.contains_scaled(&[0, 13])); // 6.5 (past of [8,9])
+        assert!(fed.contains_scaled(&[0, 18])); // 9
+        assert!(!fed.contains_scaled(&[0, 20])); // 10
+    }
+
+    #[test]
+    fn pred_t_with_empty_bad_is_down() {
+        let good = Federation::from_zone(interval(4, 5));
+        let bad = Federation::empty(2);
+        let pred = good.pred_t(&bad);
+        assert!(pred.contains_scaled(&[0, 0]));
+        assert!(pred.contains_scaled(&[0, 10]));
+        assert!(!pred.contains_scaled(&[0, 11]));
+    }
+
+    #[test]
+    fn pred_t_blocked_by_earlier_bad() {
+        // Good at [5,6], bad at [2,3]: only points after the bad interval can
+        // safely delay into good.
+        let good = Federation::from_zone(interval(5, 6));
+        let bad = Federation::from_zone(interval(2, 3));
+        let pred = good.pred_t(&bad);
+        assert!(!pred.contains_scaled(&[0, 2])); // x=1 must cross bad
+        assert!(!pred.contains_scaled(&[0, 4])); // x=2 inside bad
+        assert!(!pred.contains_scaled(&[0, 6])); // x=3 inside bad
+        assert!(pred.contains_scaled(&[0, 7])); // x=3.5 fine
+        assert!(pred.contains_scaled(&[0, 12])); // x=6
+        assert!(!pred.contains_scaled(&[0, 13])); // x=6.5 beyond good
+    }
+
+    #[test]
+    fn pred_t_good_before_bad() {
+        // Good at [2,3], bad at [5,6]: everything up to the good interval wins.
+        let good = Federation::from_zone(interval(2, 3));
+        let bad = Federation::from_zone(interval(5, 6));
+        let pred = good.pred_t(&bad);
+        assert!(pred.contains_scaled(&[0, 0]));
+        assert!(pred.contains_scaled(&[0, 6]));
+        assert!(!pred.contains_scaled(&[0, 7])); // 3.5: past good, would hit bad only later but can no longer reach good
+        assert!(!pred.contains_scaled(&[0, 10])); // 5 inside bad
+    }
+
+    #[test]
+    fn pred_t_good_straddling_bad() {
+        // Good [2,6], bad [3,4]: win below 3 (reach good before bad) and in (4,6].
+        let good = Federation::from_zone(interval(2, 6));
+        let bad = Federation::from_zone(interval(3, 4));
+        let pred = good.pred_t(&bad);
+        assert!(pred.contains_scaled(&[0, 0]));
+        assert!(pred.contains_scaled(&[0, 5])); // 2.5
+        assert!(!pred.contains_scaled(&[0, 6])); // 3 is bad
+        assert!(!pred.contains_scaled(&[0, 8])); // 4 is bad
+        assert!(pred.contains_scaled(&[0, 9])); // 4.5 wins
+        assert!(pred.contains_scaled(&[0, 12])); // 6 wins
+        assert!(!pred.contains_scaled(&[0, 13])); // 6.5 loses
+    }
+
+    #[test]
+    fn pred_t_union_of_bad_zones() {
+        // Good [10,11], bad [2,3] ∪ [5,6]: must avoid both, so only points
+        // after 6 win.
+        let good = Federation::from_zone(interval(10, 11));
+        let mut bad = Federation::from_zone(interval(2, 3));
+        bad.add_zone(interval(5, 6));
+        let pred = good.pred_t(&bad);
+        assert!(!pred.contains_scaled(&[0, 0]));
+        assert!(!pred.contains_scaled(&[0, 8])); // 4: would hit [5,6] later
+        assert!(pred.contains_scaled(&[0, 13])); // 6.5
+        assert!(pred.contains_scaled(&[0, 22])); // 11
+        assert!(!pred.contains_scaled(&[0, 23]));
+    }
+
+    #[test]
+    fn pred_t_open_bad_boundary_wins_at_boundary() {
+        // Bad is open at 2: standing exactly at 2 with good [2,9] wins at δ=0.
+        let good = Federation::from_zone(interval(2, 9));
+        let bad = Federation::from_zone(open_interval(2, 3));
+        let pred = good.pred_t(&bad);
+        assert!(pred.contains_scaled(&[0, 4])); // x=2 wins immediately
+        assert!(!pred.contains_scaled(&[0, 5])); // x=2.5 is inside bad
+        assert!(pred.contains_scaled(&[0, 6])); // x=3 wins immediately (bad open at 3)
+        assert!(pred.contains_scaled(&[0, 0])); // x=0 can reach 2 before bad (bad open at 2)
+    }
+
+    #[test]
+    fn set_equality_is_semantic() {
+        let mut split = Federation::from_zone(interval(0, 5));
+        split.add_zone(interval(5, 10));
+        let whole = Federation::from_zone(interval(0, 10));
+        assert!(split.set_equals(&whole));
+        assert_ne!(split, whole); // structural inequality is fine
+    }
+
+    #[test]
+    fn transform_applies_operation() {
+        let fed = Federation::from_zone(interval(1, 2));
+        let reset = fed.transform(|z| {
+            let mut z = z.clone();
+            z.reset(1, 0);
+            z
+        });
+        assert!(reset.contains_scaled(&[0, 0]));
+        assert!(!reset.contains_scaled(&[0, 2]));
+    }
+
+    #[test]
+    fn contains_at_scale_over_members() {
+        let mut fed = Federation::from_zone(interval(3, 4));
+        fed.add_zone(interval(8, 9));
+        assert!(fed.contains_at(&[0, 14], 4)); // 3.5
+        assert!(fed.contains_at(&[0, 34], 4)); // 8.5
+        assert!(!fed.contains_at(&[0, 24], 4)); // 6
+        assert!(!Federation::empty(2).contains_at(&[0, 0], 4));
+    }
+}

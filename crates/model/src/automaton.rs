@@ -1,0 +1,504 @@
+//! Timed (I/O game) automata: locations, edges, guards, invariants.
+
+use crate::decl::{ClockRef, VarTable};
+use crate::error::{EvalError, ModelError};
+use crate::expr::{CmpOp, Expr};
+use crate::ids::{ChannelId, ClockId, EdgeId, LocationId, VarId};
+use tiga_dbm::{Bound, Dbm};
+
+/// A single clock constraint `c  op  bound` or `c - c'  op  bound`, where the
+/// bound is an integer expression over the discrete variables (most often a
+/// constant such as `Tidle = 20` in the Smart Light model).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClockConstraint {
+    /// Left-hand clock.
+    pub left: ClockId,
+    /// Optional clock subtracted from the left-hand clock.
+    pub minus: Option<ClockId>,
+    /// Comparison operator (must be convex: `!=` is rejected).
+    pub op: CmpOp,
+    /// Right-hand side, evaluated against the discrete variables.
+    pub bound: Expr,
+}
+
+impl ClockConstraint {
+    /// `clock op bound`.
+    #[must_use]
+    pub fn new(clock: ClockId, op: CmpOp, bound: impl Into<Expr>) -> Self {
+        ClockConstraint {
+            left: clock,
+            minus: None,
+            op,
+            bound: bound.into(),
+        }
+    }
+
+    /// `left - right op bound` (diagonal constraint).
+    #[must_use]
+    pub fn diff(left: ClockId, right: ClockId, op: CmpOp, bound: impl Into<Expr>) -> Self {
+        ClockConstraint {
+            left,
+            minus: Some(right),
+            op,
+            bound: bound.into(),
+        }
+    }
+
+    /// Conjoins this constraint onto a DBM, evaluating the bound against the
+    /// given variable store.  Returns `false` if the zone becomes empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bound expression cannot be evaluated or the
+    /// operator is `!=` (non-convex).
+    pub fn apply_to(
+        &self,
+        zone: &mut Dbm,
+        table: &VarTable,
+        store: &[i64],
+    ) -> Result<bool, ModelError> {
+        let m64 = self.bound.eval(table, store)?;
+        let m = i32::try_from(m64).map_err(|_| ModelError::Eval(EvalError::Overflow))?;
+        let i = self.left.dbm_index();
+        let j = self.minus.map_or(0, ClockId::dbm_index);
+        let ok = match self.op {
+            CmpOp::Le => zone.constrain(i, j, Bound::le(m)),
+            CmpOp::Lt => zone.constrain(i, j, Bound::lt(m)),
+            CmpOp::Ge => zone.constrain(j, i, Bound::le(-m)),
+            CmpOp::Gt => zone.constrain(j, i, Bound::lt(-m)),
+            CmpOp::Eq => {
+                zone.constrain(i, j, Bound::le(m)) && zone.constrain(j, i, Bound::le(-m))
+            }
+            CmpOp::Ne => {
+                return Err(ModelError::NonConvexClockConstraint(format!(
+                    "clock {} != {}",
+                    self.left, m
+                )))
+            }
+        };
+        Ok(ok)
+    }
+
+    /// Checks the constraint against a concrete valuation in ticks
+    /// (`scale` ticks per time unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bound expression cannot be evaluated.
+    pub fn holds_concrete(
+        &self,
+        clock_ticks: &[i64],
+        scale: i64,
+        table: &VarTable,
+        store: &[i64],
+    ) -> Result<bool, ModelError> {
+        let m = self.bound.eval(table, store)?;
+        let left = clock_ticks[self.left.index()];
+        let right = self.minus.map_or(0, |c| clock_ticks[c.index()]);
+        Ok(self.op.apply(left - right, m * scale))
+    }
+
+    /// Largest constant this constraint can contribute for extrapolation
+    /// purposes, conservatively using variable upper bounds when the bound is
+    /// not a constant.
+    #[must_use]
+    pub fn max_constant(&self, table: &VarTable) -> i64 {
+        if let Some(c) = self.bound.as_constant() {
+            c.abs()
+        } else {
+            // Conservative: the largest absolute value any variable may take,
+            // plus the largest constant literal mentioned, bounded below by 1.
+            let var_bound = table
+                .iter()
+                .map(|d| d.lower().abs().max(d.upper().abs()))
+                .max()
+                .unwrap_or(0);
+            var_bound.max(1) * 2
+        }
+    }
+}
+
+/// A clock reset `clock := value` performed on an edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClockReset {
+    /// Clock being reset.
+    pub clock: ClockId,
+    /// New value (must evaluate to a non-negative integer).
+    pub value: Expr,
+}
+
+impl ClockReset {
+    /// Reset to zero, the common case.
+    #[must_use]
+    pub fn to_zero(clock: ClockId) -> Self {
+        ClockReset {
+            clock,
+            value: Expr::constant(0),
+        }
+    }
+
+    /// Reset to an arbitrary expression.
+    #[must_use]
+    pub fn to_value(clock: ClockId, value: impl Into<Expr>) -> Self {
+        ClockReset {
+            clock,
+            value: value.into(),
+        }
+    }
+}
+
+/// An assignment `var := value` or `array[index] := value` performed on an
+/// edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Assignment {
+    /// Variable (or array) being assigned.
+    pub target: VarId,
+    /// Element index for arrays, `None` for scalars.
+    pub index: Option<Expr>,
+    /// Assigned value.
+    pub value: Expr,
+}
+
+impl Assignment {
+    /// `target := value` for scalars.
+    #[must_use]
+    pub fn set(target: VarId, value: impl Into<Expr>) -> Self {
+        Assignment {
+            target,
+            index: None,
+            value: value.into(),
+        }
+    }
+
+    /// `target[index] := value` for arrays.
+    #[must_use]
+    pub fn set_element(target: VarId, index: impl Into<Expr>, value: impl Into<Expr>) -> Self {
+        Assignment {
+            target,
+            index: Some(index.into()),
+            value: value.into(),
+        }
+    }
+}
+
+/// Synchronization label of an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Sync {
+    /// Internal step, not synchronizing with any other automaton.
+    Tau,
+    /// Receiving synchronization `c?`.
+    Input(ChannelId),
+    /// Emitting synchronization `c!`.
+    Output(ChannelId),
+}
+
+impl Sync {
+    /// The channel mentioned by the label, if any.
+    #[must_use]
+    pub fn channel(self) -> Option<ChannelId> {
+        match self {
+            Sync::Tau => None,
+            Sync::Input(c) | Sync::Output(c) => Some(c),
+        }
+    }
+}
+
+/// The guard of an edge: a conjunction of clock constraints and a data guard
+/// over the discrete variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Guard {
+    /// Conjunction of clock constraints (empty means `true`).
+    pub clocks: Vec<ClockConstraint>,
+    /// Data guard over discrete variables (`None` means `true`).
+    pub data: Option<Expr>,
+}
+
+impl Guard {
+    /// The trivially true guard.
+    #[must_use]
+    pub fn always() -> Self {
+        Guard::default()
+    }
+
+    /// Evaluates the data part of the guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors.
+    pub fn data_holds(&self, table: &VarTable, store: &[i64]) -> Result<bool, ModelError> {
+        match &self.data {
+            None => Ok(true),
+            Some(e) => Ok(e.eval_bool(table, store)?),
+        }
+    }
+}
+
+/// An edge (transition) of an automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Source location.
+    pub source: LocationId,
+    /// Target location.
+    pub target: LocationId,
+    /// Synchronization label.
+    pub sync: Sync,
+    /// Guard.
+    pub guard: Guard,
+    /// Clock resets, applied after the guard is checked.
+    pub resets: Vec<ClockReset>,
+    /// Variable updates, applied in order.
+    pub updates: Vec<Assignment>,
+    /// Controllability override for `Tau` edges (sync edges take theirs from
+    /// the channel kind).
+    pub controllable: Option<bool>,
+}
+
+/// A location of an automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Location {
+    /// Location name (unique within the automaton).
+    pub name: String,
+    /// Location invariant: a conjunction of clock constraints.
+    pub invariant: Vec<ClockConstraint>,
+    /// Urgent locations do not let time pass.
+    pub urgent: bool,
+}
+
+impl Location {
+    /// Creates a location with no invariant.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Location {
+            name: name.to_string(),
+            invariant: Vec::new(),
+            urgent: false,
+        }
+    }
+}
+
+/// A single timed (I/O game) automaton.
+///
+/// Controllability of actions is declared on the channels of the enclosing
+/// [`crate::System`]; an automaton on its own is just a timed automaton with
+/// synchronization labels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Automaton {
+    pub(crate) name: String,
+    pub(crate) locations: Vec<Location>,
+    pub(crate) initial: LocationId,
+    pub(crate) edges: Vec<Edge>,
+}
+
+impl Automaton {
+    /// Automaton name (unique within the system).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared locations.
+    #[must_use]
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// The initial location.
+    #[must_use]
+    pub fn initial(&self) -> LocationId {
+        self.initial
+    }
+
+    /// The declared edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// A location by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this automaton.
+    #[must_use]
+    pub fn location(&self, id: LocationId) -> &Location {
+        &self.locations[id.index()]
+    }
+
+    /// An edge by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this automaton.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Looks up a location by name.
+    #[must_use]
+    pub fn location_by_name(&self, name: &str) -> Option<LocationId> {
+        self.locations
+            .iter()
+            .position(|l| l.name == name)
+            .map(LocationId::from_index)
+    }
+
+    /// Identifiers of the edges leaving a location.
+    pub fn edges_from(&self, loc: LocationId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.source == loc)
+            .map(|(i, _)| EdgeId::from_index(i))
+    }
+}
+
+/// Helper re-exported for guard construction: `clock op bound`.
+#[must_use]
+pub fn clock_cmp(clock: ClockId, op: CmpOp, bound: impl Into<Expr>) -> ClockConstraint {
+    ClockConstraint::new(clock, op, bound)
+}
+
+/// Reference to a clock or the constant zero, used by strategy output.
+///
+/// Currently only used for pretty-printing; kept here to avoid leaking DBM
+/// indices into user-facing APIs.
+#[must_use]
+pub fn clock_ref(clock: ClockId) -> ClockRef {
+    ClockRef::Clock(clock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_table() -> VarTable {
+        VarTable::new()
+    }
+
+    #[test]
+    fn clock_constraint_to_dbm() {
+        let table = empty_table();
+        let x = ClockId::from_index(0);
+        let mut zone = Dbm::universe(2);
+        // x >= 4
+        assert!(ClockConstraint::new(x, CmpOp::Ge, 4)
+            .apply_to(&mut zone, &table, &[])
+            .unwrap());
+        // x < 10
+        assert!(ClockConstraint::new(x, CmpOp::Lt, 10)
+            .apply_to(&mut zone, &table, &[])
+            .unwrap());
+        assert!(zone.contains_scaled(&[0, 8]));
+        assert!(!zone.contains_scaled(&[0, 6]));
+        assert!(!zone.contains_scaled(&[0, 20]));
+        // x == 5 empties when combined with x >= 6.
+        let mut z2 = Dbm::universe(2);
+        assert!(ClockConstraint::new(x, CmpOp::Ge, 6)
+            .apply_to(&mut z2, &table, &[])
+            .unwrap());
+        assert!(!ClockConstraint::new(x, CmpOp::Eq, 5)
+            .apply_to(&mut z2, &table, &[])
+            .unwrap());
+        assert!(z2.is_empty());
+    }
+
+    #[test]
+    fn diagonal_constraint_to_dbm() {
+        let table = empty_table();
+        let x = ClockId::from_index(0);
+        let y = ClockId::from_index(1);
+        let mut zone = Dbm::universe(3);
+        assert!(ClockConstraint::diff(x, y, CmpOp::Le, 2)
+            .apply_to(&mut zone, &table, &[])
+            .unwrap());
+        assert!(zone.contains_scaled(&[0, 4, 0]));
+        assert!(!zone.contains_scaled(&[0, 6, 0]));
+    }
+
+    #[test]
+    fn nonconvex_constraint_rejected() {
+        let table = empty_table();
+        let x = ClockId::from_index(0);
+        let mut zone = Dbm::universe(2);
+        let err = ClockConstraint::new(x, CmpOp::Ne, 3)
+            .apply_to(&mut zone, &table, &[])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NonConvexClockConstraint(_)));
+    }
+
+    #[test]
+    fn constraint_with_variable_bound() {
+        let mut table = VarTable::new();
+        let t_idle = table.declare("Tidle", 1, 0, 100, 20).unwrap();
+        let store = table.initial_store();
+        let x = ClockId::from_index(0);
+        let mut zone = Dbm::universe(2);
+        assert!(ClockConstraint::new(x, CmpOp::Ge, Expr::var(t_idle))
+            .apply_to(&mut zone, &table, &store)
+            .unwrap());
+        assert!(zone.contains_scaled(&[0, 40]));
+        assert!(!zone.contains_scaled(&[0, 39]));
+    }
+
+    #[test]
+    fn concrete_evaluation_of_constraints() {
+        let table = empty_table();
+        let x = ClockId::from_index(0);
+        let c = ClockConstraint::new(x, CmpOp::Ge, 4);
+        // scale 2: clock ticks of 7 mean 3.5 time units.
+        assert!(!c.holds_concrete(&[7], 2, &table, &[]).unwrap());
+        assert!(c.holds_concrete(&[8], 2, &table, &[]).unwrap());
+        let d = ClockConstraint::new(x, CmpOp::Lt, 4);
+        assert!(d.holds_concrete(&[7], 2, &table, &[]).unwrap());
+        assert!(!d.holds_concrete(&[8], 2, &table, &[]).unwrap());
+    }
+
+    #[test]
+    fn max_constant_for_extrapolation() {
+        let mut table = VarTable::new();
+        let n = table.declare("n", 1, 0, 8, 3).unwrap();
+        let x = ClockId::from_index(0);
+        assert_eq!(ClockConstraint::new(x, CmpOp::Le, 20).max_constant(&table), 20);
+        assert_eq!(
+            ClockConstraint::new(x, CmpOp::Le, Expr::constant(-7)).max_constant(&table),
+            7
+        );
+        // Variable-dependent bounds fall back to a conservative estimate.
+        assert!(ClockConstraint::new(x, CmpOp::Le, Expr::var(n)).max_constant(&table) >= 8);
+    }
+
+    #[test]
+    fn guard_data_part() {
+        let mut table = VarTable::new();
+        let v = table.declare("v", 1, 0, 5, 2).unwrap();
+        let store = table.initial_store();
+        let guard = Guard {
+            clocks: vec![],
+            data: Some(Expr::var(v).ge(Expr::constant(2))),
+        };
+        assert!(guard.data_holds(&table, &store).unwrap());
+        let guard2 = Guard {
+            clocks: vec![],
+            data: Some(Expr::var(v).gt(Expr::constant(2))),
+        };
+        assert!(!guard2.data_holds(&table, &store).unwrap());
+        assert!(Guard::always().data_holds(&table, &store).unwrap());
+    }
+
+    #[test]
+    fn sync_channel_accessor() {
+        let c = ChannelId::from_index(1);
+        assert_eq!(Sync::Input(c).channel(), Some(c));
+        assert_eq!(Sync::Output(c).channel(), Some(c));
+        assert_eq!(Sync::Tau.channel(), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised while building or analysing a model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A name (clock, channel, variable, automaton or location) was declared
+    /// twice in the same scope.
+    DuplicateName(String),
+    /// A lookup by name failed.
+    UnknownName(String),
+    /// An identifier referred to an entity outside the system being built.
+    InvalidReference(String),
+    /// An automaton has no initial location.
+    MissingInitialLocation(String),
+    /// An expression could not be evaluated.
+    Eval(EvalError),
+    /// A guard used a form that cannot be represented as a convex clock
+    /// constraint (e.g. `x != 3`).
+    NonConvexClockConstraint(String),
+    /// A clock was reset to a negative value.
+    NegativeClockReset(String),
+    /// An assignment pushed a bounded integer variable outside its range.
+    VariableOutOfRange {
+        /// Variable name.
+        name: String,
+        /// Value that violated the declared range.
+        value: i64,
+    },
+    /// The model is structurally invalid for the requested analysis.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName(n) => write!(f, "duplicate declaration of `{n}`"),
+            ModelError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            ModelError::InvalidReference(n) => write!(f, "invalid reference to `{n}`"),
+            ModelError::MissingInitialLocation(a) => {
+                write!(f, "automaton `{a}` has no initial location")
+            }
+            ModelError::Eval(e) => write!(f, "evaluation error: {e}"),
+            ModelError::NonConvexClockConstraint(s) => {
+                write!(f, "clock constraint `{s}` is not convex")
+            }
+            ModelError::NegativeClockReset(s) => {
+                write!(f, "clock reset `{s}` produces a negative value")
+            }
+            ModelError::VariableOutOfRange { name, value } => {
+                write!(f, "assignment pushes variable `{name}` out of range (value {value})")
+            }
+            ModelError::Invalid(s) => write!(f, "invalid model: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<EvalError> for ModelError {
+    fn from(e: EvalError) -> Self {
+        ModelError::Eval(e)
+    }
+}
+
+/// Errors raised while evaluating an expression against a variable store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// An array was indexed outside its declared size.
+    IndexOutOfBounds {
+        /// Array variable name (or index if the name is unavailable).
+        name: String,
+        /// Offending index value.
+        index: i64,
+        /// Declared array size.
+        size: usize,
+    },
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// A scalar variable was indexed, or an array used without an index.
+    NotAnArray(String),
+    /// Arithmetic overflowed 64-bit integers.
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::IndexOutOfBounds { name, index, size } => {
+                write!(f, "index {index} out of bounds for `{name}` (size {size})")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::NotAnArray(n) => write!(f, "`{n}` used with the wrong arity"),
+            EvalError::Overflow => write!(f, "integer overflow during evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

@@ -1,0 +1,292 @@
+//! A system: a network of timed (I/O game) automata sharing clocks, discrete
+//! variables and synchronization channels.
+
+use crate::automaton::Automaton;
+use crate::decl::{Channel, ClockDecl, VarTable};
+use crate::ids::{AutomatonId, ChannelId, ClockId, LocationId};
+
+/// A complete model: global declarations plus a vector of automata composed
+/// in parallel.
+///
+/// Systems are constructed through [`crate::SystemBuilder`]; the struct itself
+/// is immutable, so analyses can borrow it freely.
+///
+/// # Examples
+///
+/// ```
+/// use tiga_model::{SystemBuilder, AutomatonBuilder, EdgeBuilder};
+///
+/// # fn main() -> Result<(), tiga_model::ModelError> {
+/// let mut builder = SystemBuilder::new("demo");
+/// let x = builder.clock("x")?;
+/// let press = builder.input_channel("press")?;
+///
+/// let mut machine = AutomatonBuilder::new("Machine");
+/// let idle = machine.location("Idle")?;
+/// let busy = machine.location("Busy")?;
+/// machine.set_initial(idle);
+/// machine.add_edge(EdgeBuilder::new(idle, busy).input(press).reset(x));
+/// builder.add_automaton(machine.build()?)?;
+///
+/// let system = builder.build()?;
+/// assert_eq!(system.dim(), 2);
+/// assert_eq!(system.automata().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct System {
+    pub(crate) name: String,
+    pub(crate) clocks: Vec<ClockDecl>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) vars: VarTable,
+    pub(crate) automata: Vec<Automaton>,
+}
+
+impl System {
+    /// System name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared clocks, in declaration order.
+    #[must_use]
+    pub fn clocks(&self) -> &[ClockDecl] {
+        &self.clocks
+    }
+
+    /// Declared channels, in declaration order.
+    #[must_use]
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The discrete-variable table.
+    #[must_use]
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// The automata composed in parallel.
+    #[must_use]
+    pub fn automata(&self) -> &[Automaton] {
+        &self.automata
+    }
+
+    /// An automaton by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this system.
+    #[must_use]
+    pub fn automaton(&self, id: AutomatonId) -> &Automaton {
+        &self.automata[id.index()]
+    }
+
+    /// A channel by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this system.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// A clock declaration by identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this system.
+    #[must_use]
+    pub fn clock(&self, id: ClockId) -> &ClockDecl {
+        &self.clocks[id.index()]
+    }
+
+    /// DBM dimension: number of clocks plus one for the reference clock.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.clocks.len() + 1
+    }
+
+    /// Clock names in DBM order (excluding the reference clock), handy for
+    /// zone pretty-printing.
+    #[must_use]
+    pub fn clock_names(&self) -> Vec<String> {
+        self.clocks.iter().map(|c| c.name().to_string()).collect()
+    }
+
+    /// Looks up an automaton by name.
+    #[must_use]
+    pub fn automaton_by_name(&self, name: &str) -> Option<AutomatonId> {
+        self.automata
+            .iter()
+            .position(|a| a.name() == name)
+            .map(AutomatonId::from_index)
+    }
+
+    /// Looks up a channel by name.
+    #[must_use]
+    pub fn channel_by_name(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name() == name)
+            .map(ChannelId::from_index)
+    }
+
+    /// Looks up a clock by name.
+    #[must_use]
+    pub fn clock_by_name(&self, name: &str) -> Option<ClockId> {
+        self.clocks
+            .iter()
+            .position(|c| c.name() == name)
+            .map(ClockId::from_index)
+    }
+
+    /// Looks up a location by `"Automaton.Location"` qualified name.
+    #[must_use]
+    pub fn location_by_qualified_name(&self, qualified: &str) -> Option<(AutomatonId, LocationId)> {
+        let (aut_name, loc_name) = qualified.split_once('.')?;
+        let aut = self.automaton_by_name(aut_name)?;
+        let loc = self.automaton(aut).location_by_name(loc_name)?;
+        Some((aut, loc))
+    }
+
+    /// Per-clock maximal constants used for extrapolation during forward
+    /// exploration (index 0 is the reference clock and stays 0).
+    ///
+    /// Constants are collected from every guard and invariant; bounds that
+    /// depend on variables are over-approximated from the variable ranges.
+    #[must_use]
+    pub fn max_bounds(&self) -> Vec<i32> {
+        let mut max = vec![0i64; self.dim()];
+        let mut bump = |clock: ClockId, value: i64| {
+            let slot = &mut max[clock.dbm_index()];
+            if value > *slot {
+                *slot = value;
+            }
+        };
+        for aut in &self.automata {
+            for loc in aut.locations() {
+                for c in &loc.invariant {
+                    let m = c.max_constant(&self.vars);
+                    bump(c.left, m);
+                    if let Some(r) = c.minus {
+                        bump(r, m);
+                    }
+                }
+            }
+            for edge in aut.edges() {
+                for c in &edge.guard.clocks {
+                    let m = c.max_constant(&self.vars);
+                    bump(c.left, m);
+                    if let Some(r) = c.minus {
+                        bump(r, m);
+                    }
+                }
+                for r in &edge.resets {
+                    if let Some(v) = r.value.as_constant() {
+                        bump(r.clock, v.abs());
+                    }
+                }
+            }
+        }
+        max.into_iter()
+            .map(|m| i32::try_from(m).unwrap_or(i32::MAX / 8))
+            .collect()
+    }
+
+    /// Total number of locations across all automata (a rough size measure
+    /// reported by solver statistics).
+    #[must_use]
+    pub fn location_count(&self) -> usize {
+        self.automata.iter().map(|a| a.locations().len()).sum()
+    }
+
+    /// Total number of edges across all automata.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.automata.iter().map(|a| a.edges().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::ClockConstraint;
+    use crate::builder::{AutomatonBuilder, EdgeBuilder, SystemBuilder};
+    use crate::expr::CmpOp;
+
+    fn tiny_system() -> System {
+        let mut b = SystemBuilder::new("tiny");
+        let x = b.clock("x").unwrap();
+        let y = b.clock("y").unwrap();
+        let go = b.input_channel("go").unwrap();
+        let done = b.output_channel("done").unwrap();
+        let _n = b.int_var("n", 0, 3, 0).unwrap();
+
+        let mut a = AutomatonBuilder::new("Proc");
+        let idle = a.location("Idle").unwrap();
+        let work = a.location("Work").unwrap();
+        a.set_initial(idle);
+        a.set_invariant(work, vec![ClockConstraint::new(x, CmpOp::Le, 5)]);
+        a.add_edge(
+            EdgeBuilder::new(idle, work)
+                .input(go)
+                .guard_clock(ClockConstraint::new(y, CmpOp::Ge, 2))
+                .reset(x),
+        );
+        a.add_edge(EdgeBuilder::new(work, idle).output(done));
+        let aut = a.build().unwrap();
+
+        let mut env = AutomatonBuilder::new("Env");
+        let e0 = env.location("E0").unwrap();
+        env.set_initial(e0);
+        env.add_edge(EdgeBuilder::new(e0, e0).output(go));
+        env.add_edge(EdgeBuilder::new(e0, e0).input(done));
+        let envaut = env.build().unwrap();
+
+        b.add_automaton(aut).unwrap();
+        b.add_automaton(envaut).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        let sys = tiny_system();
+        assert_eq!(sys.dim(), 3);
+        assert!(sys.automaton_by_name("Proc").is_some());
+        assert!(sys.automaton_by_name("Nope").is_none());
+        assert!(sys.channel_by_name("go").is_some());
+        assert!(sys.clock_by_name("y").is_some());
+        let (aut, loc) = sys.location_by_qualified_name("Proc.Work").unwrap();
+        assert_eq!(sys.automaton(aut).location(loc).name, "Work");
+        assert!(sys.location_by_qualified_name("Proc.Nowhere").is_none());
+        assert!(sys.location_by_qualified_name("NoDot").is_none());
+        assert_eq!(sys.clock_names(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn max_bounds_cover_guards_and_invariants() {
+        let sys = tiny_system();
+        let bounds = sys.max_bounds();
+        // Reference clock.
+        assert_eq!(bounds[0], 0);
+        // x bounded by the invariant x <= 5.
+        assert_eq!(bounds[sys.clock_by_name("x").unwrap().dbm_index()], 5);
+        // y bounded by the guard y >= 2.
+        assert_eq!(bounds[sys.clock_by_name("y").unwrap().dbm_index()], 2);
+    }
+
+    #[test]
+    fn size_measures() {
+        let sys = tiny_system();
+        assert_eq!(sys.location_count(), 3);
+        assert_eq!(sys.edge_count(), 4);
+        assert_eq!(sys.name(), "tiny");
+        assert_eq!(sys.channels().len(), 2);
+        assert_eq!(sys.vars().len(), 1);
+    }
+}

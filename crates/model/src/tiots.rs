@@ -1,0 +1,708 @@
+//! Concrete (dense-time, fixed-point tick) semantics of a system — the
+//! Timed I/O Transition System (TIOTS) underlying a TIOGA.
+//!
+//! Time is represented as integer *ticks* with a configurable number of ticks
+//! per model time unit, which keeps all guard and invariant comparisons exact.
+//! Two views are provided:
+//!
+//! * the **open** view treats input/output channels as observable actions of
+//!   the system seen as a plant (used by the conformance monitor and by the
+//!   simulated implementations under test), and
+//! * the **closed** view synchronizes output and input edges of different
+//!   automata in the network (used by the test-execution engine to track the
+//!   state of the plant∥environment game product).
+
+use crate::automaton::Sync;
+use crate::decl::ChannelKind;
+use crate::error::ModelError;
+use crate::ids::{AutomatonId, ChannelId, EdgeId, LocationId};
+use crate::system::System;
+use std::fmt;
+
+/// A concrete state: locations, variable values and clock values in ticks.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConcreteState {
+    /// Current location of each automaton.
+    pub locations: Vec<LocationId>,
+    /// Flattened discrete-variable values.
+    pub vars: Vec<i64>,
+    /// Clock values in ticks (one per declared clock).
+    pub clocks: Vec<i64>,
+}
+
+impl ConcreteState {
+    /// Renders the state with names resolved through the system.
+    #[must_use]
+    pub fn display<'a>(&'a self, interpreter: &'a Interpreter<'a>) -> DisplayConcreteState<'a> {
+        DisplayConcreteState {
+            state: self,
+            interpreter,
+        }
+    }
+}
+
+/// Helper returned by [`ConcreteState::display`].
+pub struct DisplayConcreteState<'a> {
+    state: &'a ConcreteState,
+    interpreter: &'a Interpreter<'a>,
+}
+
+impl fmt::Display for DisplayConcreteState<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sys = self.interpreter.system;
+        for (i, loc) in self.state.locations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let aut = &sys.automata()[i];
+            write!(f, "{}.{}", aut.name(), aut.location(*loc).name)?;
+        }
+        write!(f, " |")?;
+        for (i, c) in sys.clocks().iter().enumerate() {
+            let ticks = self.state.clocks[i];
+            let scale = self.interpreter.scale;
+            write!(f, " {}={}", c.name(), ticks as f64 / scale as f64)?;
+        }
+        if !self.state.vars.is_empty() {
+            write!(f, " |")?;
+            for d in sys.vars().iter() {
+                for k in 0..d.size() {
+                    if d.is_array() {
+                        write!(f, " {}[{}]={}", d.name(), k, self.state.vars[d.offset() + k])?;
+                    } else {
+                        write!(f, " {}={}", d.name(), self.state.vars[d.offset()])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A single-automaton edge reference, used when firing open transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// Automaton owning the edge.
+    pub automaton: AutomatonId,
+    /// Edge within the automaton.
+    pub edge: EdgeId,
+}
+
+/// The concrete-semantics interpreter for a system.
+///
+/// # Examples
+///
+/// ```
+/// use tiga_model::{AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, Interpreter, SystemBuilder};
+///
+/// # fn main() -> Result<(), tiga_model::ModelError> {
+/// let mut b = SystemBuilder::new("lamp");
+/// let x = b.clock("x")?;
+/// let press = b.input_channel("press")?;
+/// let mut lamp = AutomatonBuilder::new("Lamp");
+/// let off = lamp.location("Off")?;
+/// let on = lamp.location("On")?;
+/// lamp.add_edge(EdgeBuilder::new(off, on).input(press).reset(x));
+/// lamp.add_edge(
+///     EdgeBuilder::new(on, off)
+///         .input(press)
+///         .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+/// );
+/// b.add_automaton(lamp.build()?)?;
+/// let system = b.build()?;
+///
+/// let interp = Interpreter::new(&system, 4)?; // 4 ticks per time unit
+/// let s0 = interp.initial_state()?;
+/// let s1 = interp.after_input(&s0, press)?.expect("press accepted");
+/// // Pressing again immediately is refused by the guard x >= 1.
+/// assert!(interp.after_input(&s1, press)?.is_none());
+/// let s2 = interp.delayed(&s1, 4)?.expect("delay allowed");
+/// assert!(interp.after_input(&s2, press)?.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Interpreter<'a> {
+    system: &'a System,
+    scale: i64,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter with `scale` ticks per model time unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if `scale` is not positive.
+    pub fn new(system: &'a System, scale: i64) -> Result<Self, ModelError> {
+        if scale <= 0 {
+            return Err(ModelError::Invalid(format!(
+                "tick scale must be positive, got {scale}"
+            )));
+        }
+        Ok(Interpreter { system, scale })
+    }
+
+    /// The interpreted system.
+    #[must_use]
+    pub fn system(&self) -> &'a System {
+        self.system
+    }
+
+    /// Ticks per model time unit.
+    #[must_use]
+    pub fn scale(&self) -> i64 {
+        self.scale
+    }
+
+    /// The initial concrete state (all clocks zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Invalid`] if the initial state violates an
+    /// invariant, or propagates evaluation errors.
+    pub fn initial_state(&self) -> Result<ConcreteState, ModelError> {
+        let state = ConcreteState {
+            locations: self.system.automata().iter().map(|a| a.initial()).collect(),
+            vars: self.system.vars().initial_store(),
+            clocks: vec![0; self.system.clocks().len()],
+        };
+        if !self.invariants_hold(&state)? {
+            return Err(ModelError::Invalid(
+                "initial state violates an invariant".to_string(),
+            ));
+        }
+        Ok(state)
+    }
+
+    /// Checks every location invariant in the state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from invariant bounds.
+    pub fn invariants_hold(&self, state: &ConcreteState) -> Result<bool, ModelError> {
+        for (i, aut) in self.system.automata().iter().enumerate() {
+            let loc = aut.location(state.locations[i]);
+            for c in &loc.invariant {
+                if !c.holds_concrete(&state.clocks, self.scale, self.system.vars(), &state.vars)? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Maximum delay (in ticks) permitted by the invariants, or `None` if
+    /// unbounded.  Urgent locations yield `Some(0)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from invariant bounds.
+    pub fn max_delay(&self, state: &ConcreteState) -> Result<Option<i64>, ModelError> {
+        if self.system.is_urgent_concrete(state) {
+            return Ok(Some(0));
+        }
+        let mut max: Option<i64> = None;
+        let mut tighten = |candidate: i64| {
+            let candidate = candidate.max(0);
+            max = Some(match max {
+                None => candidate,
+                Some(m) => m.min(candidate),
+            });
+        };
+        for (i, aut) in self.system.automata().iter().enumerate() {
+            let loc = aut.location(state.locations[i]);
+            for c in &loc.invariant {
+                // Diagonal constraints are delay-invariant.
+                if c.minus.is_some() {
+                    continue;
+                }
+                let m = c.bound.eval(self.system.vars(), &state.vars)? * self.scale;
+                let v = state.clocks[c.left.index()];
+                match c.op {
+                    crate::expr::CmpOp::Le | crate::expr::CmpOp::Eq => tighten(m - v),
+                    crate::expr::CmpOp::Lt => tighten(m - v - 1),
+                    _ => {}
+                }
+            }
+        }
+        Ok(max)
+    }
+
+    /// Returns the state after letting `ticks` time pass, or `None` if an
+    /// invariant is violated on the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; negative delays are a model error.
+    pub fn delayed(
+        &self,
+        state: &ConcreteState,
+        ticks: i64,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        if ticks < 0 {
+            return Err(ModelError::Invalid("negative delay".to_string()));
+        }
+        if ticks > 0 && self.system.is_urgent_concrete(state) {
+            return Ok(None);
+        }
+        let mut next = state.clone();
+        for c in &mut next.clocks {
+            *c += ticks;
+        }
+        // Invariants are convex, so holding at the end point implies holding
+        // throughout the delay (they hold at the start by assumption).
+        if self.invariants_hold(&next)? {
+            Ok(Some(next))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn edge_enabled(
+        &self,
+        state: &ConcreteState,
+        aut_idx: usize,
+        edge_id: EdgeId,
+    ) -> Result<bool, ModelError> {
+        let aut = &self.system.automata()[aut_idx];
+        let edge = aut.edge(edge_id);
+        if edge.source != state.locations[aut_idx] {
+            return Ok(false);
+        }
+        if !edge.guard.data_holds(self.system.vars(), &state.vars)? {
+            return Ok(false);
+        }
+        for c in &edge.guard.clocks {
+            if !c.holds_concrete(&state.clocks, self.scale, self.system.vars(), &state.vars)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn apply_edges(
+        &self,
+        state: &ConcreteState,
+        edges: &[(usize, EdgeId)],
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        let mut next = state.clone();
+        for &(aut_idx, edge_id) in edges {
+            let aut = &self.system.automata()[aut_idx];
+            let edge = aut.edge(edge_id);
+            next.locations[aut_idx] = edge.target;
+            for r in &edge.resets {
+                let v = r.value.eval(self.system.vars(), &state.vars)?;
+                if v < 0 {
+                    return Err(ModelError::NegativeClockReset(format!(
+                        "clock {} := {v}",
+                        self.system.clock(r.clock).name()
+                    )));
+                }
+                next.clocks[r.clock.index()] = v * self.scale;
+            }
+            for u in &edge.updates {
+                let value = u.value.eval(self.system.vars(), &next.vars)?;
+                if self.system.vars().check_range(u.target, value).is_err() {
+                    return Ok(None);
+                }
+                let offset = match &u.index {
+                    None => self.system.vars().offset(u.target),
+                    Some(idx) => {
+                        let i = idx.eval(self.system.vars(), &next.vars)?;
+                        let decl = self.system.vars().decl(u.target);
+                        if i < 0 || i as usize >= decl.size() {
+                            return Err(ModelError::Eval(
+                                crate::error::EvalError::IndexOutOfBounds {
+                                    name: decl.name().to_string(),
+                                    index: i,
+                                    size: decl.size(),
+                                },
+                            ));
+                        }
+                        self.system.vars().offset(u.target) + i as usize
+                    }
+                };
+                next.vars[offset] = value;
+            }
+        }
+        if self.invariants_hold(&next)? {
+            Ok(Some(next))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Enumerates the edges of the *open* view enabled for a given sync label
+    /// predicate.
+    fn enabled_matching(
+        &self,
+        state: &ConcreteState,
+        mut pred: impl FnMut(&Sync) -> bool,
+    ) -> Result<Vec<EdgeRef>, ModelError> {
+        let mut out = Vec::new();
+        for (ai, aut) in self.system.automata().iter().enumerate() {
+            for ei in aut.edges_from(state.locations[ai]) {
+                if pred(&aut.edge(ei).sync) && self.edge_enabled(state, ai, ei)? {
+                    out.push(EdgeRef {
+                        automaton: AutomatonId::from_index(ai),
+                        edge: ei,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fires a single (open-view) edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn fire_edge(
+        &self,
+        state: &ConcreteState,
+        edge: EdgeRef,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        if !self.edge_enabled(state, edge.automaton.index(), edge.edge)? {
+            return Ok(None);
+        }
+        self.apply_edges(state, &[(edge.automaton.index(), edge.edge)])
+    }
+
+    /// Open view: the state after the plant receives input `channel?`, or
+    /// `None` if no such edge is enabled (the input is refused).
+    ///
+    /// If several edges are enabled the first declared one is taken; use
+    /// [`Interpreter::edges_for_input`] to detect nondeterminism explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn after_input(
+        &self,
+        state: &ConcreteState,
+        channel: ChannelId,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        match self.edges_for_input(state, channel)?.first() {
+            None => Ok(None),
+            Some(e) => self.apply_edges(state, &[(e.automaton.index(), e.edge)]),
+        }
+    }
+
+    /// Open view: the state after the plant emits output `channel!`, or `None`
+    /// if the model cannot produce that output now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn after_output(
+        &self,
+        state: &ConcreteState,
+        channel: ChannelId,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        match self.edges_for_output(state, channel)?.first() {
+            None => Ok(None),
+            Some(e) => self.apply_edges(state, &[(e.automaton.index(), e.edge)]),
+        }
+    }
+
+    /// Open view: enabled edges receiving `channel?`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn edges_for_input(
+        &self,
+        state: &ConcreteState,
+        channel: ChannelId,
+    ) -> Result<Vec<EdgeRef>, ModelError> {
+        self.enabled_matching(state, |s| *s == Sync::Input(channel))
+    }
+
+    /// Open view: enabled edges emitting `channel!`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn edges_for_output(
+        &self,
+        state: &ConcreteState,
+        channel: ChannelId,
+    ) -> Result<Vec<EdgeRef>, ModelError> {
+        self.enabled_matching(state, |s| *s == Sync::Output(channel))
+    }
+
+    /// Open view: the set of output channels the plant could emit right now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn enabled_outputs(&self, state: &ConcreteState) -> Result<Vec<ChannelId>, ModelError> {
+        let mut out = Vec::new();
+        for (idx, ch) in self.system.channels().iter().enumerate() {
+            if ch.kind() == ChannelKind::Output {
+                let id = ChannelId::from_index(idx);
+                if !self.edges_for_output(state, id)?.is_empty() {
+                    out.push(id);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Open view: the set of input channels the plant would accept right now
+    /// (with a satisfied guard).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn enabled_inputs(&self, state: &ConcreteState) -> Result<Vec<ChannelId>, ModelError> {
+        let mut out = Vec::new();
+        for (idx, ch) in self.system.channels().iter().enumerate() {
+            if ch.kind() == ChannelKind::Input {
+                let id = ChannelId::from_index(idx);
+                if !self.edges_for_input(state, id)?.is_empty() {
+                    out.push(id);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enabled internal (`tau`) edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn enabled_internal(&self, state: &ConcreteState) -> Result<Vec<EdgeRef>, ModelError> {
+        self.enabled_matching(state, |s| *s == Sync::Tau)
+    }
+
+    /// Closed view: fires a binary synchronization on `channel` between an
+    /// enabled output edge and an enabled input edge of two distinct automata.
+    ///
+    /// Returns `None` if no such pair is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn fire_sync(
+        &self,
+        state: &ConcreteState,
+        channel: ChannelId,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        let outputs = self.edges_for_output(state, channel)?;
+        let inputs = self.edges_for_input(state, channel)?;
+        for o in &outputs {
+            for i in &inputs {
+                if o.automaton == i.automaton {
+                    continue;
+                }
+                if let Some(next) = self.apply_edges(
+                    state,
+                    &[
+                        (o.automaton.index(), o.edge),
+                        (i.automaton.index(), i.edge),
+                    ],
+                )? {
+                    return Ok(Some(next));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Closed view: the channels on which a binary synchronization is
+    /// currently possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn enabled_syncs(&self, state: &ConcreteState) -> Result<Vec<ChannelId>, ModelError> {
+        let mut out = Vec::new();
+        for idx in 0..self.system.channels().len() {
+            let id = ChannelId::from_index(idx);
+            let outputs = self.edges_for_output(state, id)?;
+            if outputs.is_empty() {
+                continue;
+            }
+            let inputs = self.edges_for_input(state, id)?;
+            if inputs
+                .iter()
+                .any(|i| outputs.iter().any(|o| o.automaton != i.automaton))
+            {
+                out.push(id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl System {
+    /// Concrete-state counterpart of [`System::is_urgent`].
+    #[must_use]
+    pub fn is_urgent_concrete(&self, state: &ConcreteState) -> bool {
+        self.automata()
+            .iter()
+            .enumerate()
+            .any(|(i, aut)| aut.location(state.locations[i]).urgent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::ClockConstraint;
+    use crate::builder::{AutomatonBuilder, EdgeBuilder, SystemBuilder};
+    use crate::expr::{CmpOp, Expr};
+
+    /// Plant with a bounded response: after `req?` it must emit `resp!` within
+    /// [1, 3] time units; a counter tracks the number of responses.
+    fn responder() -> System {
+        let mut b = SystemBuilder::new("responder");
+        let x = b.clock("x").unwrap();
+        let req = b.input_channel("req").unwrap();
+        let resp = b.output_channel("resp").unwrap();
+        let count = b.int_var("count", 0, 10, 0).unwrap();
+        let mut a = AutomatonBuilder::new("Plant");
+        let idle = a.location("Idle").unwrap();
+        let busy = a.location("Busy").unwrap();
+        a.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        a.add_edge(EdgeBuilder::new(idle, busy).input(req).reset(x));
+        a.add_edge(
+            EdgeBuilder::new(busy, idle)
+                .output(resp)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1))
+                .set(count, Expr::var(count).add(Expr::constant(1))),
+        );
+        b.add_automaton(a.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_and_delay_bounds() {
+        let sys = responder();
+        let interp = Interpreter::new(&sys, 4).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        assert_eq!(s0.clocks, vec![0]);
+        // Idle has no invariant: unbounded delay.
+        assert_eq!(interp.max_delay(&s0).unwrap(), None);
+        let req = sys.channel_by_name("req").unwrap();
+        let s1 = interp.after_input(&s0, req).unwrap().unwrap();
+        // Busy invariant x <= 3 at scale 4: at most 12 ticks.
+        assert_eq!(interp.max_delay(&s1).unwrap(), Some(12));
+        assert!(interp.delayed(&s1, 12).unwrap().is_some());
+        assert!(interp.delayed(&s1, 13).unwrap().is_none());
+    }
+
+    #[test]
+    fn outputs_respect_guards_and_update_variables() {
+        let sys = responder();
+        let interp = Interpreter::new(&sys, 4).unwrap();
+        let req = sys.channel_by_name("req").unwrap();
+        let resp = sys.channel_by_name("resp").unwrap();
+        let s0 = interp.initial_state().unwrap();
+        let s1 = interp.after_input(&s0, req).unwrap().unwrap();
+        // Output not yet enabled (guard x >= 1).
+        assert!(interp.enabled_outputs(&s1).unwrap().is_empty());
+        assert!(interp.after_output(&s1, resp).unwrap().is_none());
+        let s2 = interp.delayed(&s1, 4).unwrap().unwrap();
+        assert_eq!(interp.enabled_outputs(&s2).unwrap(), vec![resp]);
+        let s3 = interp.after_output(&s2, resp).unwrap().unwrap();
+        assert_eq!(s3.vars, vec![1]);
+        // Input refused while busy.
+        assert!(interp.after_input(&s2, req).unwrap().is_none());
+        assert_eq!(interp.enabled_inputs(&s3).unwrap(), vec![req]);
+    }
+
+    #[test]
+    fn negative_delay_and_zero_scale_rejected() {
+        let sys = responder();
+        assert!(Interpreter::new(&sys, 0).is_err());
+        let interp = Interpreter::new(&sys, 2).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        assert!(interp.delayed(&s0, -1).is_err());
+    }
+
+    #[test]
+    fn closed_view_synchronizes_two_automata() {
+        // Plant and a user that immediately requests and waits for responses.
+        let mut b = SystemBuilder::new("closed");
+        let x = b.clock("x").unwrap();
+        let req = b.input_channel("req").unwrap();
+        let resp = b.output_channel("resp").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let busy = plant.location("Busy").unwrap();
+        plant.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 2)]);
+        plant.add_edge(EdgeBuilder::new(idle, busy).input(req).reset(x));
+        plant.add_edge(EdgeBuilder::new(busy, idle).output(resp));
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u0 = user.location("U0").unwrap();
+        let u1 = user.location("U1").unwrap();
+        user.add_edge(EdgeBuilder::new(u0, u1).output(req));
+        user.add_edge(EdgeBuilder::new(u1, u0).input(resp));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+
+        let interp = Interpreter::new(&sys, 2).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        assert_eq!(interp.enabled_syncs(&s0).unwrap(), vec![req]);
+        let s1 = interp.fire_sync(&s0, req).unwrap().unwrap();
+        assert_eq!(interp.enabled_syncs(&s1).unwrap(), vec![resp]);
+        assert!(interp.fire_sync(&s1, req).unwrap().is_none());
+        let s2 = interp.fire_sync(&s1, resp).unwrap().unwrap();
+        assert_eq!(s2.locations, s0.locations);
+    }
+
+    #[test]
+    fn urgent_location_blocks_time() {
+        let mut b = SystemBuilder::new("urgent");
+        let _x = b.clock("x").unwrap();
+        let mut a = AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        a.set_urgent(l0);
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let interp = Interpreter::new(&sys, 2).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        assert_eq!(interp.max_delay(&s0).unwrap(), Some(0));
+        assert!(interp.delayed(&s0, 1).unwrap().is_none());
+        assert!(interp.delayed(&s0, 0).unwrap().is_some());
+    }
+
+    #[test]
+    fn display_shows_locations_clocks_and_vars() {
+        let sys = responder();
+        let interp = Interpreter::new(&sys, 4).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        let text = format!("{}", s0.display(&interp));
+        assert!(text.contains("Plant.Idle"), "{text}");
+        assert!(text.contains("x=0"), "{text}");
+        assert!(text.contains("count=0"), "{text}");
+    }
+
+    #[test]
+    fn blocked_update_yields_none() {
+        // Counter bounded at 0: the resp update immediately overflows.
+        let mut b = SystemBuilder::new("overflow");
+        let x = b.clock("x").unwrap();
+        let resp = b.output_channel("resp").unwrap();
+        let count = b.int_var("count", 0, 0, 0).unwrap();
+        let mut a = AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        a.add_edge(
+            EdgeBuilder::new(l0, l0)
+                .output(resp)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 0))
+                .set(count, Expr::var(count).add(Expr::constant(1))),
+        );
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let interp = Interpreter::new(&sys, 2).unwrap();
+        let s0 = interp.initial_state().unwrap();
+        assert!(interp.after_output(&s0, resp).unwrap().is_none());
+    }
+}

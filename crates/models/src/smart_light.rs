@@ -1,0 +1,270 @@
+//! The Smart Light case study (Figs. 2 and 3 of the paper).
+//!
+//! A touch-controlled light with three brightness levels (`Off`, `Dim`,
+//! `Bright`).  Touch interactions are *controllable* (the user/tester decides
+//! when to touch); the light's reactions are *uncontrollable* outputs with
+//! timing uncertainty: after a touch the light has up to
+//! [`OUTPUT_JITTER`] time units to decide and announce its new level.
+//!
+//! The model keeps the structure of the paper's Fig. 2: intermediate
+//! "output pending" locations `L1`–`L6` with invariant `Tp <= 2`, a
+//! reactivation threshold [`T_IDLE`] and a switching threshold [`T_SW`], and
+//! a user automaton (Fig. 3) with reaction time [`T_REACT`].
+
+use tiga_model::{
+    AutomatonBuilder, ChannelId, ClockConstraint, CmpOp, EdgeBuilder, ModelError, System,
+    SystemBuilder,
+};
+
+/// Idle-time threshold after which a touch reactivates the light (Fig. 2).
+pub const T_IDLE: i64 = 20;
+/// Switching threshold: a second touch within `T_SW` brightens, after `T_SW`
+/// switches off (Fig. 2).
+pub const T_SW: i64 = 4;
+/// Reaction time of the user model (Fig. 3).
+pub const T_REACT: i64 = 1;
+/// Maximum time the light may take to produce its output after a touch.
+pub const OUTPUT_JITTER: i64 = 2;
+
+/// The test purpose of the paper's running example: the tester can always
+/// drive the light to `Bright`.
+pub const PURPOSE_BRIGHT: &str = "control: A<> IUT.Bright";
+/// Reaching the `Dim` level.
+pub const PURPOSE_DIM: &str = "control: A<> IUT.Dim";
+/// Reaching `Bright` while the user model is back in its initial location.
+pub const PURPOSE_BRIGHT_AND_USER_READY: &str = "control: A<> IUT.Bright and User.Init";
+
+/// Channel identifiers of the light, returned by [`build_light_into`] so that
+/// additional automata (the user model, custom environments) can synchronize
+/// with it.
+#[derive(Clone, Copy, Debug)]
+pub struct LightChannels {
+    /// The controllable `touch` input.
+    pub touch: ChannelId,
+    /// The uncontrollable `off!` output.
+    pub off: ChannelId,
+    /// The uncontrollable `dim!` output.
+    pub dim: ChannelId,
+    /// The uncontrollable `bright!` output.
+    pub bright: ChannelId,
+}
+
+/// Declares the light's clocks and channels and adds the Fig. 2 automaton to
+/// the builder.
+///
+/// # Errors
+///
+/// Propagates builder validation errors (duplicate names if called twice on
+/// the same builder).
+pub fn build_light_into(builder: &mut SystemBuilder) -> Result<LightChannels, ModelError> {
+    let x = builder.clock("x")?;
+    let tp = builder.clock("Tp")?;
+    let touch = builder.input_channel("touch")?;
+    let off_ch = builder.output_channel("off")?;
+    let dim_ch = builder.output_channel("dim")?;
+    let bright_ch = builder.output_channel("bright")?;
+
+    let mut light = AutomatonBuilder::new("IUT");
+    let off = light.location("Off")?;
+    let dim = light.location("Dim")?;
+    let bright = light.location("Bright")?;
+    let l1 = light.location("L1")?;
+    let l2 = light.location("L2")?;
+    let l3 = light.location("L3")?;
+    let l4 = light.location("L4")?;
+    let l5 = light.location("L5")?;
+    let l6 = light.location("L6")?;
+    light.set_initial(off);
+
+    // Output-pending locations must resolve within OUTPUT_JITTER time units.
+    for pending in [l1, l2, l3, l4, l5, l6] {
+        light.set_invariant(
+            pending,
+            vec![ClockConstraint::new(tp, CmpOp::Le, OUTPUT_JITTER)],
+        );
+    }
+
+    // Off: a quick touch starts a dim cycle; a touch after a long idle period
+    // reactivates with an uncontrollable choice between dim and bright.
+    light.add_edge(
+        EdgeBuilder::new(off, l1)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Lt, T_IDLE))
+            .reset(x)
+            .reset(tp),
+    );
+    light.add_edge(
+        EdgeBuilder::new(off, l5)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Ge, T_IDLE))
+            .reset(x)
+            .reset(tp),
+    );
+    // L1: dim is the only possible reaction; touching again escalates to a
+    // bright cycle (L6).
+    light.add_edge(EdgeBuilder::new(l1, dim).output(dim_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l1, l6).input(touch).reset(x));
+    // L5: uncontrollable choice between bright and dim (the paper's "output
+    // uncontrollability"); another touch escalates to L6.
+    light.add_edge(EdgeBuilder::new(l5, bright).output(bright_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l5, dim).output(dim_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l5, l6).input(touch).reset(x));
+    // L6: bright is forced (within the jitter window).
+    light.add_edge(EdgeBuilder::new(l6, bright).output(bright_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l6, l6).input(touch).reset(x));
+    // Dim: a quick second touch brightens (via L6), a slow one switches off
+    // (via L4).
+    light.add_edge(
+        EdgeBuilder::new(dim, l6)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Lt, T_SW))
+            .reset(x)
+            .reset(tp),
+    );
+    light.add_edge(
+        EdgeBuilder::new(dim, l4)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Ge, T_SW))
+            .reset(x)
+            .reset(tp),
+    );
+    light.add_edge(EdgeBuilder::new(l4, off).output(off_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l4, l4).input(touch).reset(x));
+    // Bright: a quick touch dims (via L2), a slow one switches off (via L3).
+    light.add_edge(
+        EdgeBuilder::new(bright, l2)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Lt, T_SW))
+            .reset(x)
+            .reset(tp),
+    );
+    light.add_edge(
+        EdgeBuilder::new(bright, l3)
+            .input(touch)
+            .guard_clock(ClockConstraint::new(x, CmpOp::Ge, T_SW))
+            .reset(x)
+            .reset(tp),
+    );
+    light.add_edge(EdgeBuilder::new(l2, dim).output(dim_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l2, l2).input(touch).reset(x));
+    light.add_edge(EdgeBuilder::new(l3, off).output(off_ch).reset(x));
+    light.add_edge(EdgeBuilder::new(l3, l3).input(touch).reset(x));
+
+    builder.add_automaton(light.build()?)?;
+    Ok(LightChannels {
+        touch,
+        off: off_ch,
+        dim: dim_ch,
+        bright: bright_ch,
+    })
+}
+
+/// Adds the Fig. 3 user automaton to a builder that already contains the
+/// light (see [`build_light_into`]).
+///
+/// # Errors
+///
+/// Propagates builder validation errors.
+pub fn build_user_into(
+    builder: &mut SystemBuilder,
+    channels: LightChannels,
+) -> Result<(), ModelError> {
+    let z = builder.clock("z")?;
+    let mut user = AutomatonBuilder::new("User");
+    let init = user.location("Init")?;
+    let work = user.location("Work")?;
+    user.set_initial(init);
+    // The user may touch whenever at least T_REACT has elapsed since its last
+    // interaction.
+    user.add_edge(
+        EdgeBuilder::new(init, work)
+            .output(channels.touch)
+            .guard_clock(ClockConstraint::new(z, CmpOp::Ge, T_REACT))
+            .reset(z),
+    );
+    user.add_edge(
+        EdgeBuilder::new(work, work)
+            .output(channels.touch)
+            .guard_clock(ClockConstraint::new(z, CmpOp::Ge, T_REACT))
+            .reset(z),
+    );
+    // The user observes every light output (input-enabled environment).
+    for ch in [channels.off, channels.dim, channels.bright] {
+        user.add_edge(EdgeBuilder::new(work, init).input(ch).reset(z));
+        user.add_edge(EdgeBuilder::new(init, init).input(ch).reset(z));
+    }
+    builder.add_automaton(user.build()?)?;
+    Ok(())
+}
+
+/// The plant model alone (the light of Fig. 2), used as the tioco
+/// specification and as the basis for simulated implementations.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates builder validation.
+pub fn plant() -> Result<System, ModelError> {
+    let mut builder = SystemBuilder::new("smart-light-plant");
+    build_light_into(&mut builder)?;
+    builder.build()
+}
+
+/// The closed game product: light (Fig. 2) composed with the user model
+/// (Fig. 3).  Strategies are synthesized on this system.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` propagates builder validation.
+pub fn product() -> Result<System, ModelError> {
+    let mut builder = SystemBuilder::new("smart-light");
+    let channels = build_light_into(&mut builder)?;
+    build_user_into(&mut builder, channels)?;
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_solver::{solve_reachability, SolveOptions};
+    use tiga_tctl::TestPurpose;
+
+    #[test]
+    fn models_build_and_have_expected_structure() {
+        let plant = plant().unwrap();
+        assert_eq!(plant.automata().len(), 1);
+        assert_eq!(plant.clocks().len(), 2);
+        assert_eq!(plant.channels().len(), 4);
+        // Fig. 2 has the three levels plus six intermediate locations.
+        assert_eq!(plant.automata()[0].locations().len(), 9);
+        let product = product().unwrap();
+        assert_eq!(product.automata().len(), 2);
+        assert_eq!(product.clocks().len(), 3);
+        assert!(product.location_by_qualified_name("IUT.Bright").is_some());
+        assert!(product.location_by_qualified_name("User.Work").is_some());
+    }
+
+    #[test]
+    fn bright_purpose_is_enforceable() {
+        let product = product().unwrap();
+        let tp = TestPurpose::parse(PURPOSE_BRIGHT, &product).unwrap();
+        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial, "A<> IUT.Bright must be winnable");
+        assert!(solution.strategy.is_some());
+    }
+
+    #[test]
+    fn dim_purpose_is_enforceable() {
+        let product = product().unwrap();
+        let tp = TestPurpose::parse(PURPOSE_DIM, &product).unwrap();
+        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial, "A<> IUT.Dim must be winnable");
+    }
+
+    #[test]
+    fn combined_purpose_is_enforceable() {
+        let product = product().unwrap();
+        let tp = TestPurpose::parse(PURPOSE_BRIGHT_AND_USER_READY, &product).unwrap();
+        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+    }
+}

@@ -1,0 +1,72 @@
+//! # tiga-solver — symbolic timed-game solving and strategy synthesis
+//!
+//! This crate is the reproduction's stand-in for UPPAAL-TIGA: given a
+//! [`tiga_model::System`] (a network of timed I/O game automata) and a
+//! [`tiga_tctl::TestPurpose`] (`control: A<> φ`), it computes the winning
+//! states of the corresponding timed reachability game with zone federations
+//! and synthesizes a state-based winning [`Strategy`] — the object the paper
+//! uses as a *test case*.
+//!
+//! The pipeline is:
+//!
+//! 1. forward exploration of the discrete game graph ([`GameGraph`]),
+//! 2. backward fixpoint over zone federations using the controllable
+//!    predecessor with safe time-predecessors, uncontrollable escapes and
+//!    invariant-forced moves ([`solve_reachability`]),
+//! 3. rank-annotated strategy extraction ([`Strategy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use tiga_model::{AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, SystemBuilder};
+//! use tiga_solver::{solve_reachability, SolveOptions};
+//! use tiga_tctl::TestPurpose;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A plant that must reply within 3 time units of being kicked.
+//! let mut b = SystemBuilder::new("demo");
+//! let x = b.clock("x")?;
+//! let kick = b.input_channel("kick")?;
+//! let reply = b.output_channel("reply")?;
+//! let mut plant = AutomatonBuilder::new("Plant");
+//! let idle = plant.location("Idle")?;
+//! let busy = plant.location("Busy")?;
+//! let done = plant.location("Done")?;
+//! plant.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+//! plant.add_edge(EdgeBuilder::new(idle, busy).input(kick).reset(x));
+//! plant.add_edge(
+//!     EdgeBuilder::new(busy, done)
+//!         .output(reply)
+//!         .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+//! );
+//! b.add_automaton(plant.build()?)?;
+//! let mut user = AutomatonBuilder::new("User");
+//! let u = user.location("U")?;
+//! user.add_edge(EdgeBuilder::new(u, u).output(kick));
+//! user.add_edge(EdgeBuilder::new(u, u).input(reply));
+//! b.add_automaton(user.build()?)?;
+//! let system = b.build()?;
+//!
+//! let purpose = TestPurpose::parse("control: A<> Plant.Done", &system)?;
+//! let solution = solve_reachability(&system, &purpose, &SolveOptions::default())?;
+//! assert!(solution.winning_from_initial);
+//! let strategy = solution.strategy.expect("a winning strategy is synthesized");
+//! println!("{}", strategy.display(&system)); // Fig. 5 style listing
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod stats;
+mod strategy;
+mod winning;
+
+pub use error::SolverError;
+pub use graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
+pub use stats::{SolverStats, TimedStats};
+pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
+pub use winning::{solve_reachability, solve_reachability_worklist, GameSolution, SolveOptions};

@@ -1,0 +1,80 @@
+//! Solver statistics, reported by the benchmark harness that regenerates
+//! Table 1 of the paper.
+
+use std::time::Duration;
+
+/// Statistics collected while solving a timed game.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of distinct discrete states explored forward.
+    pub discrete_states: usize,
+    /// Number of joint edges stored in the explored game graph.
+    pub graph_edges: usize,
+    /// Number of fixpoint rounds (Jacobi solver) or worklist pops (on-the-fly
+    /// solver) until convergence.
+    pub iterations: usize,
+    /// Total number of DBMs in the final winning federations.
+    pub winning_zones: usize,
+    /// Largest number of DBMs held by a single winning federation.
+    pub peak_federation_size: usize,
+    /// Total number of DBMs in the forward-reachability federations.
+    pub reach_zones: usize,
+}
+
+impl SolverStats {
+    /// A rough estimate of the memory consumed by the symbolic representation,
+    /// in bytes (DBM entries only, the dominant factor).
+    ///
+    /// Reported alongside the wall-clock time when regenerating Table 1; the
+    /// paper reports resident-set sizes of the 2008 UPPAAL-TIGA prototype, so
+    /// only growth trends are comparable.
+    #[must_use]
+    pub fn estimated_zone_bytes(&self, dim: usize) -> usize {
+        (self.winning_zones + self.reach_zones) * dim * dim * std::mem::size_of::<i32>()
+    }
+}
+
+/// Statistics plus wall-clock timing for one solving run.
+#[derive(Clone, Debug, Default)]
+pub struct TimedStats {
+    /// Symbolic statistics.
+    pub stats: SolverStats,
+    /// Wall-clock time spent building the graph.
+    pub exploration_time: Duration,
+    /// Wall-clock time spent in the backward fixpoint.
+    pub fixpoint_time: Duration,
+}
+
+impl TimedStats {
+    /// Total solving time.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.exploration_time + self.fixpoint_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_estimate_scales_with_zones_and_dimension() {
+        let stats = SolverStats {
+            winning_zones: 10,
+            reach_zones: 5,
+            ..SolverStats::default()
+        };
+        assert_eq!(stats.estimated_zone_bytes(4), 15 * 16 * 4);
+        assert!(stats.estimated_zone_bytes(8) > stats.estimated_zone_bytes(4));
+    }
+
+    #[test]
+    fn total_time_adds_phases() {
+        let t = TimedStats {
+            exploration_time: Duration::from_millis(10),
+            fixpoint_time: Duration::from_millis(5),
+            ..TimedStats::default()
+        };
+        assert_eq!(t.total_time(), Duration::from_millis(15));
+    }
+}

@@ -1,0 +1,417 @@
+//! State-based winning strategies.
+//!
+//! A strategy maps (discrete state, clock valuation) pairs to a decision:
+//! either *take* a specific controllable joint edge now, or *wait* (the `λ`
+//! move of the paper).  Strategies are extracted from the rank-annotated
+//! winning sets computed by the backward fixpoint and are guaranteed to make
+//! progress toward the goal: every prescribed action leads into a
+//! strictly-lower-rank part of the winning set, and every prescribed wait is
+//! justified by an eventual action, a rank decrease by pure delay, or an
+//! opponent move forced by an invariant.
+
+use std::collections::HashMap;
+use std::fmt;
+use tiga_dbm::Dbm;
+use tiga_model::{DiscreteState, JointEdge, System};
+
+/// What the tester should do in a region of a discrete state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Immediately take this controllable joint edge (send the input).
+    Take(JointEdge),
+    /// Wait (`λ`): let time pass or let the plant produce an output.
+    Wait,
+}
+
+/// One rule of a state-based strategy: inside `zone`, the given decision is
+/// sound and leads toward the goal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrategyRule {
+    /// Fixpoint round at which this region was justified (lower is closer to
+    /// the goal).
+    pub rank: u32,
+    /// Clock zone in which the rule applies.
+    pub zone: Dbm,
+    /// The prescribed decision.
+    pub decision: Decision,
+}
+
+/// The decision returned by [`Strategy::decide`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StrategyDecision<'a> {
+    /// Send the input corresponding to this controllable joint edge now.
+    Take(&'a JointEdge),
+    /// Wait; the current state's rank is reported for diagnostics.
+    Wait {
+        /// Rank of the waiting region (distance-to-goal measure).
+        rank: u32,
+    },
+}
+
+/// A state-based winning strategy (the paper's Definition 6, restricted to
+/// the winning states).
+#[derive(Clone, Debug, Default)]
+pub struct Strategy {
+    dim: usize,
+    entries: HashMap<DiscreteState, Vec<StrategyRule>>,
+}
+
+impl Strategy {
+    /// Creates an empty strategy over clock dimension `dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Strategy {
+            dim,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// DBM dimension of the rule zones.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds a rule for a discrete state.
+    pub fn add_rule(&mut self, discrete: DiscreteState, rule: StrategyRule) {
+        if rule.zone.is_empty() {
+            return;
+        }
+        self.entries.entry(discrete).or_default().push(rule);
+    }
+
+    /// Number of discrete states with at least one rule.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// The rules attached to a discrete state, if any.
+    #[must_use]
+    pub fn rules_for(&self, discrete: &DiscreteState) -> Option<&[StrategyRule]> {
+        self.entries.get(discrete).map(Vec::as_slice)
+    }
+
+    /// Iterates over all (state, rules) entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&DiscreteState, &[StrategyRule])> {
+        self.entries.iter().map(|(d, r)| (d, r.as_slice()))
+    }
+
+    /// The rank of a concrete valuation: the smallest rank of a *wait/region*
+    /// rule containing it, i.e. its distance-to-goal measure.
+    ///
+    /// Returns `None` if the valuation is not covered (not a winning state).
+    #[must_use]
+    pub fn rank_of(&self, discrete: &DiscreteState, ticks: &[i64], scale: i64) -> Option<u32> {
+        let rules = self.entries.get(discrete)?;
+        let vals = dbm_point(ticks);
+        rules
+            .iter()
+            .filter(|r| matches!(r.decision, Decision::Wait) && r.zone.contains_at(&vals, scale))
+            .map(|r| r.rank)
+            .min()
+    }
+
+    /// Decides what the tester should do at a concrete state.
+    ///
+    /// Returns `None` if the state is not covered by the strategy (e.g. the
+    /// run has left the winning region, which cannot happen against a
+    /// conformant implementation).
+    #[must_use]
+    pub fn decide(
+        &self,
+        discrete: &DiscreteState,
+        ticks: &[i64],
+        scale: i64,
+    ) -> Option<StrategyDecision<'_>> {
+        let rules = self.entries.get(discrete)?;
+        let vals = dbm_point(ticks);
+        let rank = self.rank_of(discrete, ticks, scale)?;
+        // Rank 0 regions are goal states; nothing to do (the executor detects
+        // the goal through the test purpose), report Wait.
+        let mut best: Option<&StrategyRule> = None;
+        for rule in rules {
+            if let Decision::Take(_) = rule.decision {
+                if rule.rank <= rank && rule.zone.contains_at(&vals, scale) {
+                    if best.is_none_or(|b| rule.rank < b.rank) {
+                        best = Some(rule);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(rule) => match &rule.decision {
+                Decision::Take(je) => Some(StrategyDecision::Take(je)),
+                Decision::Wait => unreachable!("best only holds Take rules"),
+            },
+            None => Some(StrategyDecision::Wait { rank }),
+        }
+    }
+
+    /// The earliest additional delay (in ticks) after which a `Take` rule
+    /// becomes applicable by pure delay, if any.
+    ///
+    /// The executor uses this as a wake-up hint while waiting; it re-evaluates
+    /// [`Strategy::decide`] at that moment.
+    #[must_use]
+    pub fn next_take_delay(
+        &self,
+        discrete: &DiscreteState,
+        ticks: &[i64],
+        scale: i64,
+    ) -> Option<i64> {
+        let rules = self.entries.get(discrete)?;
+        let vals = dbm_point(ticks);
+        let mut best: Option<i64> = None;
+        for rule in rules {
+            if !matches!(rule.decision, Decision::Take(_)) {
+                continue;
+            }
+            if let Some(window) = rule.zone.delay_window_at(&vals, scale) {
+                if let Some(delay) = window.pick() {
+                    if best.is_none_or(|b| delay < b) {
+                        best = Some(delay);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Renders the strategy in the style of the paper's Fig. 5.
+    #[must_use]
+    pub fn display<'a>(&'a self, system: &'a System) -> DisplayStrategy<'a> {
+        DisplayStrategy { strategy: self, system }
+    }
+}
+
+/// Converts tick-valued clocks to the DBM point layout (reference clock 0
+/// prepended).
+fn dbm_point(ticks: &[i64]) -> Vec<i64> {
+    let mut vals = Vec::with_capacity(ticks.len() + 1);
+    vals.push(0);
+    vals.extend_from_slice(ticks);
+    vals
+}
+
+/// Helper returned by [`Strategy::display`]; prints a Fig.-5-style listing.
+pub struct DisplayStrategy<'a> {
+    strategy: &'a Strategy,
+    system: &'a System,
+}
+
+impl fmt::Display for DisplayStrategy<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.system.clock_names();
+        // Sort states for a stable, readable listing.
+        let mut states: Vec<&DiscreteState> = self.strategy.entries.keys().collect();
+        states.sort_by_key(|d| format!("{}", d.display(self.system)));
+        for discrete in states {
+            writeln!(f, "State: ( {} )", discrete.display(self.system))?;
+            let mut rules = self.strategy.entries[discrete].clone();
+            rules.sort_by_key(|r| (r.rank, matches!(r.decision, Decision::Wait)));
+            for rule in &rules {
+                match &rule.decision {
+                    Decision::Wait => writeln!(
+                        f,
+                        "  While you are in ({}), wait.",
+                        rule.zone.display_with(&names)
+                    )?,
+                    Decision::Take(je) => writeln!(
+                        f,
+                        "  When you are in ({}), take transition {}.",
+                        rule.zone.display_with(&names),
+                        je.label(self.system)
+                    )?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_dbm::Bound;
+    use tiga_model::{AutomatonBuilder, EdgeBuilder, SystemBuilder};
+
+    fn tiny_system() -> (System, DiscreteState, JointEdge) {
+        let mut b = SystemBuilder::new("t");
+        let _x = b.clock("x").unwrap();
+        let go = b.input_channel("go").unwrap();
+        let mut plant = AutomatonBuilder::new("P");
+        let l0 = plant.location("L0").unwrap();
+        let l1 = plant.location("L1").unwrap();
+        plant.add_edge(EdgeBuilder::new(l0, l1).input(go));
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("U");
+        let u0 = user.location("U0").unwrap();
+        user.add_edge(EdgeBuilder::new(u0, u0).output(go));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let d = sys.initial_discrete();
+        let je = sys.enabled_joint_edges(&d).unwrap().remove(0);
+        (sys, d, je)
+    }
+
+    fn zone_between(lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(2);
+        z.constrain(0, 1, Bound::le(-lo));
+        z.constrain(1, 0, Bound::le(hi));
+        z
+    }
+
+    #[test]
+    fn decide_prefers_low_rank_take_within_rank() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        // Whole space is a rank-2 wait region; action applies for x in [2, 5]
+        // at rank 2, and a closer action for x in [4, 5] at rank 1.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 2,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 2,
+                zone: zone_between(2, 5),
+                decision: Decision::Take(je.clone()),
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(4, 5),
+                decision: Decision::Take(je.clone()),
+            },
+        );
+        // x = 0: no take applicable yet -> wait at rank 2.
+        assert_eq!(
+            strat.decide(&d, &[0], 4),
+            Some(StrategyDecision::Wait { rank: 2 })
+        );
+        // x = 3: the rank-2 take applies.
+        assert!(matches!(strat.decide(&d, &[12], 4), Some(StrategyDecision::Take(_))));
+        // x = 4.5: both takes apply; the lower-rank one is still a Take.
+        assert!(matches!(strat.decide(&d, &[18], 4), Some(StrategyDecision::Take(_))));
+        // Rank query follows the wait regions.
+        assert_eq!(strat.rank_of(&d, &[0], 4), Some(2));
+        // Unknown discrete state is uncovered.
+        let mut other = d.clone();
+        other.locations[0] = tiga_model::LocationId::from_index(1);
+        assert_eq!(strat.decide(&other, &[0], 4), None);
+    }
+
+    #[test]
+    fn higher_rank_take_is_not_used_from_lower_rank_region() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        // Rank-1 wait region covering everything...
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        // ...and a rank-3 action: taking it would move *away* from the goal.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 3,
+                zone: Dbm::universe(2),
+                decision: Decision::Take(je),
+            },
+        );
+        assert_eq!(
+            strat.decide(&d, &[0], 4),
+            Some(StrategyDecision::Wait { rank: 1 })
+        );
+    }
+
+    #[test]
+    fn next_take_delay_finds_entry_point() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(3, 6),
+                decision: Decision::Take(je),
+            },
+        );
+        // From x = 1 at scale 4, the action region starts after 8 ticks.
+        assert_eq!(strat.next_take_delay(&d, &[4], 4), Some(8));
+        // From x = 7 the region is behind: no entry by delay.
+        assert_eq!(strat.next_take_delay(&d, &[28], 4), None);
+    }
+
+    #[test]
+    fn display_lists_rules_in_fig5_style() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(0, 2),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d,
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(2, 4),
+                decision: Decision::Take(je),
+            },
+        );
+        let text = format!("{}", strat.display(&sys));
+        assert!(text.contains("State: ( P.L0, U.U0 )"), "{text}");
+        assert!(text.contains("wait."), "{text}");
+        assert!(text.contains("take transition go?"), "{text}");
+        assert_eq!(strat.state_count(), 1);
+        assert_eq!(strat.rule_count(), 2);
+    }
+
+    #[test]
+    fn empty_zones_are_not_stored() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        let mut empty = Dbm::universe(2);
+        empty.constrain(1, 0, Bound::lt(0));
+        strat.add_rule(
+            d,
+            StrategyRule {
+                rank: 1,
+                zone: empty,
+                decision: Decision::Take(je),
+            },
+        );
+        assert_eq!(strat.rule_count(), 0);
+        assert_eq!(strat.state_count(), 0);
+    }
+}

@@ -1,0 +1,703 @@
+//! Backward fixpoint computation of the winning states of a timed
+//! reachability game, and strategy extraction.
+//!
+//! The winning set is the least fixpoint of
+//!
+//! ```text
+//! W = Goal ∪ π(W)
+//! π(W)(q) = Pred_t( W(q) ∪ cPred(W)(q) ∪ Forced(W)(q),  uPred(¬W)(q) ) ∩ Inv(q)
+//! ```
+//!
+//! where
+//!
+//! * `cPred(W)(q)` are the valuations from which some **controllable** joint
+//!   edge leads into `W`,
+//! * `uPred(¬W)(q)` are the valuations from which some **uncontrollable**
+//!   joint edge leads outside `W` (the set the delay trajectory must avoid),
+//! * `Forced(W)(q)` are the valuations at the upper boundary of the invariant
+//!   where at least one uncontrollable edge is enabled and *every* enabled
+//!   uncontrollable edge leads into `W`: time cannot progress, so the plant is
+//!   forced to move into `W` (this is what lets the tester win by waiting for
+//!   outputs that the invariant forces, as in the Smart Light example), and
+//! * `Pred_t` is the safe time-predecessor operator
+//!   ([`tiga_dbm::Federation::pred_t`]).
+//!
+//! Two solvers are provided: a Jacobi (round-based) solver that also extracts
+//! a rank-annotated [`Strategy`], and a worklist solver used as a faster
+//! decision procedure and as an ablation point in the benchmarks.
+
+use crate::error::SolverError;
+use crate::graph::{ExploreOptions, GameGraph, GameNode, NodeId};
+use crate::stats::{SolverStats, TimedStats};
+use crate::strategy::{Decision, Strategy, StrategyRule};
+use std::time::Instant;
+use tiga_dbm::{Bound, Dbm, Federation};
+use tiga_model::{DiscreteState, JointEdge, System};
+use tiga_tctl::{PathQuantifier, TestPurpose};
+
+/// Options controlling the game solver.
+#[derive(Clone, Debug)]
+pub struct SolveOptions {
+    /// Forward-exploration options.
+    pub explore: ExploreOptions,
+    /// Whether to extract a state-based strategy (Jacobi solver only).
+    pub extract_strategy: bool,
+    /// Safety valve on the number of fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            explore: ExploreOptions::default(),
+            extract_strategy: true,
+            max_rounds: 10_000,
+        }
+    }
+}
+
+/// The result of solving a timed game.
+#[derive(Clone, Debug)]
+pub struct GameSolution {
+    /// Whether the initial state (all clocks zero) is winning.
+    pub winning_from_initial: bool,
+    /// The explored game graph.
+    pub graph: GameGraph,
+    /// Winning federations, one per graph node.
+    pub winning: Vec<Federation>,
+    /// The synthesized strategy (when requested and the game is winnable).
+    pub strategy: Option<Strategy>,
+    /// Statistics and timing.
+    pub timed: TimedStats,
+}
+
+impl GameSolution {
+    /// Whether a concrete state (discrete part + clock ticks) is winning.
+    ///
+    /// States outside the explored graph are reported as not winning.
+    #[must_use]
+    pub fn is_winning_state(&self, discrete: &DiscreteState, ticks: &[i64], scale: i64) -> bool {
+        let Some(node) = self.graph.node_of(discrete) else {
+            return false;
+        };
+        let mut vals = Vec::with_capacity(ticks.len() + 1);
+        vals.push(0);
+        vals.extend_from_slice(ticks);
+        self.winning[node].contains_at(&vals, scale)
+    }
+
+    /// The winning federation of a discrete state, if it was explored.
+    #[must_use]
+    pub fn winning_federation(&self, discrete: &DiscreteState) -> Option<&Federation> {
+        self.graph.node_of(discrete).map(|id| &self.winning[id])
+    }
+
+    /// Statistics convenience accessor.
+    #[must_use]
+    pub fn stats(&self) -> &SolverStats {
+        &self.timed.stats
+    }
+}
+
+/// Solves a reachability game (`control: A<> φ`) and optionally extracts a
+/// winning strategy.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Unsupported`] for safety purposes, or propagates
+/// exploration and evaluation errors.
+pub fn solve_reachability(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &SolveOptions,
+) -> Result<GameSolution, SolverError> {
+    if purpose.quantifier != PathQuantifier::Reachability {
+        return Err(SolverError::Unsupported(
+            "solve_reachability only handles `control: A<>` purposes".to_string(),
+        ));
+    }
+    let explore_start = Instant::now();
+    let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
+    let exploration_time = explore_start.elapsed();
+
+    let fixpoint_start = Instant::now();
+    let mut engine = Engine::new(system, &graph);
+    let outcome = engine.run_jacobi(options)?;
+    let fixpoint_time = fixpoint_start.elapsed();
+
+    let winning_from_initial = initial_is_winning(system, &graph, &outcome.winning);
+    let strategy = if options.extract_strategy && winning_from_initial {
+        Some(outcome.strategy)
+    } else {
+        None
+    };
+
+    let stats = SolverStats {
+        discrete_states: graph.len(),
+        graph_edges: graph.edge_count(),
+        iterations: outcome.iterations,
+        winning_zones: outcome.winning.iter().map(Federation::len).sum(),
+        peak_federation_size: outcome.winning.iter().map(Federation::len).max().unwrap_or(0),
+        reach_zones: graph.reach_zone_count(),
+    };
+    Ok(GameSolution {
+        winning_from_initial,
+        graph,
+        winning: outcome.winning,
+        strategy,
+        timed: TimedStats {
+            stats,
+            exploration_time,
+            fixpoint_time,
+        },
+    })
+}
+
+/// Solves a reachability game with a worklist (chaotic-iteration) engine.
+///
+/// This variant does not extract a strategy; it is used as a decision
+/// procedure and as the "on-the-fly propagation" ablation point in the
+/// benchmark harness.
+///
+/// # Errors
+///
+/// Same as [`solve_reachability`].
+pub fn solve_reachability_worklist(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &SolveOptions,
+) -> Result<GameSolution, SolverError> {
+    if purpose.quantifier != PathQuantifier::Reachability {
+        return Err(SolverError::Unsupported(
+            "solve_reachability_worklist only handles `control: A<>` purposes".to_string(),
+        ));
+    }
+    let explore_start = Instant::now();
+    let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
+    let exploration_time = explore_start.elapsed();
+
+    let fixpoint_start = Instant::now();
+    let mut engine = Engine::new(system, &graph);
+    let (winning, iterations) = engine.run_worklist(options)?;
+    let fixpoint_time = fixpoint_start.elapsed();
+
+    let winning_from_initial = initial_is_winning(system, &graph, &winning);
+    let stats = SolverStats {
+        discrete_states: graph.len(),
+        graph_edges: graph.edge_count(),
+        iterations,
+        winning_zones: winning.iter().map(Federation::len).sum(),
+        peak_federation_size: winning.iter().map(Federation::len).max().unwrap_or(0),
+        reach_zones: graph.reach_zone_count(),
+    };
+    Ok(GameSolution {
+        winning_from_initial,
+        graph,
+        winning,
+        strategy: None,
+        timed: TimedStats {
+            stats,
+            exploration_time,
+            fixpoint_time,
+        },
+    })
+}
+
+fn initial_is_winning(system: &System, graph: &GameGraph, winning: &[Federation]) -> bool {
+    let origin = vec![0i64; system.dim()];
+    winning[graph.initial()].contains_scaled(&origin)
+}
+
+/// Shared machinery of the two fixpoint engines.
+struct Engine<'a> {
+    system: &'a System,
+    graph: &'a GameGraph,
+    /// Invariant-boundary federation per node (states where time cannot
+    /// progress further).
+    boundary: Vec<Federation>,
+}
+
+/// Result of the Jacobi engine.
+struct JacobiOutcome {
+    winning: Vec<Federation>,
+    strategy: Strategy,
+    iterations: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(system: &'a System, graph: &'a GameGraph) -> Self {
+        let boundary = graph
+            .nodes()
+            .iter()
+            .map(|n| invariant_boundary(&n.invariant, n.urgent))
+            .collect();
+        Engine {
+            system,
+            graph,
+            boundary,
+        }
+    }
+
+    fn initial_winning_sets(&self) -> Vec<Federation> {
+        self.graph
+            .nodes()
+            .iter()
+            .map(|n| {
+                if n.is_goal {
+                    Federation::from_zone(n.invariant.clone())
+                } else {
+                    Federation::empty(self.system.dim())
+                }
+            })
+            .collect()
+    }
+
+    /// Predecessor of a federation through a joint edge.
+    fn fed_pred(
+        &self,
+        source: &DiscreteState,
+        joint: &JointEdge,
+        target: &Federation,
+    ) -> Result<Federation, SolverError> {
+        let mut out = Federation::empty(self.system.dim());
+        for zone in target {
+            out.add_zone(self.system.joint_pred_zone(source, joint, zone)?);
+        }
+        Ok(out)
+    }
+
+    /// Computes the single-node update `Goal(q) ∪ π(W)(q)` from the winning
+    /// sets in `win`, together with the controllable action regions used for
+    /// strategy extraction.
+    fn node_update(
+        &self,
+        node_id: NodeId,
+        node: &GameNode,
+        win: &[Federation],
+    ) -> Result<(Federation, Vec<(usize, Federation)>), SolverError> {
+        let dim = self.system.dim();
+        if node.is_goal {
+            return Ok((win[node_id].clone(), Vec::new()));
+        }
+        let mut cpred = Federation::empty(dim);
+        let mut action_regions: Vec<(usize, Federation)> = Vec::new();
+        let mut bad = Federation::empty(dim);
+        // (pred of winning target, guard zone) for each uncontrollable edge,
+        // used by the Forced term.
+        let mut unc: Vec<(Federation, Dbm)> = Vec::new();
+        for (edge_idx, edge) in node.edges.iter().enumerate() {
+            let target_win = &win[edge.target];
+            let pred_win = self.fed_pred(&node.discrete, &edge.joint, target_win)?;
+            if edge.controllable {
+                if !pred_win.is_empty() {
+                    cpred.union_with(&pred_win);
+                    action_regions.push((edge_idx, pred_win));
+                }
+            } else {
+                // Complement of the target winning set within its invariant.
+                let target_inv =
+                    Federation::from_zone(self.graph.node(edge.target).invariant.clone());
+                let escape = target_inv.difference(target_win);
+                if !escape.is_empty() {
+                    bad.union_with(&self.fed_pred(&node.discrete, &edge.joint, &escape)?);
+                }
+                let mut guard = self
+                    .system
+                    .joint_guard_zone(&node.discrete, &edge.joint)?;
+                guard.intersect(&node.invariant);
+                unc.push((pred_win, guard));
+            }
+        }
+        // Forced moves at the invariant boundary.
+        let mut forced = Federation::empty(dim);
+        if !self.boundary[node_id].is_empty() && !unc.is_empty() {
+            let mut some_enabled_good = Federation::empty(dim);
+            let mut all_good = Federation::from_zone(node.invariant.clone());
+            for (pred_win, guard) in &unc {
+                some_enabled_good.union_with(pred_win);
+                let mut not_guard = Federation::from_zone(node.invariant.clone());
+                not_guard.subtract_zone(guard);
+                all_good = all_good.intersection(&pred_win.union(&not_guard));
+            }
+            forced = self.boundary[node_id]
+                .intersection(&some_enabled_good)
+                .intersection(&all_good);
+        }
+        let mut targets = win[node_id].clone();
+        targets.union_with(&cpred);
+        targets.union_with(&forced);
+        if targets.is_empty() {
+            return Ok((win[node_id].clone(), action_regions));
+        }
+        let mut new_win = targets.pred_t(&bad);
+        new_win.intersect_zone(&node.invariant);
+        new_win.union_with(&win[node_id]);
+        new_win.reduce_exact();
+        Ok((new_win, action_regions))
+    }
+
+    /// Jacobi iteration: every round recomputes all nodes from the previous
+    /// round's winning sets, which yields well-founded ranks for strategy
+    /// extraction.
+    fn run_jacobi(&mut self, options: &SolveOptions) -> Result<JacobiOutcome, SolverError> {
+        let mut win = self.initial_winning_sets();
+        let mut strategy = Strategy::new(self.system.dim());
+        // Goal regions are rank-0 wait regions (the executor detects the goal
+        // via the purpose; these rules make `rank_of` total on winning states).
+        for (id, node) in self.graph.nodes().iter().enumerate() {
+            if node.is_goal {
+                for zone in &win[id] {
+                    strategy.add_rule(
+                        node.discrete.clone(),
+                        StrategyRule {
+                            rank: 0,
+                            zone: zone.clone(),
+                            decision: Decision::Wait,
+                        },
+                    );
+                }
+            }
+        }
+        let mut round: u32 = 0;
+        loop {
+            round += 1;
+            if round as usize > options.max_rounds {
+                break;
+            }
+            let prev = win.clone();
+            let mut changed = false;
+            for (node_id, node) in self.graph.nodes().iter().enumerate() {
+                if node.is_goal {
+                    continue;
+                }
+                let (new_win, action_regions) = self.node_update(node_id, node, &prev)?;
+                if !prev[node_id].includes(&new_win) {
+                    changed = true;
+                    let delta = new_win.difference(&prev[node_id]);
+                    if options.extract_strategy {
+                        for zone in &delta {
+                            strategy.add_rule(
+                                node.discrete.clone(),
+                                StrategyRule {
+                                    rank: round,
+                                    zone: zone.clone(),
+                                    decision: Decision::Wait,
+                                },
+                            );
+                        }
+                        for (edge_idx, region) in &action_regions {
+                            let joint = node.edges[*edge_idx].joint.clone();
+                            for zone in region {
+                                strategy.add_rule(
+                                    node.discrete.clone(),
+                                    StrategyRule {
+                                        rank: round,
+                                        zone: zone.clone(),
+                                        decision: Decision::Take(joint.clone()),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    win[node_id] = new_win;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(JacobiOutcome {
+            winning: win,
+            strategy,
+            iterations: round as usize,
+        })
+    }
+
+    /// Worklist (chaotic) iteration: nodes are re-processed when one of their
+    /// successors gains winning states.
+    fn run_worklist(
+        &mut self,
+        options: &SolveOptions,
+    ) -> Result<(Vec<Federation>, usize), SolverError> {
+        let n = self.graph.len();
+        let mut win = self.initial_winning_sets();
+        // Predecessor lists.
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (id, node) in self.graph.nodes().iter().enumerate() {
+            for edge in &node.edges {
+                if !preds[edge.target].contains(&id) {
+                    preds[edge.target].push(id);
+                }
+            }
+        }
+        let mut in_queue = vec![false; n];
+        let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+        // Seed: all predecessors of goal nodes, plus every node with a goal
+        // somewhere below (cheap approximation: all nodes).
+        for id in 0..n {
+            queue.push_back(id);
+            in_queue[id] = true;
+        }
+        let mut pops = 0usize;
+        let max_pops = options.max_rounds.saturating_mul(n.max(1));
+        while let Some(node_id) = queue.pop_front() {
+            in_queue[node_id] = false;
+            pops += 1;
+            if pops > max_pops {
+                break;
+            }
+            let node = self.graph.node(node_id);
+            if node.is_goal {
+                continue;
+            }
+            let (new_win, _) = self.node_update(node_id, node, &win)?;
+            if !win[node_id].includes(&new_win) {
+                win[node_id] = new_win;
+                for &p in &preds[node_id] {
+                    if !in_queue[p] {
+                        in_queue[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        Ok((win, pops))
+    }
+}
+
+/// The upper boundary of an invariant zone: the valuations from which no
+/// positive delay keeps the invariant satisfied.
+///
+/// For urgent states the whole invariant is a boundary.
+fn invariant_boundary(invariant: &Dbm, urgent: bool) -> Federation {
+    if urgent {
+        return Federation::from_zone(invariant.clone());
+    }
+    if invariant.is_empty() {
+        return Federation::empty(invariant.dim());
+    }
+    // States that *can* delay: every finite upper bound made strict.
+    let mut can_delay = invariant.clone();
+    let mut has_upper = false;
+    for i in 1..invariant.dim() {
+        let b = invariant.at(i, 0);
+        if let Some(m) = b.constant() {
+            has_upper = true;
+            can_delay.constrain(i, 0, Bound::lt(m));
+        }
+    }
+    if !has_upper {
+        return Federation::empty(invariant.dim());
+    }
+    let mut boundary = Federation::from_zone(invariant.clone());
+    boundary.subtract_zone(&can_delay);
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_model::{
+        AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, SystemBuilder,
+    };
+    use tiga_tctl::TestPurpose;
+
+    /// A plant that, once kicked, must reply within [1, 3] (invariant x <= 3).
+    /// The tester wins `A<> Plant.Done` by kicking and waiting: the output is
+    /// forced by the invariant.
+    fn forced_output_system() -> System {
+        let mut b = SystemBuilder::new("forced");
+        let x = b.clock("x").unwrap();
+        let kick = b.input_channel("kick").unwrap();
+        let reply = b.output_channel("reply").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let busy = plant.location("Busy").unwrap();
+        let done = plant.location("Done").unwrap();
+        plant.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        plant.add_edge(EdgeBuilder::new(idle, busy).input(kick).reset(x));
+        plant.add_edge(
+            EdgeBuilder::new(busy, done)
+                .output(reply)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).output(kick));
+        user.add_edge(EdgeBuilder::new(u, u).input(reply));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Like [`forced_output_system`] but the Busy location has no invariant:
+    /// the plant may stay silent forever, so the purpose is not enforceable.
+    fn silent_plant_system() -> System {
+        let mut b = SystemBuilder::new("silent");
+        let x = b.clock("x").unwrap();
+        let kick = b.input_channel("kick").unwrap();
+        let reply = b.output_channel("reply").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let busy = plant.location("Busy").unwrap();
+        let done = plant.location("Done").unwrap();
+        plant.add_edge(EdgeBuilder::new(idle, busy).input(kick).reset(x));
+        plant.add_edge(
+            EdgeBuilder::new(busy, done)
+                .output(reply)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).output(kick));
+        user.add_edge(EdgeBuilder::new(u, u).input(reply));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    /// A plant whose uncontrollable choice can dodge the goal forever: from
+    /// Busy the plant may answer `good!` (to Done) or `bad!` (back to Idle).
+    fn dodging_plant_system() -> System {
+        let mut b = SystemBuilder::new("dodge");
+        let x = b.clock("x").unwrap();
+        let kick = b.input_channel("kick").unwrap();
+        let good = b.output_channel("good").unwrap();
+        let bad = b.output_channel("bad").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let busy = plant.location("Busy").unwrap();
+        let done = plant.location("Done").unwrap();
+        plant.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        plant.add_edge(EdgeBuilder::new(idle, busy).input(kick).reset(x));
+        plant.add_edge(EdgeBuilder::new(busy, done).output(good));
+        plant.add_edge(EdgeBuilder::new(busy, idle).output(bad).reset(x));
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).output(kick));
+        user.add_edge(EdgeBuilder::new(u, u).input(good));
+        user.add_edge(EdgeBuilder::new(u, u).input(bad));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forced_output_is_winnable_and_strategy_extracted() {
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+        let strategy = solution.strategy.as_ref().expect("strategy");
+        assert!(strategy.state_count() >= 2);
+        // Initial state: the strategy should say "take kick" (immediately or
+        // after some delay) — in the initial state kick is enabled everywhere.
+        let d0 = sys.initial_discrete();
+        let decision = strategy.decide(&d0, &[0], 4).expect("covered");
+        assert!(matches!(decision, crate::strategy::StrategyDecision::Take(_)));
+        // The Busy state is winning for every clock value admitted by the
+        // invariant: the reply is forced.
+        let busy = {
+            let mut d = d0.clone();
+            let (aut, loc) = sys.location_by_qualified_name("Plant.Busy").unwrap();
+            d.locations[aut.index()] = loc;
+            d
+        };
+        assert!(solution.is_winning_state(&busy, &[0], 4));
+        assert!(solution.is_winning_state(&busy, &[12], 4)); // x = 3 boundary
+        // Waiting is the prescribed move in Busy.
+        let decision = strategy.decide(&busy, &[4], 4).expect("covered");
+        assert!(matches!(decision, crate::strategy::StrategyDecision::Wait { .. }));
+    }
+
+    #[test]
+    fn silent_plant_is_not_winnable() {
+        let sys = silent_plant_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(!solution.winning_from_initial);
+        assert!(solution.strategy.is_none());
+    }
+
+    #[test]
+    fn dodging_plant_is_not_winnable_for_reaching_done() {
+        let sys = dodging_plant_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(!solution.winning_from_initial);
+        // ... but reaching Busy is trivially winnable (one controllable step).
+        let tp2 = TestPurpose::parse("control: A<> Plant.Busy", &sys).unwrap();
+        let solution2 = solve_reachability(&sys, &tp2, &SolveOptions::default()).unwrap();
+        assert!(solution2.winning_from_initial);
+    }
+
+    #[test]
+    fn worklist_and_jacobi_agree() {
+        for sys in [
+            forced_output_system(),
+            silent_plant_system(),
+            dodging_plant_system(),
+        ] {
+            for goal in ["Plant.Done", "Plant.Busy"] {
+                let tp =
+                    TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
+                let a = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+                let b =
+                    solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
+                assert_eq!(
+                    a.winning_from_initial, b.winning_from_initial,
+                    "system {} goal {goal}",
+                    sys.name()
+                );
+                // The computed winning sets must be semantically identical.
+                for (id, node) in a.graph.nodes().iter().enumerate() {
+                    let other = b.graph.node_of(&node.discrete).unwrap();
+                    assert!(
+                        a.winning[id].set_equals(&b.winning[other]),
+                        "winning sets differ in {} for {}",
+                        sys.name(),
+                        node.discrete.display(&sys)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guard_lower_bound_limits_winning_region() {
+        // The reply is only possible when x >= 1, and the invariant is x <= 3;
+        // in Busy every x in [0, 3] is winning (wait until the window), but
+        // a state with x > 3 violates the invariant and is not a state at all.
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let mut busy = sys.initial_discrete();
+        let (aut, loc) = sys.location_by_qualified_name("Plant.Busy").unwrap();
+        busy.locations[aut.index()] = loc;
+        assert!(solution.is_winning_state(&busy, &[2], 4)); // x = 0.5
+        assert!(!solution.is_winning_state(&busy, &[16], 4)); // x = 4: outside invariant
+    }
+
+    #[test]
+    fn safety_purposes_are_rejected_by_reachability_entry_point() {
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A[] not Plant.Done", &sys).unwrap();
+        let err = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap_err();
+        assert!(matches!(err, SolverError::Unsupported(_)));
+    }
+
+    #[test]
+    fn invariant_boundary_helper() {
+        // Invariant x <= 3 over one clock.
+        let mut inv = Dbm::universe(2);
+        inv.constrain(1, 0, Bound::le(3));
+        let boundary = invariant_boundary(&inv, false);
+        assert!(boundary.contains_scaled(&[0, 6])); // x = 3
+        assert!(!boundary.contains_scaled(&[0, 5])); // x = 2.5
+        // No upper bounds: no boundary.
+        let open = Dbm::universe(2);
+        assert!(invariant_boundary(&open, false).is_empty());
+        // Urgent: everything is a boundary.
+        assert!(invariant_boundary(&open, true).contains_scaled(&[0, 4]));
+    }
+}

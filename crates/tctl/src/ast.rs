@@ -1,0 +1,254 @@
+//! Resolved test purposes and their evaluation over discrete states.
+
+use crate::error::TctlError;
+use tiga_model::{AutomatonId, ConcreteState, DiscreteState, Expr, LocationId, System};
+
+/// The path quantifier of a test purpose.
+///
+/// The paper uses reachability purposes (`control: A<> φ`): *whatever the
+/// plant does, the tester can force the game into a φ-state*.  Safety
+/// purposes (`control: A[] φ`) are supported as an extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PathQuantifier {
+    /// `A<> φ` — the tester can enforce eventually reaching φ.
+    Reachability,
+    /// `A[] φ` — the tester can enforce always staying inside φ.
+    Safety,
+}
+
+/// A state predicate over locations and discrete variables.
+///
+/// Clock constraints are deliberately not part of test purposes in this
+/// reproduction (the paper's purposes are location/variable predicates).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatePredicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// The given automaton is in the given location.
+    Location(AutomatonId, LocationId),
+    /// An integer expression over discrete variables, interpreted as a
+    /// boolean (non-zero is true).
+    Expr(Expr),
+    /// Conjunction.
+    And(Box<StatePredicate>, Box<StatePredicate>),
+    /// Disjunction.
+    Or(Box<StatePredicate>, Box<StatePredicate>),
+    /// Negation.
+    Not(Box<StatePredicate>),
+}
+
+impl StatePredicate {
+    /// Conjunction helper that simplifies trivial cases.
+    #[must_use]
+    pub fn and(self, other: StatePredicate) -> StatePredicate {
+        match (self, other) {
+            (StatePredicate::True, p) | (p, StatePredicate::True) => p,
+            (StatePredicate::False, _) | (_, StatePredicate::False) => StatePredicate::False,
+            (a, b) => StatePredicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction helper that simplifies trivial cases.
+    #[must_use]
+    pub fn or(self, other: StatePredicate) -> StatePredicate {
+        match (self, other) {
+            (StatePredicate::False, p) | (p, StatePredicate::False) => p,
+            (StatePredicate::True, _) | (_, StatePredicate::True) => StatePredicate::True,
+            (a, b) => StatePredicate::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Negation helper.
+    #[must_use]
+    pub fn negated(self) -> StatePredicate {
+        match self {
+            StatePredicate::True => StatePredicate::False,
+            StatePredicate::False => StatePredicate::True,
+            StatePredicate::Not(inner) => *inner,
+            p => StatePredicate::Not(Box::new(p)),
+        }
+    }
+
+    fn eval(
+        &self,
+        system: &System,
+        locations: &[LocationId],
+        vars: &[i64],
+    ) -> Result<bool, TctlError> {
+        match self {
+            StatePredicate::True => Ok(true),
+            StatePredicate::False => Ok(false),
+            StatePredicate::Location(aut, loc) => Ok(locations[aut.index()] == *loc),
+            StatePredicate::Expr(e) => e
+                .eval_bool(system.vars(), vars)
+                .map_err(|e| TctlError::Eval(e.to_string())),
+            StatePredicate::And(a, b) => {
+                Ok(a.eval(system, locations, vars)? && b.eval(system, locations, vars)?)
+            }
+            StatePredicate::Or(a, b) => {
+                Ok(a.eval(system, locations, vars)? || b.eval(system, locations, vars)?)
+            }
+            StatePredicate::Not(a) => Ok(!a.eval(system, locations, vars)?),
+        }
+    }
+
+    /// Evaluates the predicate in a symbolic (discrete) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TctlError::Eval`] if a contained expression cannot be
+    /// evaluated (e.g. array index out of bounds).
+    pub fn holds(&self, system: &System, state: &DiscreteState) -> Result<bool, TctlError> {
+        self.eval(system, &state.locations, &state.vars)
+    }
+
+    /// Evaluates the predicate in a concrete state (clock values are ignored,
+    /// only locations and variables matter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TctlError::Eval`] if a contained expression cannot be
+    /// evaluated.
+    pub fn holds_concrete(
+        &self,
+        system: &System,
+        state: &ConcreteState,
+    ) -> Result<bool, TctlError> {
+        self.eval(system, &state.locations, &state.vars)
+    }
+
+    /// Renders the predicate using the system's names.
+    #[must_use]
+    pub fn display<'a>(&'a self, system: &'a System) -> DisplayPredicate<'a> {
+        DisplayPredicate { pred: self, system }
+    }
+}
+
+/// Helper returned by [`StatePredicate::display`].
+pub struct DisplayPredicate<'a> {
+    pred: &'a StatePredicate,
+    system: &'a System,
+}
+
+impl std::fmt::Display for DisplayPredicate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn go(
+            p: &StatePredicate,
+            system: &System,
+            f: &mut std::fmt::Formatter<'_>,
+        ) -> std::fmt::Result {
+            match p {
+                StatePredicate::True => write!(f, "true"),
+                StatePredicate::False => write!(f, "false"),
+                StatePredicate::Location(a, l) => {
+                    let aut = system.automaton(*a);
+                    write!(f, "{}.{}", aut.name(), aut.location(*l).name)
+                }
+                StatePredicate::Expr(e) => write!(f, "{}", e.display(system.vars())),
+                StatePredicate::And(a, b) => {
+                    write!(f, "(")?;
+                    go(a, system, f)?;
+                    write!(f, " and ")?;
+                    go(b, system, f)?;
+                    write!(f, ")")
+                }
+                StatePredicate::Or(a, b) => {
+                    write!(f, "(")?;
+                    go(a, system, f)?;
+                    write!(f, " or ")?;
+                    go(b, system, f)?;
+                    write!(f, ")")
+                }
+                StatePredicate::Not(a) => {
+                    write!(f, "not ")?;
+                    go(a, system, f)
+                }
+            }
+        }
+        go(self.pred, self.system, f)
+    }
+}
+
+/// A parsed and resolved test purpose.
+///
+/// Produced by [`TestPurpose::parse`]; the solver turns the predicate into a
+/// set of goal (or safe) states and synthesizes a winning strategy for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestPurpose {
+    /// Reachability (`A<>`) or safety (`A[]`).
+    pub quantifier: PathQuantifier,
+    /// The state predicate.
+    pub predicate: StatePredicate,
+    /// The original source text, kept for reports.
+    pub source: String,
+}
+
+impl TestPurpose {
+    /// Parses a `control: A<> φ` or `control: A[] φ` formula and resolves all
+    /// names against `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TctlError`] if the input cannot be tokenized, parsed or
+    /// resolved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tiga_model::{AutomatonBuilder, SystemBuilder};
+    /// use tiga_tctl::TestPurpose;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = SystemBuilder::new("s");
+    /// let mut a = AutomatonBuilder::new("IUT");
+    /// a.location("Off")?;
+    /// a.location("Bright")?;
+    /// b.add_automaton(a.build()?)?;
+    /// let system = b.build()?;
+    ///
+    /// let tp = TestPurpose::parse("control: A<> IUT.Bright", &system)?;
+    /// assert_eq!(tp.quantifier, tiga_tctl::PathQuantifier::Reachability);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(input: &str, system: &System) -> Result<Self, TctlError> {
+        crate::parser::parse_test_purpose(input, system)
+    }
+
+    /// Convenience constructor for a reachability purpose from an already
+    /// resolved predicate.
+    #[must_use]
+    pub fn reachability(predicate: StatePredicate) -> Self {
+        TestPurpose {
+            quantifier: PathQuantifier::Reachability,
+            predicate,
+            source: String::new(),
+        }
+    }
+
+    /// Convenience constructor for a safety purpose from an already resolved
+    /// predicate.
+    #[must_use]
+    pub fn safety(predicate: StatePredicate) -> Self {
+        TestPurpose {
+            quantifier: PathQuantifier::Safety,
+            predicate,
+            source: String::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestPurpose {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.source.is_empty() {
+            match self.quantifier {
+                PathQuantifier::Reachability => write!(f, "control: A<> <predicate>"),
+                PathQuantifier::Safety => write!(f, "control: A[] <predicate>"),
+            }
+        } else {
+            f.write_str(&self.source)
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Errors produced while parsing or resolving test purposes.
+
+use std::fmt;
+
+/// Error raised by the test-purpose parser and resolver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TctlError {
+    /// The input could not be tokenized.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// Byte position where parsing failed.
+        position: usize,
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found instead.
+        found: String,
+    },
+    /// A name could not be resolved against the system.
+    Unresolved(String),
+    /// The formula is structurally invalid (e.g. a location used as an
+    /// integer).
+    Invalid(String),
+    /// An error occurred while evaluating the predicate.
+    Eval(String),
+}
+
+impl fmt::Display for TctlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TctlError::Lex { position, found } => {
+                write!(f, "unexpected character `{found}` at byte {position}")
+            }
+            TctlError::Parse {
+                position,
+                expected,
+                found,
+            } => write!(f, "expected {expected} but found {found} at byte {position}"),
+            TctlError::Unresolved(name) => write!(f, "cannot resolve `{name}`"),
+            TctlError::Invalid(msg) => write!(f, "invalid test purpose: {msg}"),
+            TctlError::Eval(msg) => write!(f, "evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TctlError {}

@@ -1,0 +1,334 @@
+//! Tokenizer for the test-purpose language.
+
+use crate::error::TctlError;
+
+/// A lexical token with its byte position in the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub position: usize,
+}
+
+/// The kinds of token recognised by the test-purpose language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`control`, `A`, `forall`, variable names, ...).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// `:`
+    Colon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<>`
+    Diamond,
+    /// `[]`
+    Box,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` or keyword `and`
+    And,
+    /// `||` or keyword `or`
+    Or,
+    /// `!` or keyword `not`
+    Not,
+    /// `imply` (UPPAAL-style implication keyword)
+    Imply,
+}
+
+/// Splits the input into tokens.
+///
+/// # Errors
+///
+/// Returns [`TctlError::Lex`] on unrecognised characters.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, TctlError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&'.') {
+                    tokens.push(Token { kind: TokenKind::DotDot, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Dot, position: start });
+                    i += 1;
+                }
+            }
+            '[' => {
+                if bytes.get(i + 1) == Some(&']') {
+                    tokens.push(Token { kind: TokenKind::Box, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::LBracket, position: start });
+                    i += 1;
+                }
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, position: start });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token { kind: TokenKind::Diamond, position: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, position: start });
+                    i += 2;
+                } else {
+                    return Err(TctlError::Lex { position: start, found: '=' });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Not, position: start });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Token { kind: TokenKind::And, position: start });
+                    i += 2;
+                } else {
+                    return Err(TctlError::Lex { position: start, found: '&' });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Token { kind: TokenKind::Or, position: start });
+                    i += 2;
+                } else {
+                    return Err(TctlError::Lex { position: start, found: '|' });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    value = value * 10 + i64::from(bytes[i] as u8 - b'0');
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Number(value), position: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    name.push(bytes[i]);
+                    i += 1;
+                }
+                let kind = match name.as_str() {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "imply" => TokenKind::Imply,
+                    _ => TokenKind::Ident(name),
+                };
+                tokens.push(Token { kind, position: start });
+            }
+            other => return Err(TctlError::Lex { position: start, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_paper_formulas() {
+        let ks = kinds("control: A<> IUT.Bright");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("control".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("A".into()),
+                TokenKind::Diamond,
+                TokenKind::Ident("IUT".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("Bright".into()),
+            ]
+        );
+        let ks = kinds("control: A<> forall (i: BufferId) (inUse[i] == 1) and IUT.idle");
+        assert!(ks.contains(&TokenKind::Ident("forall".into())));
+        assert!(ks.contains(&TokenKind::LBracket));
+        assert!(ks.contains(&TokenKind::EqEq));
+        assert!(ks.contains(&TokenKind::And));
+    }
+
+    #[test]
+    fn distinguishes_box_and_brackets() {
+        assert_eq!(kinds("A[]")[1], TokenKind::Box);
+        assert_eq!(kinds("a[1]")[1], TokenKind::LBracket);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("x <= 1 < 2 >= 3 > 4 == 5 != 6"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Le,
+                TokenKind::Number(1),
+                TokenKind::Lt,
+                TokenKind::Number(2),
+                TokenKind::Ge,
+                TokenKind::Number(3),
+                TokenKind::Gt,
+                TokenKind::Number(4),
+                TokenKind::EqEq,
+                TokenKind::Number(5),
+                TokenKind::NotEq,
+                TokenKind::Number(6),
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_and_arithmetic() {
+        assert_eq!(
+            kinds("0..7 + 2*3 - 4/2 % 5"),
+            vec![
+                TokenKind::Number(0),
+                TokenKind::DotDot,
+                TokenKind::Number(7),
+                TokenKind::Plus,
+                TokenKind::Number(2),
+                TokenKind::Star,
+                TokenKind::Number(3),
+                TokenKind::Minus,
+                TokenKind::Number(4),
+                TokenKind::Slash,
+                TokenKind::Number(2),
+                TokenKind::Percent,
+                TokenKind::Number(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_and_symbol_connectives_agree() {
+        assert_eq!(kinds("a and b")[1], TokenKind::And);
+        assert_eq!(kinds("a && b")[1], TokenKind::And);
+        assert_eq!(kinds("a or b")[1], TokenKind::Or);
+        assert_eq!(kinds("a || b")[1], TokenKind::Or);
+        assert_eq!(kinds("not a")[0], TokenKind::Not);
+        assert_eq!(kinds("!a")[0], TokenKind::Not);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(tokenize("a = b"), Err(TctlError::Lex { .. })));
+        assert!(matches!(tokenize("a & b"), Err(TctlError::Lex { .. })));
+        assert!(matches!(tokenize("a # b"), Err(TctlError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("ab <= 3").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 3);
+        assert_eq!(toks[2].position, 6);
+    }
+}

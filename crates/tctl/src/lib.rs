@@ -1,0 +1,54 @@
+//! # tiga-tctl — test purposes for timed games
+//!
+//! Parser and evaluator for the test-purpose language of
+//! *"A Game-Theoretic Approach to Real-Time System Testing"* (DATE 2008):
+//! an annotated subset of TCTL of the form
+//!
+//! ```text
+//! control: A<> <state predicate>     (reachability purposes)
+//! control: A[] <state predicate>     (safety purposes, extension)
+//! ```
+//!
+//! State predicates combine location tests (`IUT.Bright`), comparisons over
+//! bounded integer variables and arrays (`inUse[i] == 1`), boolean
+//! connectives (`and`, `or`, `not`, `imply`) and bounded quantifiers
+//! (`forall (i: BufferId) ...`), exactly the forms used by the paper's
+//! purposes TP1–TP3.
+//!
+//! # Example
+//!
+//! ```
+//! use tiga_model::{AutomatonBuilder, SystemBuilder};
+//! use tiga_tctl::TestPurpose;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = SystemBuilder::new("light");
+//! builder.int_array("inUse", 2, 0, 1, 0)?;
+//! let mut iut = AutomatonBuilder::new("IUT");
+//! iut.location("Off")?;
+//! iut.location("Bright")?;
+//! builder.add_automaton(iut.build()?)?;
+//! let system = builder.build()?;
+//!
+//! let tp = TestPurpose::parse(
+//!     "control: A<> IUT.Bright and forall (i: inUse) (inUse[i] == 0)",
+//!     &system,
+//! )?;
+//! let initial = system.initial_discrete();
+//! assert!(!tp.predicate.holds(&system, &initial)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{DisplayPredicate, PathQuantifier, StatePredicate, TestPurpose};
+pub use error::TctlError;
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_predicate, parse_test_purpose};

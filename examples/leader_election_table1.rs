@@ -1,0 +1,81 @@
+//! Regenerates Table 1 of the paper: strategy-generation time and memory for
+//! the Leader Election Protocol with test purposes TP1–TP3 and an increasing
+//! number of nodes.
+//!
+//! By default the sweep runs `n = 3..=5` to stay laptop-friendly; set
+//! `TIGA_LEP_MAX_N` (up to 8, as in the paper) for the full sweep and
+//! `TIGA_LEP_DETAILED=1` to use the detailed buffer model (stored message
+//! addresses), whose state space grows much more steeply:
+//!
+//! ```text
+//! TIGA_LEP_MAX_N=6 TIGA_LEP_DETAILED=1 cargo run --release --example leader_election_table1
+//! ```
+//!
+//! The absolute numbers are not comparable to the 2008 UPPAAL-TIGA prototype
+//! on the authors' hardware; the point of the reproduction is the *shape*:
+//! TP1 is cheap (goal pruning), TP2/TP3 grow steeply with `n`.
+
+use std::time::Instant;
+use tiga::models::leader_election::{product, LepConfig};
+use tiga::solver::{solve_reachability, SolveOptions};
+use tiga::tctl::TestPurpose;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let min_n: usize = 3;
+    let max_n: usize = std::env::var("TIGA_LEP_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .clamp(3, 8);
+    let detailed = std::env::var("TIGA_LEP_DETAILED").map(|v| v == "1").unwrap_or(false);
+
+    println!(
+        "== Table 1: strategy generation for the LEP protocol ({} buffer model) ==",
+        if detailed { "detailed" } else { "abstract" }
+    );
+    println!("(time in seconds / estimated symbolic memory in MB / explored discrete states)");
+    println!();
+    print!("{:<6}", "");
+    for n in min_n..=max_n {
+        print!("{:>22}", format!("n={n}"));
+    }
+    println!();
+
+    for (name, purpose_of) in [
+        ("TP1", 0usize),
+        ("TP2", 1usize),
+        ("TP3", 2usize),
+    ] {
+        print!("{name:<6}");
+        for n in min_n..=max_n {
+            let config = if detailed {
+                LepConfig::detailed(n)
+            } else {
+                LepConfig::new(n)
+            };
+            let system = product(config)?;
+            let purposes = config.purposes();
+            let (_, text) = &purposes[purpose_of];
+            let purpose = TestPurpose::parse(text, &system)?;
+            let start = Instant::now();
+            let solution = solve_reachability(&system, &purpose, &SolveOptions::default())?;
+            let elapsed = start.elapsed();
+            let stats = solution.stats();
+            let mem_mb =
+                stats.estimated_zone_bytes(system.dim()) as f64 / (1024.0 * 1024.0);
+            let cell = format!(
+                "{:.2}s/{:.1}MB/{}{}",
+                elapsed.as_secs_f64(),
+                mem_mb,
+                stats.discrete_states,
+                if solution.winning_from_initial { "" } else { "!" }
+            );
+            print!("{cell:>22}");
+        }
+        println!();
+    }
+    println!();
+    println!("All purposes are winnable (a `!` would flag an unexpectedly unwinnable case).");
+    println!("Paper reference values (2008 hardware): TP1 n=7 in 11.1s/85MB; TP2 n=7 in 452s/2977MB.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: synthesize a winning strategy as a test case and execute it
+//! against simulated implementations.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use tiga::models::coffee_machine;
+use tiga::testing::{OutputPolicy, SimulatedIut, TestConfig, TestHarness};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The plant: a coffee machine that serves within [3, 5] time units of the
+    // button press and refunds unused coins after 10 time units.
+    let product = coffee_machine::product()?;
+    let plant = coffee_machine::plant()?;
+
+    println!("== Game-based test generation (quickstart) ==");
+    println!(
+        "plant `{}`: {} locations, {} edges, {} clocks",
+        plant.name(),
+        plant.location_count(),
+        plant.edge_count(),
+        plant.clocks().len()
+    );
+
+    // Synthesize a test case for the purpose "a coffee can always be obtained".
+    let harness = TestHarness::synthesize(
+        product,
+        plant.clone(),
+        coffee_machine::PURPOSE_COFFEE,
+        TestConfig::default(),
+    )?;
+    let stats = harness.solution().stats();
+    println!(
+        "purpose `{}`: winnable, explored {} symbolic states, strategy with {} rules over {} states",
+        harness.purpose(),
+        stats.discrete_states,
+        harness.strategy().rule_count(),
+        harness.strategy().state_count(),
+    );
+
+    // Execute the strategy against implementations with different output
+    // scheduling inside the allowed windows (the timing uncertainty the paper
+    // is about).
+    for policy in [
+        OutputPolicy::Eager,
+        OutputPolicy::Lazy,
+        OutputPolicy::Jittery { seed: 42 },
+    ] {
+        let mut iut = SimulatedIut::new(
+            &format!("machine-{policy:?}"),
+            plant.clone(),
+            harness.config().scale,
+            policy,
+        );
+        let report = harness.execute(&mut iut)?;
+        println!(
+            "  IUT[{policy:?}]  ->  {}   (trace: {})",
+            report.verdict,
+            report.trace.display(report.scale)
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # tiga — game-theoretic testing of real-time systems
+//!
+//! A Rust reproduction of *"A Game-Theoretic Approach to Real-Time System
+//! Testing"* (Alexandre David, Kim G. Larsen, Shuhao Li, Brian Nielsen —
+//! DATE 2008, DOI 10.1145/1403375.1403491).
+//!
+//! The facade crate re-exports the workspace members:
+//!
+//! * [`model`] ([`tiga_model`]) — Timed I/O Game Automata: clocks, bounded
+//!   integer variables, channels, networks, symbolic and concrete semantics;
+//! * [`dbm`] ([`tiga_dbm`]) — zones and federations (the symbolic substrate);
+//! * [`tctl`] ([`tiga_tctl`]) — `control: A<> φ` test purposes;
+//! * [`solver`] ([`tiga_solver`]) — timed-game solving and winning-strategy
+//!   synthesis (the UPPAAL-TIGA stand-in);
+//! * [`testing`] ([`tiga_testing`]) — tioco conformance testing with winning
+//!   strategies as test cases (the paper's contribution);
+//! * [`models`] ([`tiga_models`]) — the Smart Light and Leader Election
+//!   Protocol case studies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tiga::models::smart_light;
+//! use tiga::testing::{OutputPolicy, SimulatedIut, TestConfig, TestHarness};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Synthesize a test case for "the light can always be driven to Bright".
+//! let harness = TestHarness::synthesize(
+//!     smart_light::product()?,
+//!     smart_light::plant()?,
+//!     smart_light::PURPOSE_BRIGHT,
+//!     TestConfig::default(),
+//! )?;
+//!
+//! // 2. Execute it against a (conformant, timing-uncertain) implementation.
+//! let mut iut = SimulatedIut::new(
+//!     "light-impl",
+//!     smart_light::plant()?,
+//!     harness.config().scale,
+//!     OutputPolicy::Jittery { seed: 7 },
+//! );
+//! let report = harness.execute(&mut iut)?;
+//! assert!(report.verdict.is_pass());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tiga_dbm as dbm;
+pub use tiga_model as model;
+pub use tiga_models as models;
+pub use tiga_solver as solver;
+pub use tiga_tctl as tctl;
+pub use tiga_testing as testing;

@@ -1,0 +1,141 @@
+//! Experimental check of the paper's Theorem 10 (soundness) and Theorem 11
+//! (partial completeness) on the Smart Light and coffee-machine case studies:
+//!
+//! * **Soundness**: a failing test run implies non-conformance — therefore a
+//!   conformant implementation must never fail, whatever output timing it
+//!   chooses.
+//! * **Partial completeness**: if the implementation violates the
+//!   specification *on the behaviours exercised by the purpose*, some
+//!   synthesized strategy produces a failing run.  We check the purposeful
+//!   violations (wrong output / late output on the tested path) are caught.
+
+use tiga::models::{coffee_machine, smart_light};
+use tiga::testing::{
+    default_policies, generate_mutants, run_mutation_campaign, MutationConfig, OutputPolicy,
+    SimulatedIut, TestConfig, TestHarness, Verdict,
+};
+
+#[test]
+fn soundness_no_false_alarms_across_policies_and_purposes() {
+    let plant = smart_light::plant().expect("plant builds");
+    for purpose in [smart_light::PURPOSE_BRIGHT, smart_light::PURPOSE_DIM] {
+        let harness = TestHarness::synthesize(
+            smart_light::product().expect("product builds"),
+            plant.clone(),
+            purpose,
+            TestConfig::default(),
+        )
+        .expect("enforceable");
+        for policy in [
+            OutputPolicy::Eager,
+            OutputPolicy::Lazy,
+            OutputPolicy::Offset(1),
+            OutputPolicy::Offset(5),
+            OutputPolicy::Jittery { seed: 11 },
+            OutputPolicy::Jittery { seed: 1_234_567 },
+        ] {
+            let mut iut =
+                SimulatedIut::new("light", plant.clone(), harness.config().scale, policy);
+            let report = harness.execute(&mut iut).expect("executes");
+            assert_eq!(
+                report.verdict,
+                Verdict::Pass,
+                "soundness violated: conformant IUT failed purpose {purpose} under {policy:?} \
+                 (trace {})",
+                report.trace.display(report.scale)
+            );
+        }
+    }
+}
+
+#[test]
+fn smart_light_mutation_campaign_is_sound_and_detects_purposeful_faults() {
+    let plant = smart_light::plant().expect("plant builds");
+    let harness = TestHarness::synthesize(
+        smart_light::product().expect("product builds"),
+        plant.clone(),
+        smart_light::PURPOSE_BRIGHT,
+        TestConfig::default(),
+    )
+    .expect("enforceable");
+    let mutants = generate_mutants(&plant, &MutationConfig::default()).expect("mutants");
+    assert!(mutants.len() >= 20, "expected a sizeable pool, got {}", mutants.len());
+    let summary = run_mutation_campaign(&harness, &plant, &mutants, &default_policies(), 1)
+        .expect("campaign runs");
+    // Theorem 10 in practice: the conformant implementation never fails.
+    assert_eq!(summary.false_alarms(), 0, "{summary}");
+    // Partial completeness in practice: faults on the exercised path are
+    // detected.  The purpose drives the light to Bright via L6, so at least
+    // the late-deadline mutants of the pending locations on that path and the
+    // output-swap mutants of bright! must be caught.
+    assert!(
+        summary.detected() >= 3,
+        "the targeted test case should expose several mutants:\n{summary}"
+    );
+    // And it is targeted: mutants off the tested path may legitimately pass.
+    assert!(summary.detected() <= summary.mutant_count());
+}
+
+#[test]
+fn coffee_machine_late_and_wrong_outputs_are_detected() {
+    use tiga::model::{ClockConstraint, CmpOp, Sync};
+    use tiga::testing::rebuild_system;
+
+    let plant = coffee_machine::plant().expect("plant builds");
+    let harness = TestHarness::synthesize(
+        coffee_machine::product().expect("product builds"),
+        plant.clone(),
+        coffee_machine::PURPOSE_COFFEE,
+        TestConfig::default(),
+    )
+    .expect("enforceable");
+
+    // Conformant baseline.
+    for policy in [OutputPolicy::Eager, OutputPolicy::Lazy] {
+        let mut good = SimulatedIut::new("machine", plant.clone(), harness.config().scale, policy);
+        assert_eq!(harness.execute(&mut good).expect("executes").verdict, Verdict::Pass);
+    }
+
+    // Fault 1: serving later than BREW_MAX.
+    let x = plant.clock_by_name("x").expect("clock");
+    let slow = rebuild_system(
+        &plant,
+        |_, _, l| {
+            let mut l = l.clone();
+            if l.name == "Brewing" {
+                l.invariant = vec![ClockConstraint::new(x, CmpOp::Le, coffee_machine::BREW_MAX + 4)];
+            }
+            l
+        },
+        |_, _, e| Some(e.clone()),
+    )
+    .expect("rebuild");
+    let mut slow_iut =
+        SimulatedIut::new("slow-machine", slow, harness.config().scale, OutputPolicy::Lazy);
+    assert!(
+        harness.execute(&mut slow_iut).expect("executes").verdict.is_fail(),
+        "late coffee must be detected"
+    );
+
+    // Fault 2: refunding instead of serving.
+    let coffee_ch = plant.channel_by_name("coffee").expect("channel");
+    let refund_ch = plant.channel_by_name("refund").expect("channel");
+    let wrong = rebuild_system(
+        &plant,
+        |_, _, l| l.clone(),
+        |_, _, e| {
+            let mut e = e.clone();
+            if e.sync == Sync::Output(coffee_ch) {
+                e.sync = Sync::Output(refund_ch);
+            }
+            Some(e)
+        },
+    )
+    .expect("rebuild");
+    let mut wrong_iut =
+        SimulatedIut::new("wrong-machine", wrong, harness.config().scale, OutputPolicy::Eager);
+    assert!(
+        harness.execute(&mut wrong_iut).expect("executes").verdict.is_fail(),
+        "wrong output must be detected"
+    );
+}
