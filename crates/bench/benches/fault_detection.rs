@@ -8,8 +8,8 @@ use std::hint::black_box;
 use tiga_bench::smart_light_harness;
 use tiga_models::smart_light;
 use tiga_testing::{
-    default_policies, generate_mutants, run_mutation_campaign, run_random_campaign,
-    MutationConfig, Verdict,
+    default_policies, generate_mutants, run_mutation_campaign, run_random_campaign, MutationConfig,
+    Verdict,
 };
 
 fn bench_campaigns(c: &mut Criterion) {
@@ -38,7 +38,11 @@ fn bench_campaigns(c: &mut Criterion) {
         random.mutation_score(),
         random.false_alarms()
     );
-    assert_eq!(strategic.false_alarms(), 0, "soundness: conformant runs never fail");
+    assert_eq!(
+        strategic.false_alarms(),
+        0,
+        "soundness: conformant runs never fail"
+    );
     assert!(strategic
         .runs
         .iter()
@@ -50,8 +54,7 @@ fn bench_campaigns(c: &mut Criterion) {
     group.bench_function("strategy_campaign", |b| {
         b.iter(|| {
             black_box(
-                run_mutation_campaign(&harness, &plant, &mutants, &policies, 1)
-                    .expect("campaign"),
+                run_mutation_campaign(&harness, &plant, &mutants, &policies, 1).expect("campaign"),
             )
         });
     });

@@ -16,7 +16,10 @@ fn bench_strategy_synthesis(c: &mut Criterion) {
     for (name, text) in [
         ("bright", smart_light::PURPOSE_BRIGHT),
         ("dim", smart_light::PURPOSE_DIM),
-        ("bright_and_user_ready", smart_light::PURPOSE_BRIGHT_AND_USER_READY),
+        (
+            "bright_and_user_ready",
+            smart_light::PURPOSE_BRIGHT_AND_USER_READY,
+        ),
     ] {
         let purpose = TestPurpose::parse(text, &product).expect("parses");
         group.bench_function(name, |b| {
@@ -42,12 +45,8 @@ fn bench_test_execution(c: &mut Criterion) {
     ] {
         group.bench_function(format!("{policy:?}"), |b| {
             b.iter(|| {
-                let mut iut = SimulatedIut::new(
-                    "bench-iut",
-                    plant.clone(),
-                    harness.config().scale,
-                    policy,
-                );
+                let mut iut =
+                    SimulatedIut::new("bench-iut", plant.clone(), harness.config().scale, policy);
                 let report = harness.execute(&mut iut).expect("executes");
                 assert!(report.verdict.is_pass());
                 black_box(report);

@@ -9,9 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tiga_bench::lep_instance;
 use tiga_models::smart_light;
-use tiga_solver::{
-    solve_reachability, solve_reachability_worklist, ExploreOptions, SolveOptions,
-};
+use tiga_solver::{solve_reachability, solve_reachability_worklist, ExploreOptions, SolveOptions};
 use tiga_tctl::TestPurpose;
 
 fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
@@ -27,8 +25,7 @@ fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
 
 fn bench_engines(c: &mut Criterion) {
     let smart = smart_light::product().expect("model builds");
-    let smart_purpose =
-        TestPurpose::parse(smart_light::PURPOSE_BRIGHT, &smart).expect("parses");
+    let smart_purpose = TestPurpose::parse(smart_light::PURPOSE_BRIGHT, &smart).expect("parses");
     let (lep, lep_purpose) = lep_instance(3, 1); // TP2, n = 3
 
     let cases: Vec<(&str, &tiga_model::System, &tiga_tctl::TestPurpose)> = vec![
@@ -46,13 +43,17 @@ fn bench_engines(c: &mut Criterion) {
                 )
             });
         });
-        group.bench_with_input(BenchmarkId::new("jacobi_no_strategy", name), name, |b, _| {
-            b.iter(|| {
-                black_box(
-                    solve_reachability(system, purpose, &options(true, false)).expect("solves"),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("jacobi_no_strategy", name),
+            name,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        solve_reachability(system, purpose, &options(true, false)).expect("solves"),
+                    )
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("worklist", name), name, |b, _| {
             b.iter(|| {
                 black_box(

@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tiga_bench::smart_light_harness;
 use tiga_models::{coffee_machine, smart_light};
-use tiga_testing::{
-    OutputPolicy, SimulatedIut, SpecMonitor, TestConfig, TestHarness,
-};
+use tiga_testing::{OutputPolicy, SimulatedIut, SpecMonitor, TestConfig, TestHarness};
 
 fn bench_algorithm_31(c: &mut Criterion) {
     let mut group = c.benchmark_group("execution");

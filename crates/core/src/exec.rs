@@ -42,7 +42,7 @@ impl Default for TestConfig {
 }
 
 /// The outcome of one test execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TestReport {
     /// Final verdict.
     pub verdict: Verdict,
@@ -95,7 +95,9 @@ impl<'a> TestExecutor<'a> {
         config: TestConfig,
     ) -> Result<Self, ModelError> {
         if config.scale <= 0 {
-            return Err(ModelError::Invalid("tick scale must be positive".to_string()));
+            return Err(ModelError::Invalid(
+                "tick scale must be positive".to_string(),
+            ));
         }
         Ok(TestExecutor {
             product,
@@ -225,9 +227,9 @@ impl<'a> TestExecutor<'a> {
                     }
                 }
                 Some(StrategyDecision::Wait { .. }) => {
-                    let take_hint = self
-                        .strategy
-                        .next_take_delay(&discrete, &product_state.clocks, scale);
+                    let take_hint =
+                        self.strategy
+                            .next_take_delay(&discrete, &product_state.clocks, scale);
                     let inv_bound = interp.max_delay(&product_state)?;
                     let remaining = self.config.max_ticks - now;
                     let mut wait = self.config.default_wait.max(1);
@@ -317,10 +319,13 @@ impl<'a> TestExecutor<'a> {
                                     Some(next) => product_state = next,
                                     None => {
                                         return Ok(finish(
-                                            Verdict::Inconclusive(InconclusiveReason::OffStrategy {
-                                                state: "product invariant violated before output"
-                                                    .to_string(),
-                                            }),
+                                            Verdict::Inconclusive(
+                                                InconclusiveReason::OffStrategy {
+                                                    state:
+                                                        "product invariant violated before output"
+                                                            .to_string(),
+                                                },
+                                            ),
                                             trace,
                                             steps,
                                         ));

@@ -222,10 +222,7 @@ impl SimulatedIut {
         if windows.is_empty() {
             return None;
         }
-        let deadline = self
-            .interpreter()
-            .max_delay(&self.state)
-            .unwrap_or(None);
+        let deadline = self.interpreter().max_delay(&self.state).unwrap_or(None);
         match self.policy {
             OutputPolicy::Eager => windows
                 .iter()
@@ -275,7 +272,11 @@ impl SimulatedIut {
                             Some(hi) => (hi - lo).max(0),
                             None => 4 * self.scale,
                         };
-                        let offset = if span == 0 { 0 } else { (h % (span as u64 + 1)) as i64 };
+                        let offset = if span == 0 {
+                            0
+                        } else {
+                            (h % (span as u64 + 1)) as i64
+                        };
                         (lo + offset, *e, *ch)
                     })
                     .min_by_key(|(t, _, _)| *t)
@@ -486,8 +487,7 @@ mod tests {
     #[test]
     fn jittery_policy_is_deterministic() {
         let run = |seed: u64| {
-            let mut iut =
-                SimulatedIut::new("p", responder(), 4, OutputPolicy::Jittery { seed });
+            let mut iut = SimulatedIut::new("p", responder(), 4, OutputPolicy::Jittery { seed });
             iut.offer_input("req");
             iut.delay(100)
         };
@@ -561,12 +561,18 @@ mod tests {
         iut.offer_input("go");
         assert_eq!(
             iut.delay(6),
-            DelayOutcome::Output { after: 4, channel: "a".to_string() }
+            DelayOutcome::Output {
+                after: 4,
+                channel: "a".to_string()
+            }
         );
         assert_eq!(iut.delay(3), DelayOutcome::Quiet);
         assert_eq!(
             iut.delay(10),
-            DelayOutcome::Output { after: 3, channel: "b".to_string() }
+            DelayOutcome::Output {
+                after: 3,
+                channel: "b".to_string()
+            }
         );
         assert_eq!(iut.inputs_seen(), &[(0, "go".to_string())]);
         iut.reset();

@@ -80,11 +80,13 @@ mod harness;
 mod iut;
 mod monitor;
 mod mutation;
+mod parallel;
 mod trace;
 mod verdict;
 
 pub use campaign::{
-    default_policies, run_mutation_campaign, run_random_campaign, CampaignRun, CampaignSummary,
+    default_policies, derive_run_seed, run_mutation_campaign, run_mutation_campaign_with,
+    run_random_campaign, run_random_campaign_with, CampaignOptions, CampaignRun, CampaignSummary,
     RandomTester,
 };
 pub use exec::{TestConfig, TestExecutor, TestReport};

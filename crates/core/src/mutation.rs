@@ -86,13 +86,23 @@ where
     }
     for decl in system.vars().iter() {
         if decl.is_array() {
-            builder.int_array(decl.name(), decl.size(), decl.lower(), decl.upper(), decl.initial())?;
+            builder.int_array(
+                decl.name(),
+                decl.size(),
+                decl.lower(),
+                decl.upper(),
+                decl.initial(),
+            )?;
         } else {
             builder.int_var(decl.name(), decl.lower(), decl.upper(), decl.initial())?;
         }
     }
     for automaton in system.automata() {
-        builder.add_automaton(rebuild_automaton(automaton, &mut edit_location, &mut edit_edge)?)?;
+        builder.add_automaton(rebuild_automaton(
+            automaton,
+            &mut edit_location,
+            &mut edit_edge,
+        )?)?;
     }
     builder.build()
 }
@@ -133,7 +143,7 @@ fn identity_location(_aut: &str, _id: LocationId, loc: &Location) -> Location {
 fn shift_expr(bound: &Expr, delta: i64) -> Expr {
     match bound.as_constant() {
         Some(c) => Expr::constant(c + delta),
-        None => bound.clone().add(Expr::constant(delta)),
+        None => bound.clone() + Expr::constant(delta),
     }
 }
 
@@ -146,7 +156,10 @@ fn shift_expr(bound: &Expr, delta: i64) -> Expr {
 /// # Errors
 ///
 /// Propagates [`ModelError`]s from model reconstruction.
-pub fn generate_mutants(plant: &System, config: &MutationConfig) -> Result<Vec<Mutant>, ModelError> {
+pub fn generate_mutants(
+    plant: &System,
+    config: &MutationConfig,
+) -> Result<Vec<Mutant>, ModelError> {
     let mut mutants = Vec::new();
     let output_channels: Vec<_> = plant
         .channels()
@@ -165,10 +178,9 @@ pub fn generate_mutants(plant: &System, config: &MutationConfig) -> Result<Vec<M
             //    too late).
             if config.guard_shift != 0 && is_output_edge {
                 for (ci, constraint) in edge.guard.clocks.iter().enumerate() {
-                    for (delta, tag) in [
-                        (-config.guard_shift, "early"),
-                        (config.guard_shift, "late"),
-                    ] {
+                    for (delta, tag) in
+                        [(-config.guard_shift, "early"), (config.guard_shift, "late")]
+                    {
                         // Shifting a lower bound earlier / later changes when
                         // the output may be produced.
                         if !matches!(constraint.op, CmpOp::Ge | CmpOp::Gt | CmpOp::Eq) {
@@ -177,7 +189,8 @@ pub fn generate_mutants(plant: &System, config: &MutationConfig) -> Result<Vec<M
                         let mutated = rebuild_system(plant, identity_location, |aut, idx, e| {
                             if aut == automaton.name() && idx == edge_idx {
                                 let mut e = e.clone();
-                                e.guard.clocks[ci].bound = shift_expr(&e.guard.clocks[ci].bound, delta);
+                                e.guard.clocks[ci].bound =
+                                    shift_expr(&e.guard.clocks[ci].bound, delta);
                                 Some(e)
                             } else {
                                 Some(e.clone())
@@ -328,7 +341,7 @@ mod tests {
             EdgeBuilder::new(busy, idle)
                 .output(resp)
                 .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1))
-                .set(count, Expr::var(count).add(Expr::constant(1))),
+                .set(count, Expr::var(count) + Expr::constant(1)),
         );
         a.add_edge(EdgeBuilder::new(busy, idle).output(err));
         b.add_automaton(a.build().unwrap()).unwrap();
@@ -351,7 +364,10 @@ mod tests {
             |_, idx, e| if idx == 2 { None } else { Some(e.clone()) },
         )
         .unwrap();
-        assert_eq!(fewer.automata()[0].edges().len(), sys.automata()[0].edges().len() - 1);
+        assert_eq!(
+            fewer.automata()[0].edges().len(),
+            sys.automata()[0].edges().len() - 1
+        );
     }
 
     #[test]
@@ -360,7 +376,14 @@ mod tests {
         let mutants = generate_mutants(&sys, &MutationConfig::default()).unwrap();
         assert!(mutants.len() >= 6, "got {} mutants", mutants.len());
         // All operators are represented.
-        for tag in ["guard-early", "guard-late", "swap", "missing-output", "no-reset", "late-deadline"] {
+        for tag in [
+            "guard-early",
+            "guard-late",
+            "swap",
+            "missing-output",
+            "no-reset",
+            "late-deadline",
+        ] {
             assert!(
                 mutants.iter().any(|m| m.name.contains(tag)),
                 "no mutant for operator {tag}: {:?}",

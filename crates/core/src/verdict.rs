@@ -156,7 +156,11 @@ mod tests {
         assert!(s.contains("t=8"), "{s}");
         let s = Verdict::Inconclusive(InconclusiveReason::UnboundedWait).to_string();
         assert!(s.contains("INCONCLUSIVE"), "{s}");
-        let s = Verdict::Fail(FailReason::IllegalDelay { delay_ticks: 4, at_ticks: 2 }).to_string();
+        let s = Verdict::Fail(FailReason::IllegalDelay {
+            delay_ticks: 4,
+            at_ticks: 2,
+        })
+        .to_string();
         assert!(s.contains("idle for 4"), "{s}");
     }
 }

@@ -1,0 +1,198 @@
+//! Dedicated coverage for the verdict classification table and the timed
+//! trace append/delay invariants.
+
+use tiga_testing::{FailReason, InconclusiveReason, TimedTrace, TraceStep, Verdict};
+
+fn all_fail_reasons() -> Vec<FailReason> {
+    vec![
+        FailReason::UnexpectedOutput {
+            channel: "dim".to_string(),
+            at_ticks: 8,
+        },
+        FailReason::MissedDeadline { at_ticks: 12 },
+        FailReason::IllegalDelay {
+            delay_ticks: 4,
+            at_ticks: 2,
+        },
+        FailReason::EnvironmentRefusedOutput {
+            channel: "bright".to_string(),
+            at_ticks: 3,
+        },
+    ]
+}
+
+fn all_inconclusive_reasons() -> Vec<InconclusiveReason> {
+    vec![
+        InconclusiveReason::OffStrategy {
+            state: "(Idle)".to_string(),
+        },
+        InconclusiveReason::StepBudgetExhausted,
+        InconclusiveReason::TimeBudgetExhausted,
+        InconclusiveReason::UnboundedWait,
+    ]
+}
+
+#[test]
+fn classification_table_is_total_and_exclusive() {
+    // Every verdict is exactly one of pass / fail / inconclusive.
+    let mut verdicts = vec![Verdict::Pass];
+    verdicts.extend(all_fail_reasons().into_iter().map(Verdict::Fail));
+    verdicts.extend(
+        all_inconclusive_reasons()
+            .into_iter()
+            .map(Verdict::Inconclusive),
+    );
+    for v in &verdicts {
+        let classes = usize::from(v.is_pass())
+            + usize::from(v.is_fail())
+            + usize::from(!v.is_pass() && !v.is_fail());
+        match v {
+            Verdict::Pass => assert!(v.is_pass() && !v.is_fail()),
+            Verdict::Fail(_) => assert!(v.is_fail() && !v.is_pass()),
+            Verdict::Inconclusive(_) => assert!(!v.is_pass() && !v.is_fail()),
+        }
+        assert_eq!(classes, 1, "verdict {v} in more than one class");
+    }
+}
+
+#[test]
+fn every_fail_reason_displays_its_evidence() {
+    for reason in all_fail_reasons() {
+        let rendered = Verdict::Fail(reason.clone()).to_string();
+        assert!(rendered.starts_with("FAIL"), "{rendered}");
+        match reason {
+            FailReason::UnexpectedOutput { channel, at_ticks }
+            | FailReason::EnvironmentRefusedOutput { channel, at_ticks } => {
+                assert!(rendered.contains(&channel), "{rendered}");
+                assert!(rendered.contains(&format!("t={at_ticks}")), "{rendered}");
+            }
+            FailReason::MissedDeadline { at_ticks } => {
+                assert!(rendered.contains(&format!("t={at_ticks}")), "{rendered}");
+            }
+            FailReason::IllegalDelay {
+                delay_ticks,
+                at_ticks,
+            } => {
+                assert!(rendered.contains(&delay_ticks.to_string()), "{rendered}");
+                assert!(rendered.contains(&format!("t={at_ticks}")), "{rendered}");
+            }
+            // FailReason is #[non_exhaustive].
+            other => panic!("unknown reason {other:?}"),
+        }
+    }
+    for reason in all_inconclusive_reasons() {
+        let rendered = Verdict::Inconclusive(reason).to_string();
+        assert!(rendered.starts_with("INCONCLUSIVE"), "{rendered}");
+    }
+    assert_eq!(Verdict::Pass.to_string(), "PASS");
+}
+
+#[test]
+fn verdict_equality_distinguishes_reasons() {
+    let fails: Vec<Verdict> = all_fail_reasons().into_iter().map(Verdict::Fail).collect();
+    for (i, a) in fails.iter().enumerate() {
+        for (j, b) in fails.iter().enumerate() {
+            assert_eq!(a == b, i == j, "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn adjacent_delays_merge_and_zero_delays_vanish() {
+    let mut trace = TimedTrace::new();
+    assert!(trace.is_empty());
+    trace.push_delay(0);
+    assert!(trace.is_empty(), "zero delay must not create a step");
+    trace.push_delay(2);
+    trace.push_delay(3);
+    assert_eq!(trace.steps(), &[TraceStep::Delay(5)], "delays must merge");
+    trace.push_input("touch");
+    trace.push_delay(0);
+    trace.push_delay(1);
+    trace.push_output("dim");
+    // The zero delay after the input must not break merging of the next one.
+    assert_eq!(
+        trace.steps(),
+        &[
+            TraceStep::Delay(5),
+            TraceStep::Input("touch".to_string()),
+            TraceStep::Delay(1),
+            TraceStep::Output("dim".to_string()),
+        ]
+    );
+    assert_eq!(trace.len(), 4);
+    assert_eq!(trace.action_count(), 2);
+}
+
+#[test]
+fn total_ticks_is_invariant_under_delay_splitting() {
+    // However a delay is split into chunks, the trace observes the same
+    // total duration and the same canonical step sequence.
+    let mut chunked = TimedTrace::new();
+    for _ in 0..10 {
+        chunked.push_delay(1);
+    }
+    chunked.push_output("done");
+    let mut whole = TimedTrace::new();
+    whole.push_delay(10);
+    whole.push_output("done");
+    assert_eq!(chunked, whole);
+    assert_eq!(chunked.total_ticks(), 10);
+}
+
+#[test]
+fn total_ticks_counts_only_delays() {
+    let trace: TimedTrace = vec![
+        TraceStep::Delay(4),
+        TraceStep::Input("touch".to_string()),
+        TraceStep::Delay(2),
+        TraceStep::Output("dim".to_string()),
+        TraceStep::Delay(1),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(trace.total_ticks(), 7);
+    assert_eq!(trace.action_count(), 2);
+    assert_eq!(trace.len(), 5);
+}
+
+#[test]
+fn extend_preserves_merge_invariant_across_boundaries() {
+    let mut trace = TimedTrace::new();
+    trace.push_delay(2);
+    // Extending with a leading delay must merge it into the trailing one.
+    trace.extend(vec![
+        TraceStep::Delay(3),
+        TraceStep::Output("out".to_string()),
+    ]);
+    assert_eq!(
+        trace.steps(),
+        &[TraceStep::Delay(5), TraceStep::Output("out".to_string())]
+    );
+    // Collecting from an iterator applies the same normalization.
+    let collected: TimedTrace = vec![
+        TraceStep::Delay(1),
+        TraceStep::Delay(4),
+        TraceStep::Output("out".to_string()),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(collected.steps(), trace.steps());
+}
+
+#[test]
+fn display_scales_delays_and_marks_directions() {
+    let trace: TimedTrace = vec![
+        TraceStep::Delay(6),
+        TraceStep::Input("touch".to_string()),
+        TraceStep::Delay(3),
+        TraceStep::Output("bright".to_string()),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        format!("{}", trace.display(2)),
+        "3 · touch? · 1.5 · bright!"
+    );
+    assert_eq!(format!("{}", TimedTrace::new().display(2)), "ε");
+}

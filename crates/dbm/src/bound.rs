@@ -125,26 +125,6 @@ impl Bound {
         self.0 & 1 == 0
     }
 
-    /// Adds two bounds, as required when composing the constraints
-    /// `x - y ≺₁ m₁` and `y - z ≺₂ m₂` into `x - z ≺ m₁ + m₂`.
-    ///
-    /// The result is strict if either operand is strict; `∞` absorbs.
-    ///
-    /// ```
-    /// use tiga_dbm::Bound;
-    /// assert_eq!(Bound::le(2).add(Bound::lt(3)), Bound::lt(5));
-    /// assert_eq!(Bound::le(2).add(Bound::INF), Bound::INF);
-    /// ```
-    #[inline]
-    #[must_use]
-    pub fn add(self, other: Bound) -> Bound {
-        if self.is_inf() || other.is_inf() {
-            Bound::INF
-        } else {
-            Bound(self.0 + other.0 - ((self.0 | other.0) & 1))
-        }
-    }
-
     /// Returns the bound of the *complement* constraint.
     ///
     /// The complement of `x - y ≺ m` is `y - x ≺' -m` with the dual
@@ -157,7 +137,10 @@ impl Bound {
     #[inline]
     #[must_use]
     pub fn negated_complement(self) -> Bound {
-        assert!(!self.is_inf(), "the complement of an infinite bound is empty");
+        assert!(
+            !self.is_inf(),
+            "the complement of an infinite bound is empty"
+        );
         Bound(1 - self.0)
     }
 
@@ -203,6 +186,29 @@ impl Bound {
     }
 }
 
+impl std::ops::Add for Bound {
+    type Output = Bound;
+
+    /// Adds two bounds, as required when composing the constraints
+    /// `x - y ≺₁ m₁` and `y - z ≺₂ m₂` into `x - z ≺ m₁ + m₂`.
+    ///
+    /// The result is strict if either operand is strict; `∞` absorbs.
+    ///
+    /// ```
+    /// use tiga_dbm::Bound;
+    /// assert_eq!(Bound::le(2) + Bound::lt(3), Bound::lt(5));
+    /// assert_eq!(Bound::le(2) + Bound::INF, Bound::INF);
+    /// ```
+    #[inline]
+    fn add(self, other: Bound) -> Bound {
+        if self.is_inf() || other.is_inf() {
+            Bound::INF
+        } else {
+            Bound(self.0 + other.0 - ((self.0 | other.0) & 1))
+        }
+    }
+}
+
 impl Default for Bound {
     /// The default bound is `∞` (unconstrained).
     fn default() -> Self {
@@ -243,18 +249,18 @@ mod tests {
 
     #[test]
     fn addition_combines_strictness() {
-        assert_eq!(Bound::le(2).add(Bound::le(3)), Bound::le(5));
-        assert_eq!(Bound::le(2).add(Bound::lt(3)), Bound::lt(5));
-        assert_eq!(Bound::lt(2).add(Bound::le(3)), Bound::lt(5));
-        assert_eq!(Bound::lt(2).add(Bound::lt(3)), Bound::lt(5));
-        assert_eq!(Bound::le(-2).add(Bound::le(2)), Bound::le(0));
+        assert_eq!(Bound::le(2) + Bound::le(3), Bound::le(5));
+        assert_eq!(Bound::le(2) + Bound::lt(3), Bound::lt(5));
+        assert_eq!(Bound::lt(2) + Bound::le(3), Bound::lt(5));
+        assert_eq!(Bound::lt(2) + Bound::lt(3), Bound::lt(5));
+        assert_eq!(Bound::le(-2) + Bound::le(2), Bound::le(0));
     }
 
     #[test]
     fn addition_with_infinity_is_infinity() {
-        assert_eq!(Bound::INF.add(Bound::le(3)), Bound::INF);
-        assert_eq!(Bound::lt(-7).add(Bound::INF), Bound::INF);
-        assert_eq!(Bound::INF.add(Bound::INF), Bound::INF);
+        assert_eq!(Bound::INF + Bound::le(3), Bound::INF);
+        assert_eq!(Bound::lt(-7) + Bound::INF, Bound::INF);
+        assert_eq!(Bound::INF + Bound::INF, Bound::INF);
     }
 
     #[test]
@@ -263,7 +269,10 @@ mod tests {
         assert_eq!(Bound::lt(3).negated_complement(), Bound::le(-3));
         assert_eq!(Bound::le(0).negated_complement(), Bound::lt(0));
         // Involution.
-        assert_eq!(Bound::le(7).negated_complement().negated_complement(), Bound::le(7));
+        assert_eq!(
+            Bound::le(7).negated_complement().negated_complement(),
+            Bound::le(7)
+        );
     }
 
     #[test]

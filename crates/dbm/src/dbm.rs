@@ -147,7 +147,7 @@ impl Dbm {
                     continue;
                 }
                 for j in 0..n {
-                    let cand = dik.add(self.at(k, j));
+                    let cand = dik + self.at(k, j);
                     if cand < self.at(i, j) {
                         self.set(i, j, cand);
                     }
@@ -179,7 +179,7 @@ impl Dbm {
             return true;
         }
         // Tightening below the opposite bound's negation empties the zone.
-        if self.at(j, i).add(b) < Bound::ZERO_LE {
+        if self.at(j, i) + b < Bound::ZERO_LE {
             self.set_empty();
             return false;
         }
@@ -189,13 +189,13 @@ impl Dbm {
         // pre-update values as required by the incremental closure lemma.
         let col_i: Vec<Bound> = (0..n).map(|a| self.at(a, i)).collect();
         let row_j: Vec<Bound> = (0..n).map(|c| self.at(j, c)).collect();
-        for a in 0..n {
-            if col_i[a].is_inf() {
+        for (a, &col) in col_i.iter().enumerate() {
+            if col.is_inf() {
                 continue;
             }
-            let via_i = col_i[a].add(b);
-            for c in 0..n {
-                let cand = via_i.add(row_j[c]);
+            let via_i = col + b;
+            for (c, &row) in row_j.iter().enumerate() {
+                let cand = via_i + row;
                 if cand < self.at(a, c) {
                     self.set(a, c, cand);
                 }
@@ -259,7 +259,7 @@ impl Dbm {
         // already proves emptiness of the intersection.
         for i in 0..self.dim {
             for j in 0..self.dim {
-                if self.at(i, j).add(other.at(j, i)) < Bound::ZERO_LE {
+                if self.at(i, j) + other.at(j, i) < Bound::ZERO_LE {
                     return false;
                 }
             }
@@ -336,8 +336,8 @@ impl Dbm {
         let neg = Bound::le(-v);
         for i in 0..self.dim {
             if i != k {
-                self.set(k, i, pos.add(self.at(0, i)));
-                self.set(i, k, self.at(i, 0).add(neg));
+                self.set(k, i, pos + self.at(0, i));
+                self.set(i, k, self.at(i, 0) + neg);
             }
         }
         self.set(k, k, Bound::ZERO_LE);
@@ -522,11 +522,11 @@ impl Dbm {
             max: None,
             max_strict: false,
         };
-        for i in 1..self.dim {
+        for (i, &val) in vals.iter().enumerate().skip(1) {
             // x_i <= hi:  d <= scale*hi - v_i
             let up = self.at(i, 0);
             if let Some(m) = up.constant() {
-                let cand = scale * i64::from(m) - vals[i];
+                let cand = scale * i64::from(m) - val;
                 let strict = up.is_strict();
                 match window.max {
                     None => {
@@ -544,7 +544,7 @@ impl Dbm {
             // 0 - x_i <= m  means  x_i >= -m:  d >= -scale*m - v_i
             let low = self.at(0, i);
             if let Some(m) = low.constant() {
-                let cand = -scale * i64::from(m) - vals[i];
+                let cand = -scale * i64::from(m) - val;
                 let strict = low.is_strict();
                 if cand > window.min || (cand == window.min && strict) {
                     window.min = cand;
@@ -621,7 +621,11 @@ impl DelayWindow {
     /// (the window is narrower than the grid).
     #[must_use]
     pub fn pick(&self) -> Option<i64> {
-        let candidate = if self.min_strict { self.min + 1 } else { self.min };
+        let candidate = if self.min_strict {
+            self.min + 1
+        } else {
+            self.min
+        };
         match self.max {
             None => Some(candidate),
             Some(max) => {
@@ -698,7 +702,13 @@ impl fmt::Display for DisplayZone<'_> {
             if j == 0 {
                 write!(f, "{}{op}{m}", name(i))?;
             } else if i == 0 {
-                write!(f, "{}{}{}", name(j), if b.is_strict() { ">" } else { ">=" }, -m)?;
+                write!(
+                    f,
+                    "{}{}{}",
+                    name(j),
+                    if b.is_strict() { ">" } else { ">=" },
+                    -m
+                )?;
             } else {
                 write!(f, "{}-{}{op}{m}", name(i), name(j))?;
             }
@@ -767,7 +777,7 @@ mod tests {
         let mut z = Dbm::universe(3);
         z.constrain(1, 0, Bound::le(5)); // x <= 5
         z.constrain(2, 1, Bound::le(2)); // y - x <= 2
-        // Canonicality implies y <= 7 is derived.
+                                         // Canonicality implies y <= 7 is derived.
         assert_eq!(z.at(2, 0), Bound::le(7));
     }
 
@@ -930,7 +940,7 @@ mod tests {
         let mut z = Dbm::universe(2);
         z.constrain(0, 1, Bound::lt(-2)); // x > 2
         z.constrain(1, 0, Bound::lt(3)); // x < 3
-        // From x = 0 at scale 4: delays in (8, 12) scaled.
+                                         // From x = 0 at scale 4: delays in (8, 12) scaled.
         let w = z.delay_window_at(&[0, 0], 4).expect("reachable");
         assert_eq!(w.min, 8);
         assert!(w.min_strict);

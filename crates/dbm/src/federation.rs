@@ -41,7 +41,10 @@ impl Federation {
     #[must_use]
     pub fn empty(dim: usize) -> Self {
         assert!(dim >= 1, "a federation needs at least the reference clock");
-        Federation { dim, zones: Vec::new() }
+        Federation {
+            dim,
+            zones: Vec::new(),
+        }
     }
 
     /// The federation containing every valuation (a single universe zone).
@@ -69,7 +72,10 @@ impl Federation {
         if zone.is_empty() {
             Federation::empty(dim)
         } else {
-            Federation { dim, zones: vec![zone] }
+            Federation {
+                dim,
+                zones: vec![zone],
+            }
         }
     }
 
@@ -135,8 +141,9 @@ impl Federation {
                 return;
             }
         }
-        self.zones
-            .retain(|existing| !matches!(existing.relation(&zone), Relation::Subset | Relation::Equal));
+        self.zones.retain(|existing| {
+            !matches!(existing.relation(&zone), Relation::Subset | Relation::Equal)
+        });
         self.zones.push(zone);
     }
 
@@ -438,7 +445,12 @@ impl<'a> IntoIterator for &'a Federation {
 
 impl fmt::Debug for Federation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Federation(dim={}, {} zones)", self.dim, self.zones.len())
+        write!(
+            f,
+            "Federation(dim={}, {} zones)",
+            self.dim,
+            self.zones.len()
+        )
     }
 }
 

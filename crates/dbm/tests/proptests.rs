@@ -34,8 +34,7 @@ fn arb_constraint() -> impl Strategy<Value = (usize, usize, Bound)> {
 
 /// A random (possibly empty) zone built from up to six constraints.
 fn arb_zone() -> impl Strategy<Value = Dbm> {
-    proptest::collection::vec(arb_constraint(), 0..6)
-        .prop_map(|cs| Dbm::from_constraints(DIM, &cs))
+    proptest::collection::vec(arb_constraint(), 0..6).prop_map(|cs| Dbm::from_constraints(DIM, &cs))
 }
 
 /// A random non-empty zone.
@@ -45,8 +44,7 @@ fn arb_nonempty_zone() -> impl Strategy<Value = Dbm> {
 
 /// A random federation of up to three zones.
 fn arb_federation() -> impl Strategy<Value = Federation> {
-    proptest::collection::vec(arb_zone(), 0..3)
-        .prop_map(|zs| Federation::from_zones(DIM, zs))
+    proptest::collection::vec(arb_zone(), 0..3).prop_map(|zs| Federation::from_zones(DIM, zs))
 }
 
 /// All integer-valued test points (scaled by 2, so even entries).

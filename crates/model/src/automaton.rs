@@ -67,9 +67,7 @@ impl ClockConstraint {
             CmpOp::Lt => zone.constrain(i, j, Bound::lt(m)),
             CmpOp::Ge => zone.constrain(j, i, Bound::le(-m)),
             CmpOp::Gt => zone.constrain(j, i, Bound::lt(-m)),
-            CmpOp::Eq => {
-                zone.constrain(i, j, Bound::le(m)) && zone.constrain(j, i, Bound::le(-m))
-            }
+            CmpOp::Eq => zone.constrain(i, j, Bound::le(m)) && zone.constrain(j, i, Bound::le(-m)),
             CmpOp::Ne => {
                 return Err(ModelError::NonConvexClockConstraint(format!(
                     "clock {} != {}",
@@ -467,7 +465,10 @@ mod tests {
         let mut table = VarTable::new();
         let n = table.declare("n", 1, 0, 8, 3).unwrap();
         let x = ClockId::from_index(0);
-        assert_eq!(ClockConstraint::new(x, CmpOp::Le, 20).max_constant(&table), 20);
+        assert_eq!(
+            ClockConstraint::new(x, CmpOp::Le, 20).max_constant(&table),
+            20
+        );
         assert_eq!(
             ClockConstraint::new(x, CmpOp::Le, Expr::constant(-7)).max_constant(&table),
             7

@@ -264,11 +264,7 @@ impl AutomatonBuilder {
     /// # Panics
     ///
     /// Panics if the location does not belong to this builder.
-    pub fn set_invariant(
-        &mut self,
-        loc: LocationId,
-        invariant: Vec<ClockConstraint>,
-    ) -> &mut Self {
+    pub fn set_invariant(&mut self, loc: LocationId, invariant: Vec<ClockConstraint>) -> &mut Self {
         self.locations[loc.index()].invariant = invariant;
         self
     }
@@ -414,7 +410,9 @@ impl EdgeBuilder {
         index: impl Into<Expr>,
         value: impl Into<Expr>,
     ) -> Self {
-        self.edge.updates.push(Assignment::set_element(var, index, value));
+        self.edge
+            .updates
+            .push(Assignment::set_element(var, index, value));
         self
     }
 
@@ -450,9 +448,15 @@ mod tests {
         b.clock("x").unwrap();
         assert!(matches!(b.clock("x"), Err(ModelError::DuplicateName(_))));
         b.input_channel("a").unwrap();
-        assert!(matches!(b.output_channel("a"), Err(ModelError::DuplicateName(_))));
+        assert!(matches!(
+            b.output_channel("a"),
+            Err(ModelError::DuplicateName(_))
+        ));
         b.int_var("v", 0, 1, 0).unwrap();
-        assert!(matches!(b.int_var("v", 0, 1, 0), Err(ModelError::DuplicateName(_))));
+        assert!(matches!(
+            b.int_var("v", 0, 1, 0),
+            Err(ModelError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -477,7 +481,10 @@ mod tests {
     fn duplicate_location_rejected() {
         let mut a = AutomatonBuilder::new("A");
         a.location("L0").unwrap();
-        assert!(matches!(a.location("L0"), Err(ModelError::DuplicateName(_))));
+        assert!(matches!(
+            a.location("L0"),
+            Err(ModelError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -495,10 +502,11 @@ mod tests {
         let mut a = AutomatonBuilder::new("A");
         let l0 = a.location("L0").unwrap();
         // Guard refers to a clock index that does not exist in the system.
-        a.add_edge(
-            EdgeBuilder::new(l0, l0)
-                .guard_clock(ClockConstraint::new(ClockId::from_index(5), CmpOp::Ge, 1)),
-        );
+        a.add_edge(EdgeBuilder::new(l0, l0).guard_clock(ClockConstraint::new(
+            ClockId::from_index(5),
+            CmpOp::Ge,
+            1,
+        )));
         let aut = a.build().unwrap();
         assert!(matches!(
             b.add_automaton(aut),
@@ -541,7 +549,7 @@ mod tests {
             .when(Expr::var(v).lt(Expr::constant(5)))
             .when(Expr::var(v).ge(Expr::constant(0)))
             .reset(x)
-            .set(v, Expr::var(v).add(Expr::constant(1)))
+            .set(v, Expr::var(v) + Expr::constant(1))
             .into();
         assert_eq!(edge.sync, Sync::Input(c));
         assert_eq!(edge.guard.clocks.len(), 1);

@@ -235,7 +235,9 @@ pub struct ClockDecl {
 
 impl ClockDecl {
     pub(crate) fn new(name: &str) -> Self {
-        ClockDecl { name: name.to_string() }
+        ClockDecl {
+            name: name.to_string(),
+        }
     }
 
     /// Clock name.
@@ -401,9 +403,18 @@ mod tests {
             t.declare("a", 1, 0, 10, 0),
             Err(ModelError::DuplicateName(_))
         ));
-        assert!(matches!(t.declare("b", 0, 0, 10, 0), Err(ModelError::Invalid(_))));
-        assert!(matches!(t.declare("c", 1, 5, 3, 4), Err(ModelError::Invalid(_))));
-        assert!(matches!(t.declare("d", 1, 0, 3, 7), Err(ModelError::Invalid(_))));
+        assert!(matches!(
+            t.declare("b", 0, 0, 10, 0),
+            Err(ModelError::Invalid(_))
+        ));
+        assert!(matches!(
+            t.declare("c", 1, 5, 3, 4),
+            Err(ModelError::Invalid(_))
+        ));
+        assert!(matches!(
+            t.declare("d", 1, 0, 3, 7),
+            Err(ModelError::Invalid(_))
+        ));
     }
 
     #[test]

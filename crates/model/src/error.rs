@@ -50,7 +50,10 @@ impl fmt::Display for ModelError {
                 write!(f, "clock reset `{s}` produces a negative value")
             }
             ModelError::VariableOutOfRange { name, value } => {
-                write!(f, "assignment pushes variable `{name}` out of range (value {value})")
+                write!(
+                    f,
+                    "assignment pushes variable `{name}` out of range (value {value})"
+                )
             }
             ModelError::Invalid(s) => write!(f, "invalid model: {s}"),
         }

@@ -80,7 +80,7 @@ impl fmt::Display for CmpOp {
 /// use tiga_model::{Expr, CmpOp};
 ///
 /// // 2 + 3 == 5  evaluates to 1 (true) with no variables in scope.
-/// let e = Expr::constant(2).add(Expr::constant(3)).cmp(CmpOp::Eq, Expr::constant(5));
+/// let e = (Expr::constant(2) + Expr::constant(3)).cmp(CmpOp::Eq, Expr::constant(5));
 /// # use tiga_model::VarTable;
 /// let vars = VarTable::new();
 /// assert_eq!(e.eval(&vars, &[]).unwrap(), 1);
@@ -148,24 +148,6 @@ impl Expr {
     #[must_use]
     pub fn index(array: VarId, idx: Expr) -> Expr {
         Expr::Index(array, Box::new(idx))
-    }
-
-    /// `self + other`.
-    #[must_use]
-    pub fn add(self, other: Expr) -> Expr {
-        Expr::Add(Box::new(self), Box::new(other))
-    }
-
-    /// `self - other`.
-    #[must_use]
-    pub fn sub(self, other: Expr) -> Expr {
-        Expr::Sub(Box::new(self), Box::new(other))
-    }
-
-    /// `self * other`.
-    #[must_use]
-    pub fn mul(self, other: Expr) -> Expr {
-        Expr::Mul(Box::new(self), Box::new(other))
     }
 
     /// `self op other`, producing `0`/`1`.
@@ -256,7 +238,10 @@ impl Expr {
                 }
                 Ok(store[table.offset(*v) + i as usize])
             }
-            Expr::Neg(e) => e.eval(table, store)?.checked_neg().ok_or(EvalError::Overflow),
+            Expr::Neg(e) => e
+                .eval(table, store)?
+                .checked_neg()
+                .ok_or(EvalError::Overflow),
             Expr::Add(a, b) => a
                 .eval(table, store)?
                 .checked_add(b.eval(table, store)?)
@@ -274,18 +259,22 @@ impl Expr {
                 if d == 0 {
                     return Err(EvalError::DivisionByZero);
                 }
-                a.eval(table, store)?.checked_div(d).ok_or(EvalError::Overflow)
+                a.eval(table, store)?
+                    .checked_div(d)
+                    .ok_or(EvalError::Overflow)
             }
             Expr::Mod(a, b) => {
                 let d = b.eval(table, store)?;
                 if d == 0 {
                     return Err(EvalError::DivisionByZero);
                 }
-                a.eval(table, store)?.checked_rem(d).ok_or(EvalError::Overflow)
+                a.eval(table, store)?
+                    .checked_rem(d)
+                    .ok_or(EvalError::Overflow)
             }
-            Expr::Cmp(op, a, b) => {
-                Ok(i64::from(op.apply(a.eval(table, store)?, b.eval(table, store)?)))
-            }
+            Expr::Cmp(op, a, b) => Ok(i64::from(
+                op.apply(a.eval(table, store)?, b.eval(table, store)?),
+            )),
             Expr::And(a, b) => {
                 if a.eval(table, store)? == 0 {
                     Ok(0)
@@ -347,9 +336,7 @@ impl Expr {
             | Expr::Cmp(_, a, b)
             | Expr::And(a, b)
             | Expr::Or(a, b) => a.references_vars() || b.references_vars(),
-            Expr::Ite(c, t, e) => {
-                c.references_vars() || t.references_vars() || e.references_vars()
-            }
+            Expr::Ite(c, t, e) => c.references_vars() || t.references_vars() || e.references_vars(),
         }
     }
 
@@ -423,6 +410,33 @@ impl fmt::Display for DisplayExpr<'_> {
     }
 }
 
+impl std::ops::Add for Expr {
+    type Output = Expr;
+
+    /// Builds the sum expression `self + other`.
+    fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+
+    /// Builds the difference expression `self - other`.
+    fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+
+    /// Builds the product expression `self * other`.
+    fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+}
+
 impl From<i64> for Expr {
     fn from(v: i64) -> Self {
         Expr::Const(v)
@@ -457,7 +471,7 @@ mod tests {
         let mut store = Vec::new();
         for (name, size, init) in vars {
             t.declare(name, *size, -100, 100, *init).unwrap();
-            store.extend(std::iter::repeat(*init).take(*size));
+            store.extend(std::iter::repeat_n(*init, *size));
         }
         (t, store)
     }
@@ -465,7 +479,7 @@ mod tests {
     #[test]
     fn arithmetic_and_comparison() {
         let (t, s) = table_with(&[]);
-        let e = Expr::constant(7).sub(Expr::constant(3)).mul(Expr::constant(2));
+        let e = (Expr::constant(7) - Expr::constant(3)) * Expr::constant(2);
         assert_eq!(e.eval(&t, &s).unwrap(), 8);
         let c = Expr::constant(8).ge(Expr::constant(8));
         assert_eq!(c.eval(&t, &s).unwrap(), 1);
@@ -480,9 +494,17 @@ mod tests {
         let in_use = t.lookup("inUse").unwrap();
         s[t.offset(in_use) + 2] = 1;
         assert_eq!(Expr::var(n).eval(&t, &s).unwrap(), 5);
-        assert_eq!(Expr::index(in_use, Expr::constant(2)).eval(&t, &s).unwrap(), 1);
-        assert_eq!(Expr::index(in_use, Expr::constant(0)).eval(&t, &s).unwrap(), 0);
-        let err = Expr::index(in_use, Expr::constant(3)).eval(&t, &s).unwrap_err();
+        assert_eq!(
+            Expr::index(in_use, Expr::constant(2)).eval(&t, &s).unwrap(),
+            1
+        );
+        assert_eq!(
+            Expr::index(in_use, Expr::constant(0)).eval(&t, &s).unwrap(),
+            0
+        );
+        let err = Expr::index(in_use, Expr::constant(3))
+            .eval(&t, &s)
+            .unwrap_err();
         assert!(matches!(err, EvalError::IndexOutOfBounds { .. }));
     }
 
@@ -491,11 +513,13 @@ mod tests {
         let (t, s) = table_with(&[("z", 1, 0)]);
         let z = t.lookup("z").unwrap();
         // false && (1/0 == 0) must not error thanks to short-circuiting.
-        let e = Expr::var(z)
-            .ne(Expr::constant(0))
-            .and(Expr::Div(Box::new(Expr::constant(1)), Box::new(Expr::var(z))).eq(Expr::constant(0)));
+        let e = Expr::var(z).ne(Expr::constant(0)).and(
+            Expr::Div(Box::new(Expr::constant(1)), Box::new(Expr::var(z))).eq(Expr::constant(0)),
+        );
         assert_eq!(e.eval(&t, &s).unwrap(), 0);
-        let e = Expr::tt().or(Expr::Div(Box::new(Expr::constant(1)), Box::new(Expr::var(z))).eq(Expr::constant(0)));
+        let e = Expr::tt().or(
+            Expr::Div(Box::new(Expr::constant(1)), Box::new(Expr::var(z))).eq(Expr::constant(0)),
+        );
         assert_eq!(e.eval(&t, &s).unwrap(), 1);
     }
 
@@ -512,7 +536,10 @@ mod tests {
     fn as_constant_detects_closed_expressions() {
         let (t, _) = table_with(&[("n", 1, 5)]);
         let n = t.lookup("n").unwrap();
-        assert_eq!(Expr::constant(3).add(Expr::constant(4)).as_constant(), Some(7));
+        assert_eq!(
+            (Expr::constant(3) + Expr::constant(4)).as_constant(),
+            Some(7)
+        );
         assert_eq!(Expr::var(n).as_constant(), None);
         assert!(Expr::var(n).references_vars());
         assert!(!Expr::constant(3).references_vars());
@@ -522,7 +549,11 @@ mod tests {
     fn conditional_expression() {
         let (t, s) = table_with(&[("n", 1, 5)]);
         let n = t.lookup("n").unwrap();
-        let e = Expr::ite(Expr::var(n).ge(Expr::constant(3)), Expr::constant(10), Expr::constant(20));
+        let e = Expr::ite(
+            Expr::var(n).ge(Expr::constant(3)),
+            Expr::constant(10),
+            Expr::constant(20),
+        );
         assert_eq!(e.eval(&t, &s).unwrap(), 10);
     }
 
@@ -531,7 +562,9 @@ mod tests {
         let (t, _) = table_with(&[("count", 1, 0), ("buf", 2, 0)]);
         let count = t.lookup("count").unwrap();
         let buf = t.lookup("buf").unwrap();
-        let e = Expr::var(count).ge(Expr::constant(1)).and(Expr::index(buf, Expr::constant(0)).eq(Expr::constant(2)));
+        let e = Expr::var(count)
+            .ge(Expr::constant(1))
+            .and(Expr::index(buf, Expr::constant(0)).eq(Expr::constant(2)));
         let s = format!("{}", e.display(&t));
         assert!(s.contains("count"), "{s}");
         assert!(s.contains("buf[0]"), "{s}");
@@ -545,7 +578,14 @@ mod tests {
         assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
         assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
         // a op b == b op.flipped() a for all ops on a sample.
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 2), (3, 2)] {
                 assert_eq!(op.apply(a, b), op.flipped().apply(b, a));
             }

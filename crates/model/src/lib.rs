@@ -66,9 +66,7 @@ pub use automaton::{
     Location, Sync,
 };
 pub use builder::{AutomatonBuilder, EdgeBuilder, SystemBuilder};
-pub use decl::{
-    Action, Channel, ChannelKind, ClockDecl, ClockRef, IoDir, VarDecl, VarTable,
-};
+pub use decl::{Action, Channel, ChannelKind, ClockDecl, ClockRef, IoDir, VarDecl, VarTable};
 pub use error::{EvalError, ModelError};
 pub use expr::{CmpOp, DisplayExpr, Expr};
 pub use ids::{AutomatonId, ChannelId, ClockId, EdgeId, LocationId, VarId};

@@ -28,7 +28,10 @@ impl DiscreteState {
     /// system's names.
     #[must_use]
     pub fn display<'a>(&'a self, system: &'a System) -> DisplayDiscreteState<'a> {
-        DisplayDiscreteState { state: self, system }
+        DisplayDiscreteState {
+            state: self,
+            system,
+        }
     }
 }
 
@@ -59,7 +62,13 @@ impl fmt::Display for DisplayDiscreteState<'_> {
                     }
                     first = false;
                     if decl.is_array() {
-                        write!(f, "{}[{}]={}", decl.name(), k, self.state.vars[decl.offset() + k])?;
+                        write!(
+                            f,
+                            "{}[{}]={}",
+                            decl.name(),
+                            k,
+                            self.state.vars[decl.offset() + k]
+                        )?;
                     } else {
                         write!(f, "{}={}", decl.name(), self.state.vars[decl.offset()])?;
                     }
@@ -226,7 +235,9 @@ impl System {
         for (ai, aut) in self.automata.iter().enumerate() {
             for ei in aut.edges_from(d.locations[ai]) {
                 let edge = aut.edge(ei);
-                let Sync::Output(ch) = edge.sync else { continue };
+                let Sync::Output(ch) = edge.sync else {
+                    continue;
+                };
                 if !edge.guard.data_holds(&self.vars, &d.vars)? {
                     continue;
                 }
@@ -267,10 +278,7 @@ impl System {
         }
     }
 
-    fn joint_components<'a>(
-        &'a self,
-        je: &JointEdge,
-    ) -> Vec<(usize, &'a crate::automaton::Edge)> {
+    fn joint_components<'a>(&'a self, je: &JointEdge) -> Vec<(usize, &'a crate::automaton::Edge)> {
         match je {
             JointEdge::Internal { automaton, edge } => {
                 vec![(automaton.index(), self.automaton(*automaton).edge(*edge))]
@@ -327,11 +335,13 @@ impl System {
                         let i = idx.eval(&self.vars, &next.vars)?;
                         let decl = self.vars.decl(u.target);
                         if i < 0 || i as usize >= decl.size() {
-                            return Err(ModelError::Eval(crate::error::EvalError::IndexOutOfBounds {
-                                name: decl.name().to_string(),
-                                index: i,
-                                size: decl.size(),
-                            }));
+                            return Err(ModelError::Eval(
+                                crate::error::EvalError::IndexOutOfBounds {
+                                    name: decl.name().to_string(),
+                                    index: i,
+                                    size: decl.size(),
+                                },
+                            ));
                         }
                         self.vars.offset(u.target) + i as usize
                     }
@@ -381,9 +391,8 @@ impl System {
                         self.clock(r.clock).name()
                     )));
                 }
-                let v = i32::try_from(v).map_err(|_| {
-                    ModelError::Eval(crate::error::EvalError::Overflow)
-                })?;
+                let v = i32::try_from(v)
+                    .map_err(|_| ModelError::Eval(crate::error::EvalError::Overflow))?;
                 z.reset(r.clock.dbm_index(), v);
             }
         }
@@ -448,8 +457,8 @@ impl System {
                         self.clock(r.clock).name()
                     )));
                 }
-                let v =
-                    i32::try_from(v).map_err(|_| ModelError::Eval(crate::error::EvalError::Overflow))?;
+                let v = i32::try_from(v)
+                    .map_err(|_| ModelError::Eval(crate::error::EvalError::Overflow))?;
                 let idx = r.clock.dbm_index();
                 if !(z.constrain(idx, 0, Bound::le(v)) && z.constrain(0, idx, Bound::le(-v))) {
                     return Ok(z); // empty: the reset can never land in the target zone
@@ -537,7 +546,7 @@ mod tests {
             EdgeBuilder::new(work, idle)
                 .output(done)
                 .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 2))
-                .set(count, Expr::var(count).add(Expr::constant(1))),
+                .set(count, Expr::var(count) + Expr::constant(1)),
         );
         b.add_automaton(plant.build().unwrap()).unwrap();
 
@@ -635,9 +644,7 @@ mod tests {
         succ_zone.up();
         let inv = sys.invariant_zone(&s1.discrete).unwrap();
         succ_zone.intersect(&inv);
-        let pred = sys
-            .joint_pred_zone(&root.discrete, go, &succ_zone)
-            .unwrap();
+        let pred = sys.joint_pred_zone(&root.discrete, go, &succ_zone).unwrap();
         assert!(root.zone.is_subset_of(&pred));
     }
 

@@ -69,7 +69,13 @@ impl fmt::Display for DisplayConcreteState<'_> {
             for d in sys.vars().iter() {
                 for k in 0..d.size() {
                     if d.is_array() {
-                        write!(f, " {}[{}]={}", d.name(), k, self.state.vars[d.offset() + k])?;
+                        write!(
+                            f,
+                            " {}[{}]={}",
+                            d.name(),
+                            k,
+                            self.state.vars[d.offset() + k]
+                        )?;
                     } else {
                         write!(f, " {}={}", d.name(), self.state.vars[d.offset()])?;
                     }
@@ -501,10 +507,7 @@ impl<'a> Interpreter<'a> {
                 }
                 if let Some(next) = self.apply_edges(
                     state,
-                    &[
-                        (o.automaton.index(), o.edge),
-                        (i.automaton.index(), i.edge),
-                    ],
+                    &[(o.automaton.index(), o.edge), (i.automaton.index(), i.edge)],
                 )? {
                     return Ok(Some(next));
                 }
@@ -574,7 +577,7 @@ mod tests {
             EdgeBuilder::new(busy, idle)
                 .output(resp)
                 .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1))
-                .set(count, Expr::var(count).add(Expr::constant(1))),
+                .set(count, Expr::var(count) + Expr::constant(1)),
         );
         b.add_automaton(a.build().unwrap()).unwrap();
         b.build().unwrap()
@@ -697,7 +700,7 @@ mod tests {
             EdgeBuilder::new(l0, l0)
                 .output(resp)
                 .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 0))
-                .set(count, Expr::var(count).add(Expr::constant(1))),
+                .set(count, Expr::var(count) + Expr::constant(1)),
         );
         b.add_automaton(a.build().unwrap()).unwrap();
         let sys = b.build().unwrap();

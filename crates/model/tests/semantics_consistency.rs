@@ -31,10 +31,7 @@ struct RandomPlant {
 fn arb_plant() -> impl Strategy<Value = RandomPlant> {
     let locations = 2..5usize;
     locations.prop_flat_map(|locations| {
-        let invariants = proptest::collection::vec(
-            proptest::option::of(1..6i64),
-            locations,
-        );
+        let invariants = proptest::collection::vec(proptest::option::of(1..6i64), locations);
         let edges = proptest::collection::vec(
             (
                 0..locations,
@@ -84,7 +81,11 @@ fn build(plant: &RandomPlant) -> System {
         if let Some(upper) = e.guard_upper {
             edge = edge.guard_clock(ClockConstraint::new(x, CmpOp::Le, upper));
         }
-        edge = if e.is_output { edge.output(output) } else { edge.input(input) };
+        edge = if e.is_output {
+            edge.output(output)
+        } else {
+            edge.input(input)
+        };
         if e.reset {
             edge = edge.reset(x);
         }

@@ -65,7 +65,11 @@ pub fn build_machine_into(builder: &mut SystemBuilder) -> Result<MachineChannels
     machine.set_initial(idle);
     machine.set_invariant(
         selecting,
-        vec![ClockConstraint::new(x, CmpOp::Le, SELECTION_TIMEOUT + REACT_TIME)],
+        vec![ClockConstraint::new(
+            x,
+            CmpOp::Le,
+            SELECTION_TIMEOUT + REACT_TIME,
+        )],
     );
     machine.set_invariant(brewing, vec![ClockConstraint::new(x, CmpOp::Le, BREW_MAX)]);
 

@@ -105,7 +105,11 @@ impl LepConfig {
     /// All three purposes with their names, in the order of Table 1.
     #[must_use]
     pub fn purposes(&self) -> Vec<(&'static str, String)> {
-        vec![("TP1", self.tp1()), ("TP2", self.tp2()), ("TP3", self.tp3())]
+        vec![
+            ("TP1", self.tp1()),
+            ("TP2", self.tp2()),
+            ("TP3", self.tp3()),
+        ]
     }
 }
 
@@ -116,7 +120,10 @@ struct LepChannels {
     timeout: ChannelId,
 }
 
-fn declare_shared(builder: &mut SystemBuilder, config: LepConfig) -> Result<LepChannels, ModelError> {
+fn declare_shared(
+    builder: &mut SystemBuilder,
+    config: LepConfig,
+) -> Result<LepChannels, ModelError> {
     let n = config.nodes;
     // Constants first so that test purposes can reference them.
     builder.constant("N", n as i64)?;
@@ -166,7 +173,10 @@ fn build_iut(
         waiting,
         vec![ClockConstraint::new(x, CmpOp::Le, T_WAIT + PROC_TIME)],
     );
-    iut.set_invariant(forward, vec![ClockConstraint::new(tp, CmpOp::Le, PROC_TIME)]);
+    iut.set_invariant(
+        forward,
+        vec![ClockConstraint::new(tp, CmpOp::Le, PROC_TIME)],
+    );
 
     // Receiving a message: the per-value channels record the received
     // address.  A strictly better (lower) address is remembered and will be
@@ -204,7 +214,11 @@ fn build_iut(
     }
     // Forwarding the better information into the network (buffer), within
     // PROC_TIME of having received it (uncontrollable instant).
-    iut.add_edge(EdgeBuilder::new(forward, idle).output(channels.send).reset(x));
+    iut.add_edge(
+        EdgeBuilder::new(forward, idle)
+            .output(channels.send)
+            .reset(x),
+    );
     // Timeout: without better information the node eventually claims
     // leadership, at an uncontrollable instant in [T_WAIT, T_WAIT+PROC_TIME].
     iut.add_edge(
@@ -243,9 +257,8 @@ fn build_buffer(
         for i in 0..n {
             let mut guard = Expr::index(in_use, Expr::constant(i as i64)).eq(Expr::constant(0));
             if i > 0 {
-                guard = guard.and(
-                    Expr::index(in_use, Expr::constant((i - 1) as i64)).eq(Expr::constant(1)),
-                );
+                guard = guard
+                    .and(Expr::index(in_use, Expr::constant((i - 1) as i64)).eq(Expr::constant(1)));
             }
             match slot_val {
                 None => {
@@ -296,9 +309,8 @@ fn build_buffer(
     for i in 0..n {
         let mut guard = Expr::index(in_use, Expr::constant(i as i64)).eq(Expr::constant(1));
         if i + 1 < n {
-            guard = guard.and(
-                Expr::index(in_use, Expr::constant((i + 1) as i64)).eq(Expr::constant(0)),
-            );
+            guard = guard
+                .and(Expr::index(in_use, Expr::constant((i + 1) as i64)).eq(Expr::constant(0)));
         }
         for (k, ch) in channels.deliver.iter().enumerate() {
             let mut edge_guard = guard.clone();
@@ -439,7 +451,10 @@ mod tests {
         for (name, text) in config.purposes() {
             let tp = TestPurpose::parse(&text, &sys).unwrap();
             let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
-            assert!(solution.winning_from_initial, "{name} must be winnable (detailed)");
+            assert!(
+                solution.winning_from_initial,
+                "{name} must be winnable (detailed)"
+            );
         }
     }
 

@@ -248,7 +248,10 @@ mod tests {
         let product = product().unwrap();
         let tp = TestPurpose::parse(PURPOSE_BRIGHT, &product).unwrap();
         let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
-        assert!(solution.winning_from_initial, "A<> IUT.Bright must be winnable");
+        assert!(
+            solution.winning_from_initial,
+            "A<> IUT.Bright must be winnable"
+        );
         assert!(solution.strategy.is_some());
     }
 
@@ -257,7 +260,10 @@ mod tests {
         let product = product().unwrap();
         let tp = TestPurpose::parse(PURPOSE_DIM, &product).unwrap();
         let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
-        assert!(solution.winning_from_initial, "A<> IUT.Dim must be winnable");
+        assert!(
+            solution.winning_from_initial,
+            "A<> IUT.Dim must be winnable"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl fmt::Display for SolverError {
             SolverError::Model(e) => write!(f, "model error: {e}"),
             SolverError::Purpose(e) => write!(f, "test purpose error: {e}"),
             SolverError::StateLimitExceeded { limit } => {
-                write!(f, "symbolic exploration exceeded the limit of {limit} discrete states")
+                write!(
+                    f,
+                    "symbolic exploration exceeded the limit of {limit} discrete states"
+                )
             }
             SolverError::Unsupported(what) => write!(f, "unsupported objective: {what}"),
         }

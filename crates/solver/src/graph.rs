@@ -226,9 +226,7 @@ impl GameGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiga_model::{
-        AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, Expr, SystemBuilder,
-    };
+    use tiga_model::{AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, Expr, SystemBuilder};
     use tiga_tctl::TestPurpose;
 
     /// Plant: Idle --start?--> Run(x<=3) --tick!{x>=1}--> Idle, counting ticks.
@@ -249,7 +247,7 @@ mod tests {
             EdgeBuilder::new(run, idle)
                 .output(tick)
                 .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1))
-                .set(count, Expr::var(count).add(Expr::constant(1))),
+                .set(count, Expr::var(count) + Expr::constant(1)),
         );
         b.add_automaton(plant.build().unwrap()).unwrap();
 
@@ -282,8 +280,7 @@ mod tests {
     fn goal_states_are_not_expanded_when_pruning() {
         let sys = ping_system(1);
         let tp = TestPurpose::parse("control: A<> count == 1", &sys).unwrap();
-        let pruned =
-            GameGraph::explore(&sys, &tp.predicate, &ExploreOptions::default()).unwrap();
+        let pruned = GameGraph::explore(&sys, &tp.predicate, &ExploreOptions::default()).unwrap();
         let full = GameGraph::explore(
             &sys,
             &tp.predicate,

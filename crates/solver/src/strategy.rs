@@ -138,10 +138,11 @@ impl Strategy {
         let mut best: Option<&StrategyRule> = None;
         for rule in rules {
             if let Decision::Take(_) = rule.decision {
-                if rule.rank <= rank && rule.zone.contains_at(&vals, scale) {
-                    if best.is_none_or(|b| rule.rank < b.rank) {
-                        best = Some(rule);
-                    }
+                if rule.rank <= rank
+                    && rule.zone.contains_at(&vals, scale)
+                    && best.is_none_or(|b| rule.rank < b.rank)
+                {
+                    best = Some(rule);
                 }
             }
         }
@@ -187,7 +188,10 @@ impl Strategy {
     /// Renders the strategy in the style of the paper's Fig. 5.
     #[must_use]
     pub fn display<'a>(&'a self, system: &'a System) -> DisplayStrategy<'a> {
-        DisplayStrategy { strategy: self, system }
+        DisplayStrategy {
+            strategy: self,
+            system,
+        }
     }
 }
 
@@ -304,9 +308,15 @@ mod tests {
             Some(StrategyDecision::Wait { rank: 2 })
         );
         // x = 3: the rank-2 take applies.
-        assert!(matches!(strat.decide(&d, &[12], 4), Some(StrategyDecision::Take(_))));
+        assert!(matches!(
+            strat.decide(&d, &[12], 4),
+            Some(StrategyDecision::Take(_))
+        ));
         // x = 4.5: both takes apply; the lower-rank one is still a Take.
-        assert!(matches!(strat.decide(&d, &[18], 4), Some(StrategyDecision::Take(_))));
+        assert!(matches!(
+            strat.decide(&d, &[18], 4),
+            Some(StrategyDecision::Take(_))
+        ));
         // Rank query follows the wait regions.
         assert_eq!(strat.rank_of(&d, &[0], 4), Some(2));
         // Unknown discrete state is uncovered.

@@ -137,7 +137,12 @@ pub fn solve_reachability(
         graph_edges: graph.edge_count(),
         iterations: outcome.iterations,
         winning_zones: outcome.winning.iter().map(Federation::len).sum(),
-        peak_federation_size: outcome.winning.iter().map(Federation::len).max().unwrap_or(0),
+        peak_federation_size: outcome
+            .winning
+            .iter()
+            .map(Federation::len)
+            .max()
+            .unwrap_or(0),
         reach_zones: graph.reach_zone_count(),
     };
     Ok(GameSolution {
@@ -301,9 +306,7 @@ impl<'a> Engine<'a> {
                 if !escape.is_empty() {
                     bad.union_with(&self.fed_pred(&node.discrete, &edge.joint, &escape)?);
                 }
-                let mut guard = self
-                    .system
-                    .joint_guard_zone(&node.discrete, &edge.joint)?;
+                let mut guard = self.system.joint_guard_zone(&node.discrete, &edge.joint)?;
                 guard.intersect(&node.invariant);
                 unc.push((pred_win, guard));
             }
@@ -434,9 +437,9 @@ impl<'a> Engine<'a> {
         let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
         // Seed: all predecessors of goal nodes, plus every node with a goal
         // somewhere below (cheap approximation: all nodes).
-        for id in 0..n {
+        for (id, flag) in in_queue.iter_mut().enumerate() {
             queue.push_back(id);
-            in_queue[id] = true;
+            *flag = true;
         }
         let mut pops = 0usize;
         let max_pops = options.max_rounds.saturating_mul(n.max(1));
@@ -497,9 +500,7 @@ fn invariant_boundary(invariant: &Dbm, urgent: bool) -> Federation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiga_model::{
-        AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, SystemBuilder,
-    };
+    use tiga_model::{AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, SystemBuilder};
     use tiga_tctl::TestPurpose;
 
     /// A plant that, once kicked, must reply within [1, 3] (invariant x <= 3).
@@ -594,7 +595,10 @@ mod tests {
         // after some delay) — in the initial state kick is enabled everywhere.
         let d0 = sys.initial_discrete();
         let decision = strategy.decide(&d0, &[0], 4).expect("covered");
-        assert!(matches!(decision, crate::strategy::StrategyDecision::Take(_)));
+        assert!(matches!(
+            decision,
+            crate::strategy::StrategyDecision::Take(_)
+        ));
         // The Busy state is winning for every clock value admitted by the
         // invariant: the reply is forced.
         let busy = {
@@ -605,9 +609,12 @@ mod tests {
         };
         assert!(solution.is_winning_state(&busy, &[0], 4));
         assert!(solution.is_winning_state(&busy, &[12], 4)); // x = 3 boundary
-        // Waiting is the prescribed move in Busy.
+                                                             // Waiting is the prescribed move in Busy.
         let decision = strategy.decide(&busy, &[4], 4).expect("covered");
-        assert!(matches!(decision, crate::strategy::StrategyDecision::Wait { .. }));
+        assert!(matches!(
+            decision,
+            crate::strategy::StrategyDecision::Wait { .. }
+        ));
     }
 
     #[test]
@@ -639,13 +646,12 @@ mod tests {
             dodging_plant_system(),
         ] {
             for goal in ["Plant.Done", "Plant.Busy"] {
-                let tp =
-                    TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
+                let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
                 let a = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
-                let b =
-                    solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
+                let b = solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
                 assert_eq!(
-                    a.winning_from_initial, b.winning_from_initial,
+                    a.winning_from_initial,
+                    b.winning_from_initial,
                     "system {} goal {goal}",
                     sys.name()
                 );
@@ -694,7 +700,7 @@ mod tests {
         let boundary = invariant_boundary(&inv, false);
         assert!(boundary.contains_scaled(&[0, 6])); // x = 3
         assert!(!boundary.contains_scaled(&[0, 5])); // x = 2.5
-        // No upper bounds: no boundary.
+                                                     // No upper bounds: no boundary.
         let open = Dbm::universe(2);
         assert!(invariant_boundary(&open, false).is_empty());
         // Urgent: everything is a boundary.

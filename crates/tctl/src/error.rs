@@ -41,7 +41,10 @@ impl fmt::Display for TctlError {
                 position,
                 expected,
                 found,
-            } => write!(f, "expected {expected} but found {found} at byte {position}"),
+            } => write!(
+                f,
+                "expected {expected} but found {found} at byte {position}"
+            ),
             TctlError::Unresolved(name) => write!(f, "cannot resolve `{name}`"),
             TctlError::Invalid(msg) => write!(f, "invalid test purpose: {msg}"),
             TctlError::Eval(msg) => write!(f, "evaluation failed: {msg}"),

@@ -87,124 +87,215 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TctlError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    position: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    position: start,
+                });
                 i += 1;
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&'.') {
-                    tokens.push(Token { kind: TokenKind::DotDot, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DotDot,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Dot, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '[' => {
                 if bytes.get(i + 1) == Some(&']') {
-                    tokens.push(Token { kind: TokenKind::Box, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Box,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::LBracket, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::LBracket,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    position: start,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&'>') {
-                    tokens.push(Token { kind: TokenKind::Diamond, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Diamond,
+                        position: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::EqEq, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(TctlError::Lex { position: start, found: '=' });
+                    return Err(TctlError::Lex {
+                        position: start,
+                        found: '=',
+                    });
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(Token { kind: TokenKind::NotEq, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Not, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Not,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&'&') {
-                    tokens.push(Token { kind: TokenKind::And, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::And,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(TctlError::Lex { position: start, found: '&' });
+                    return Err(TctlError::Lex {
+                        position: start,
+                        found: '&',
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&'|') {
-                    tokens.push(Token { kind: TokenKind::Or, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Or,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(TctlError::Lex { position: start, found: '|' });
+                    return Err(TctlError::Lex {
+                        position: start,
+                        found: '|',
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
                 let mut value: i64 = 0;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
-                    value = value * 10 + i64::from(bytes[i] as u8 - b'0');
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(bytes[i] as u8 - b'0')))
+                        .ok_or_else(|| {
+                            TctlError::Invalid(format!(
+                                "integer literal at position {start} overflows i64"
+                            ))
+                        })?;
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Number(value), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    position: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut name = String::new();
@@ -219,9 +310,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, TctlError> {
                     "imply" => TokenKind::Imply,
                     _ => TokenKind::Ident(name),
                 };
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
             }
-            other => return Err(TctlError::Lex { position: start, found: other }),
+            other => {
+                return Err(TctlError::Lex {
+                    position: start,
+                    found: other,
+                })
+            }
         }
     }
     Ok(tokens)
@@ -232,7 +331,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -322,6 +425,17 @@ mod tests {
         assert!(matches!(tokenize("a = b"), Err(TctlError::Lex { .. })));
         assert!(matches!(tokenize("a & b"), Err(TctlError::Lex { .. })));
         assert!(matches!(tokenize("a # b"), Err(TctlError::Lex { .. })));
+    }
+
+    #[test]
+    fn oversized_integer_literals_are_rejected() {
+        assert!(matches!(
+            tokenize("x == 99999999999999999999"),
+            Err(TctlError::Invalid(_))
+        ));
+        // The largest representable literal still lexes.
+        let toks = tokenize("9223372036854775807").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Number(i64::MAX));
     }
 
     #[test]

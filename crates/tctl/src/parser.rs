@@ -63,9 +63,10 @@ impl<'t> Parser<'t> {
     }
 
     fn position(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map_or_else(|| self.tokens.last().map_or(0, |t| t.position + 1), |t| t.position)
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |t| t.position + 1),
+            |t| t.position,
+        )
     }
 
     fn found(&self) -> String {
@@ -307,7 +308,9 @@ fn range_values(range: &RawRange, system: &System) -> Result<Vec<i64>, TctlError
         }
         RawRange::Span(lo, hi) => {
             if lo > hi {
-                return Err(TctlError::Invalid(format!("empty quantifier range {lo}..{hi}")));
+                return Err(TctlError::Invalid(format!(
+                    "empty quantifier range {lo}..{hi}"
+                )));
             }
             Ok((*lo..=*hi).collect())
         }
@@ -354,7 +357,9 @@ fn resolve_int(raw: &Raw, system: &System, env: &Env<'_>) -> Result<Expr, TctlEr
                 .lookup(name)
                 .ok_or_else(|| TctlError::Unresolved(name.clone()))?;
             if system.vars().decl(var).is_array() {
-                return Err(TctlError::Invalid(format!("array `{name}` used without an index")));
+                return Err(TctlError::Invalid(format!(
+                    "array `{name}` used without an index"
+                )));
             }
             Ok(Expr::var(var))
         }
@@ -372,9 +377,9 @@ fn resolve_int(raw: &Raw, system: &System, env: &Env<'_>) -> Result<Expr, TctlEr
             let a = resolve_int(a, system, env)?;
             let b = resolve_int(b, system, env)?;
             Ok(match op {
-                RawOp::Add => a.add(b),
-                RawOp::Sub => a.sub(b),
-                RawOp::Mul => a.mul(b),
+                RawOp::Add => a + b,
+                RawOp::Sub => a - b,
+                RawOp::Mul => a * b,
                 RawOp::Div => Expr::Div(Box::new(a), Box::new(b)),
                 RawOp::Mod => Expr::Mod(Box::new(a), Box::new(b)),
                 RawOp::Cmp(op) => a.cmp(*op, b),
@@ -578,11 +583,7 @@ mod tests {
     #[test]
     fn parses_tp1_conjunction() {
         let sys = sample_system();
-        let tp = TestPurpose::parse(
-            "control: A<> (IUT.Dim and betterInfo == 1)",
-            &sys,
-        )
-        .unwrap();
+        let tp = TestPurpose::parse("control: A<> (IUT.Dim and betterInfo == 1)", &sys).unwrap();
         assert!(tp
             .predicate
             .holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 1))
@@ -665,11 +666,7 @@ mod tests {
     #[test]
     fn parses_safety_purpose_and_imply() {
         let sys = sample_system();
-        let tp = TestPurpose::parse(
-            "control: A[] betterInfo == 1 imply IUT.Dim",
-            &sys,
-        )
-        .unwrap();
+        let tp = TestPurpose::parse("control: A[] betterInfo == 1 imply IUT.Dim", &sys).unwrap();
         assert_eq!(tp.quantifier, PathQuantifier::Safety);
         assert!(tp
             .predicate
@@ -689,8 +686,12 @@ mod tests {
     fn arithmetic_inside_predicates() {
         let sys = sample_system();
         let p = parse_predicate("forwardCount + betterInfo >= 1", &sys).unwrap();
-        assert!(!p.holds(&sys, &state_with(&sys, "Off", [0, 0, 0], 0)).unwrap());
-        assert!(p.holds(&sys, &state_with(&sys, "Off", [0, 0, 0], 1)).unwrap());
+        assert!(!p
+            .holds(&sys, &state_with(&sys, "Off", [0, 0, 0], 0))
+            .unwrap());
+        assert!(p
+            .holds(&sys, &state_with(&sys, "Off", [0, 0, 0], 1))
+            .unwrap());
         let p = parse_predicate("N == 3", &sys).unwrap();
         assert!(p.holds(&sys, &sys.initial_discrete()).unwrap());
         let p = parse_predicate("2 * N - 1 == 5", &sys).unwrap();
@@ -763,11 +764,8 @@ mod tests {
         let sys = sample_system();
         // The paper's TP1 uses `IUT.betterInfo == 1` for a process variable;
         // our models use globals, so the qualifier is dropped.
-        let tp = TestPurpose::parse(
-            "control: A<> (IUT.betterInfo == 1) and IUT.Dim",
-            &sys,
-        )
-        .unwrap();
+        let tp =
+            TestPurpose::parse("control: A<> (IUT.betterInfo == 1) and IUT.Dim", &sys).unwrap();
         assert!(tp
             .predicate
             .holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 1))
@@ -778,8 +776,12 @@ mod tests {
             .unwrap());
         // Used directly as a boolean atom.
         let p = parse_predicate("IUT.betterInfo and IUT.Dim", &sys).unwrap();
-        assert!(p.holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 1)).unwrap());
-        assert!(!p.holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 0)).unwrap());
+        assert!(p
+            .holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 1))
+            .unwrap());
+        assert!(!p
+            .holds(&sys, &state_with(&sys, "Dim", [0, 0, 0], 0))
+            .unwrap());
         // Unknown names still fail.
         assert!(matches!(
             parse_predicate("IUT.noSuchThing == 1", &sys),
@@ -791,7 +793,10 @@ mod tests {
     fn true_false_literals() {
         let sys = sample_system();
         assert_eq!(parse_predicate("true", &sys).unwrap(), StatePredicate::True);
-        assert_eq!(parse_predicate("false", &sys).unwrap(), StatePredicate::False);
+        assert_eq!(
+            parse_predicate("false", &sys).unwrap(),
+            StatePredicate::False
+        );
         // Simplification keeps conjunctions with `true` small.
         assert_eq!(
             parse_predicate("true and IUT.Off", &sys).unwrap(),

@@ -1,0 +1,215 @@
+//! In-repo stand-in for the `criterion` crate, providing the subset of the
+//! 0.5 API used by this workspace (see `crates/vendor/README.md`).
+//!
+//! Instead of statistics and HTML reports, each benchmark is calibrated with
+//! one warm-up call, run for enough iterations to fill a small time budget,
+//! and reported as one `bench <id> ... <mean>/iter` line on stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget each benchmark's measurement loop aims to fill.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iteration cap so fast benchmarks do not spin excessively.
+const MAX_ITERS: u64 = 100_000;
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (kept for API compatibility; the
+    /// stand-in only uses it as an iteration floor).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks one function parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id);
+        run_benchmark(&id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: a function name plus the
+/// parameter value it was run with.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_floor: u64,
+    mean: Option<Duration>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Calibrates and times `f`, recording the mean duration per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let by_budget = (MEASURE_BUDGET.as_nanos() / warmup.as_nanos()).max(1) as u64;
+        let iters = by_budget.clamp(self.iters_floor.min(10), MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean = Some(elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+        self.total_iters = iters;
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_floor: sample_size as u64,
+        mean: None,
+        total_iters: 0,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!(
+            "bench {id:<50} {:>12} /iter ({} iters)",
+            format!("{mean:.1?}"),
+            bencher.total_iters
+        ),
+        None => println!("bench {id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a group of benchmark functions, with or without a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags such as `--bench`; nothing to parse
+            // for the stand-in.
+            $($group();)+
+        }
+    };
+}

@@ -6,8 +6,8 @@
 
 use tiga::models::smart_light;
 use tiga::testing::{
-    default_policies, generate_mutants, run_mutation_campaign, run_random_campaign,
-    MutationConfig, TestConfig, TestHarness,
+    default_policies, generate_mutants, run_mutation_campaign, run_random_campaign, MutationConfig,
+    TestConfig, TestHarness,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let policies = default_policies();
 
-    println!("-- strategy-based testing (purpose `{}`) --", harness.purpose());
+    println!(
+        "-- strategy-based testing (purpose `{}`) --",
+        harness.purpose()
+    );
     let strategic = run_mutation_campaign(&harness, &plant, &mutants, &policies, 1)?;
     println!("{strategic}");
 

@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5)
         .clamp(3, 8);
-    let detailed = std::env::var("TIGA_LEP_DETAILED").map(|v| v == "1").unwrap_or(false);
+    let detailed = std::env::var("TIGA_LEP_DETAILED")
+        .map(|v| v == "1")
+        .unwrap_or(false);
 
     println!(
         "== Table 1: strategy generation for the LEP protocol ({} buffer model) ==",
@@ -41,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    for (name, purpose_of) in [
-        ("TP1", 0usize),
-        ("TP2", 1usize),
-        ("TP3", 2usize),
-    ] {
+    for (name, purpose_of) in [("TP1", 0usize), ("TP2", 1usize), ("TP3", 2usize)] {
         print!("{name:<6}");
         for n in min_n..=max_n {
             let config = if detailed {
@@ -61,14 +59,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let solution = solve_reachability(&system, &purpose, &SolveOptions::default())?;
             let elapsed = start.elapsed();
             let stats = solution.stats();
-            let mem_mb =
-                stats.estimated_zone_bytes(system.dim()) as f64 / (1024.0 * 1024.0);
+            let mem_mb = stats.estimated_zone_bytes(system.dim()) as f64 / (1024.0 * 1024.0);
             let cell = format!(
                 "{:.2}s/{:.1}MB/{}{}",
                 elapsed.as_secs_f64(),
                 mem_mb,
                 stats.discrete_states,
-                if solution.winning_from_initial { "" } else { "!" }
+                if solution.winning_from_initial {
+                    ""
+                } else {
+                    "!"
+                }
             );
             print!("{cell:>22}");
         }
@@ -76,6 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("All purposes are winnable (a `!` would flag an unexpectedly unwinnable case).");
-    println!("Paper reference values (2008 hardware): TP1 n=7 in 11.1s/85MB; TP2 n=7 in 452s/2977MB.");
+    println!(
+        "Paper reference values (2008 hardware): TP1 n=7 in 11.1s/85MB; TP2 n=7 in 452s/2977MB."
+    );
     Ok(())
 }

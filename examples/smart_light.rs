@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for automaton in product.automata() {
         println!("automaton {}:", automaton.name());
         for (i, loc) in automaton.locations().iter().enumerate() {
-            let marker = if i == automaton.initial().index() { "*" } else { " " };
+            let marker = if i == automaton.initial().index() {
+                "*"
+            } else {
+                " "
+            };
             println!("  {marker} location {}", loc.name);
         }
         for edge in automaton.edges() {
@@ -57,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TestConfig::default(),
     )?;
     println!();
-    println!("== Winning strategy for `{}` (Fig. 5 style) ==", harness.purpose());
+    println!(
+        "== Winning strategy for `{}` (Fig. 5 style) ==",
+        harness.purpose()
+    );
     println!("{}", harness.strategy().display(&product));
 
     // --- Test execution ---------------------------------------------------
@@ -89,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             detected += 1;
             if !shown {
                 shown = true;
-                println!("faulty implementation ({}): {}", mutant.description, report.verdict);
+                println!(
+                    "faulty implementation ({}): {}",
+                    mutant.description, report.verdict
+                );
                 println!("  trace: {}", report.trace.display(report.scale));
             }
         }

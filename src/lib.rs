@@ -17,6 +17,21 @@
 //! * [`models`] ([`tiga_models`]) — the Smart Light and Leader Election
 //!   Protocol case studies.
 //!
+//! Benchmarks live in the separate `tiga-bench` crate (`crates/bench`), and
+//! `crates/vendor` holds API-compatible stand-ins for `rand`, `proptest` and
+//! `criterion` for the offline build environment.  `cargo build --release`,
+//! `cargo test -q` and `cargo bench --no-run` cover the whole workspace from
+//! the repository root; see `README.md` for the full command set and layout.
+//!
+//! # Parallel campaigns
+//!
+//! Mutation campaigns run every `(policy, implementation)` pair concurrently
+//! on a sharded work queue while staying **bit-identical for any thread
+//! count**: job `i` is seeded with `mix64(master_seed ^ mix64(i))` before
+//! scheduling, and per-job summaries are merged in job order.  See
+//! [`testing::CampaignOptions`], [`testing::run_mutation_campaign_with`] and
+//! the `tiga_testing::campaign` module docs for the scheme.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -76,7 +76,11 @@ fn tp1_strategy_executes_against_conformant_node() {
         TestConfig::default(),
     )
     .expect("TP1 is enforceable");
-    for policy in [OutputPolicy::Eager, OutputPolicy::Lazy, OutputPolicy::Jittery { seed: 5 }] {
+    for policy in [
+        OutputPolicy::Eager,
+        OutputPolicy::Lazy,
+        OutputPolicy::Jittery { seed: 5 },
+    ] {
         let mut iut = SimulatedIut::new(
             "lep-node",
             plant(config).expect("plant builds"),

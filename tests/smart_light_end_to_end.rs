@@ -22,7 +22,11 @@ fn bright_strategy_looks_like_fig5() {
     let strategy = harness.strategy();
     // The strategy covers several product states and mixes actions and waits,
     // as in Fig. 5.
-    assert!(strategy.state_count() >= 5, "covers {} states", strategy.state_count());
+    assert!(
+        strategy.state_count() >= 5,
+        "covers {} states",
+        strategy.state_count()
+    );
     assert!(strategy.rule_count() >= strategy.state_count());
     let listing = format!("{}", strategy.display(&product));
     assert!(listing.contains("take transition touch?"), "{listing}");

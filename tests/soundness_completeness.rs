@@ -34,8 +34,7 @@ fn soundness_no_false_alarms_across_policies_and_purposes() {
             OutputPolicy::Jittery { seed: 11 },
             OutputPolicy::Jittery { seed: 1_234_567 },
         ] {
-            let mut iut =
-                SimulatedIut::new("light", plant.clone(), harness.config().scale, policy);
+            let mut iut = SimulatedIut::new("light", plant.clone(), harness.config().scale, policy);
             let report = harness.execute(&mut iut).expect("executes");
             assert_eq!(
                 report.verdict,
@@ -59,7 +58,11 @@ fn smart_light_mutation_campaign_is_sound_and_detects_purposeful_faults() {
     )
     .expect("enforceable");
     let mutants = generate_mutants(&plant, &MutationConfig::default()).expect("mutants");
-    assert!(mutants.len() >= 20, "expected a sizeable pool, got {}", mutants.len());
+    assert!(
+        mutants.len() >= 20,
+        "expected a sizeable pool, got {}",
+        mutants.len()
+    );
     let summary = run_mutation_campaign(&harness, &plant, &mutants, &default_policies(), 1)
         .expect("campaign runs");
     // Theorem 10 in practice: the conformant implementation never fails.
@@ -93,7 +96,10 @@ fn coffee_machine_late_and_wrong_outputs_are_detected() {
     // Conformant baseline.
     for policy in [OutputPolicy::Eager, OutputPolicy::Lazy] {
         let mut good = SimulatedIut::new("machine", plant.clone(), harness.config().scale, policy);
-        assert_eq!(harness.execute(&mut good).expect("executes").verdict, Verdict::Pass);
+        assert_eq!(
+            harness.execute(&mut good).expect("executes").verdict,
+            Verdict::Pass
+        );
     }
 
     // Fault 1: serving later than BREW_MAX.
@@ -103,17 +109,29 @@ fn coffee_machine_late_and_wrong_outputs_are_detected() {
         |_, _, l| {
             let mut l = l.clone();
             if l.name == "Brewing" {
-                l.invariant = vec![ClockConstraint::new(x, CmpOp::Le, coffee_machine::BREW_MAX + 4)];
+                l.invariant = vec![ClockConstraint::new(
+                    x,
+                    CmpOp::Le,
+                    coffee_machine::BREW_MAX + 4,
+                )];
             }
             l
         },
         |_, _, e| Some(e.clone()),
     )
     .expect("rebuild");
-    let mut slow_iut =
-        SimulatedIut::new("slow-machine", slow, harness.config().scale, OutputPolicy::Lazy);
+    let mut slow_iut = SimulatedIut::new(
+        "slow-machine",
+        slow,
+        harness.config().scale,
+        OutputPolicy::Lazy,
+    );
     assert!(
-        harness.execute(&mut slow_iut).expect("executes").verdict.is_fail(),
+        harness
+            .execute(&mut slow_iut)
+            .expect("executes")
+            .verdict
+            .is_fail(),
         "late coffee must be detected"
     );
 
@@ -132,10 +150,18 @@ fn coffee_machine_late_and_wrong_outputs_are_detected() {
         },
     )
     .expect("rebuild");
-    let mut wrong_iut =
-        SimulatedIut::new("wrong-machine", wrong, harness.config().scale, OutputPolicy::Eager);
+    let mut wrong_iut = SimulatedIut::new(
+        "wrong-machine",
+        wrong,
+        harness.config().scale,
+        OutputPolicy::Eager,
+    );
     assert!(
-        harness.execute(&mut wrong_iut).expect("executes").verdict.is_fail(),
+        harness
+            .execute(&mut wrong_iut)
+            .expect("executes")
+            .verdict
+            .is_fail(),
         "wrong output must be detected"
     );
 }
