@@ -1,15 +1,22 @@
 //! Solver ablations (experiment E7 in DESIGN.md):
 //!
-//! * Jacobi (round-based, strategy-producing) fixpoint vs. worklist
-//!   propagation;
+//! * on-the-fly (OTFUR) solving vs. the eager Jacobi and worklist engines,
+//!   with and without early termination;
 //! * goal pruning on vs. off during forward exploration;
 //! * strategy extraction on vs. off.
+//!
+//! The machine-readable engine × model matrix (states, subsumption, pruning
+//! and early-termination counters) is produced separately by the
+//! `solver_matrix` binary; this bench measures wall-clock only.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tiga_bench::lep_instance;
 use tiga_models::smart_light;
-use tiga_solver::{solve_reachability, solve_reachability_worklist, ExploreOptions, SolveOptions};
+use tiga_solver::{
+    solve, solve_reachability, solve_reachability_worklist, ExploreOptions, SolveEngine,
+    SolveOptions,
+};
 use tiga_tctl::TestPurpose;
 
 fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
@@ -19,6 +26,14 @@ fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
             ..ExploreOptions::default()
         },
         extract_strategy,
+        ..SolveOptions::default()
+    }
+}
+
+fn otfur_options(early_termination: bool) -> SolveOptions {
+    SolveOptions {
+        engine: SolveEngine::Otfur,
+        early_termination,
         ..SolveOptions::default()
     }
 }
@@ -36,6 +51,12 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_ablation");
     group.sample_size(10);
     for (name, system, purpose) in &cases {
+        group.bench_with_input(BenchmarkId::new("otfur", name), name, |b, _| {
+            b.iter(|| black_box(solve(system, purpose, &otfur_options(true)).expect("solves")));
+        });
+        group.bench_with_input(BenchmarkId::new("otfur_exhaustive", name), name, |b, _| {
+            b.iter(|| black_box(solve(system, purpose, &otfur_options(false)).expect("solves")));
+        });
         group.bench_with_input(BenchmarkId::new("jacobi", name), name, |b, _| {
             b.iter(|| {
                 black_box(

@@ -1,0 +1,56 @@
+//! Emits the engine × model ablation matrix as machine-readable JSON.
+//!
+//! Runs every solver engine (`otfur`, `jacobi`, `worklist`) over the
+//! benchmark model zoo and writes one JSON object per (model, purpose,
+//! engine) combination to `BENCH_solver.json` (override with `--out PATH`).
+//!
+//! `--smoke` restricts the sweep to the smallest model so CI can exercise
+//! the full pipeline in seconds and archive the artifact.
+
+use tiga_bench::{engine_matrix_rows, matrix_rows_to_json, model_zoo};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_solver.json".to_string(), Clone::clone);
+
+    let zoo = model_zoo();
+    let instances = if smoke {
+        // The zoo is ordered smallest-first; the smoke run keeps only the
+        // first model's purposes.
+        let first = zoo[0].model.clone();
+        zoo.into_iter()
+            .filter(|z| z.model == first)
+            .collect::<Vec<_>>()
+    } else {
+        zoo
+    };
+
+    let mut rows = Vec::new();
+    for instance in &instances {
+        for row in engine_matrix_rows(instance) {
+            println!(
+                "{}/{} [{}]: winning={} states={} iterations={} subsumed={} pruned={} early={} total={}us",
+                row.model,
+                row.purpose,
+                row.engine,
+                row.solution.winning_from_initial,
+                row.solution.stats().discrete_states,
+                row.solution.stats().iterations,
+                row.solution.stats().subsumed_zones,
+                row.solution.stats().pruned_evaluations,
+                row.solution.stats().early_terminated,
+                row.solution.timed.total_time().as_micros(),
+            );
+            rows.push(row);
+        }
+    }
+
+    let json = matrix_rows_to_json(&rows);
+    std::fs::write(&out_path, json).expect("write BENCH_solver.json");
+    println!("wrote {} rows to {out_path}", rows.len());
+}

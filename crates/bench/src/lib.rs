@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiga_dbm::{Bound, Dbm, Federation};
 use tiga_model::System;
-use tiga_models::{leader_election, smart_light};
-use tiga_solver::{solve_reachability, GameSolution, SolveOptions};
+use tiga_models::{coffee_machine, leader_election, smart_light};
+use tiga_solver::{solve, solve_reachability, GameSolution, SolveEngine, SolveOptions};
 use tiga_tctl::TestPurpose;
 use tiga_testing::{TestConfig, TestHarness};
 
@@ -71,6 +71,151 @@ pub fn smart_light_harness() -> TestHarness {
         TestConfig::default(),
     )
     .expect("A<> IUT.Bright is enforceable")
+}
+
+/// One entry of the benchmark model zoo: a named closed game together with a
+/// test purpose.
+pub struct ZooInstance {
+    /// Model identifier (stable across runs, used in reports).
+    pub model: String,
+    /// Purpose identifier.
+    pub purpose_name: String,
+    /// The closed product system.
+    pub system: System,
+    /// The parsed purpose.
+    pub purpose: TestPurpose,
+}
+
+/// The model zoo the engine-ablation benchmarks and the differential tests
+/// sweep: every case-study product with each of its test purposes, smallest
+/// first.
+///
+/// # Panics
+///
+/// Panics if a model cannot be built or a purpose does not parse (both would
+/// be reproduction bugs).
+#[must_use]
+pub fn model_zoo() -> Vec<ZooInstance> {
+    let mut zoo = Vec::new();
+    let coffee = coffee_machine::product().expect("model builds");
+    for (name, text) in [
+        ("coffee", coffee_machine::PURPOSE_COFFEE),
+        ("refund", coffee_machine::PURPOSE_REFUND),
+    ] {
+        zoo.push(ZooInstance {
+            model: "coffee_machine".to_string(),
+            purpose_name: name.to_string(),
+            system: coffee.clone(),
+            purpose: TestPurpose::parse(text, &coffee).expect("purpose parses"),
+        });
+    }
+    let smart = smart_light::product().expect("model builds");
+    for (name, text) in [
+        ("bright", smart_light::PURPOSE_BRIGHT),
+        ("dim", smart_light::PURPOSE_DIM),
+        (
+            "bright_and_ready",
+            smart_light::PURPOSE_BRIGHT_AND_USER_READY,
+        ),
+    ] {
+        zoo.push(ZooInstance {
+            model: "smart_light".to_string(),
+            purpose_name: name.to_string(),
+            system: smart.clone(),
+            purpose: TestPurpose::parse(text, &smart).expect("purpose parses"),
+        });
+    }
+    for idx in 0..3 {
+        let (system, purpose) = lep_instance(3, idx);
+        zoo.push(ZooInstance {
+            model: "lep3".to_string(),
+            purpose_name: format!("tp{}", idx + 1),
+            system,
+            purpose,
+        });
+    }
+    zoo
+}
+
+/// One row of the engine × model ablation matrix.
+pub struct MatrixRow {
+    /// Model identifier.
+    pub model: String,
+    /// Purpose identifier.
+    pub purpose: String,
+    /// Engine name (`otfur`, `jacobi`, `worklist`).
+    pub engine: String,
+    /// The solved game (verdict, statistics and timing inside).
+    pub solution: GameSolution,
+}
+
+/// Solves one zoo instance with every engine and returns the rows.
+///
+/// # Panics
+///
+/// Panics if solving fails (all zoo instances are solvable by construction).
+#[must_use]
+pub fn engine_matrix_rows(instance: &ZooInstance) -> Vec<MatrixRow> {
+    [
+        SolveEngine::Otfur,
+        SolveEngine::Jacobi,
+        SolveEngine::Worklist,
+    ]
+    .into_iter()
+    .map(|engine| {
+        let options = SolveOptions {
+            engine,
+            ..SolveOptions::default()
+        };
+        let solution = solve(&instance.system, &instance.purpose, &options).expect("solves");
+        MatrixRow {
+            model: instance.model.clone(),
+            purpose: instance.purpose_name.clone(),
+            engine: engine.name().to_string(),
+            solution,
+        }
+    })
+    .collect()
+}
+
+/// Renders matrix rows as a machine-readable JSON array (hand-rolled: the
+/// offline build environment has no serde).
+#[must_use]
+pub fn matrix_rows_to_json(rows: &[MatrixRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let stats = row.solution.stats();
+        let timed = &row.solution.timed;
+        out.push_str(&format!(
+            concat!(
+                "  {{\"model\": \"{}\", \"purpose\": \"{}\", \"engine\": \"{}\", ",
+                "\"winning\": {}, \"discrete_states\": {}, \"graph_edges\": {}, ",
+                "\"iterations\": {}, \"winning_zones\": {}, \"peak_federation_size\": {}, ",
+                "\"reach_zones\": {}, \"subsumed_zones\": {}, \"pruned_evaluations\": {}, ",
+                "\"early_terminated\": {}, \"exploration_us\": {}, \"fixpoint_us\": {}, ",
+                "\"total_us\": {}}}"
+            ),
+            row.model,
+            row.purpose,
+            row.engine,
+            row.solution.winning_from_initial,
+            stats.discrete_states,
+            stats.graph_edges,
+            stats.iterations,
+            stats.winning_zones,
+            stats.peak_federation_size,
+            stats.reach_zones,
+            stats.subsumed_zones,
+            stats.pruned_evaluations,
+            stats.early_terminated,
+            timed.exploration_time.as_micros(),
+            timed.fixpoint_time.as_micros(),
+            timed.total_time().as_micros(),
+        ));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Generates a pseudo-random non-empty zone of the given dimension with

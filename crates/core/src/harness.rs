@@ -10,7 +10,7 @@ use crate::iut::Iut;
 use crate::verdict::Verdict;
 use std::fmt;
 use tiga_model::{ModelError, System};
-use tiga_solver::{solve_reachability, GameSolution, SolveOptions, SolverError, Strategy};
+use tiga_solver::{solve, GameSolution, SolveOptions, SolverError, Strategy};
 use tiga_tctl::{TctlError, TestPurpose};
 
 /// Errors raised while assembling a test harness.
@@ -88,14 +88,35 @@ impl TestHarness {
     ///
     /// Returns [`HarnessError::NotEnforceable`] if no winning strategy exists,
     /// or the underlying parsing/solving errors.
+    ///
+    /// The game is solved with [`SolveOptions::default`], i.e. the on-the-fly
+    /// (OTFUR) engine: exploration stops as soon as the initial state is
+    /// decided and the strategy is extracted during the search.  Use
+    /// [`TestHarness::synthesize_with`] to select a different engine.
     pub fn synthesize(
         product: System,
         spec: System,
         purpose: &str,
         config: TestConfig,
     ) -> Result<Self, HarnessError> {
+        Self::synthesize_with(product, spec, purpose, config, &SolveOptions::default())
+    }
+
+    /// Like [`TestHarness::synthesize`], with explicit solver options (engine
+    /// selection, exploration limits, early-termination control).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TestHarness::synthesize`].
+    pub fn synthesize_with(
+        product: System,
+        spec: System,
+        purpose: &str,
+        config: TestConfig,
+        options: &SolveOptions,
+    ) -> Result<Self, HarnessError> {
         let parsed = TestPurpose::parse(purpose, &product)?;
-        let solution = solve_reachability(&product, &parsed, &SolveOptions::default())?;
+        let solution = solve(&product, &parsed, options)?;
         if !solution.winning_from_initial || solution.strategy.is_none() {
             return Err(HarnessError::NotEnforceable {
                 purpose: purpose.to_string(),

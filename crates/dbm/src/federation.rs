@@ -36,6 +36,13 @@ pub struct Federation {
     zones: Vec<Dbm>,
 }
 
+/// Member-zone count above which the per-zone transformers run the cheap
+/// subsumption [`Federation::reduce`] after mapping over the members.
+///
+/// Below the threshold a redundant zone costs less than the `O(k²)` relation
+/// sweep it would take to find it.
+pub const REDUCE_THRESHOLD: usize = 8;
+
 impl Federation {
     /// The empty federation (denoting the empty set of valuations).
     #[must_use]
@@ -147,6 +154,27 @@ impl Federation {
         self.zones.push(zone);
     }
 
+    /// Inclusion-checked insertion: adds `zone` only if it contributes new
+    /// valuations, i.e. it is not already covered by the *union* of the
+    /// member zones.
+    ///
+    /// Returns `true` if the zone was added.  This is stronger (and costlier)
+    /// than the per-zone subsumption of [`Federation::add_zone`]; on-the-fly
+    /// passed lists use it so that re-reached symbolic states never re-enter
+    /// the waiting list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone's dimension differs.
+    pub fn insert_subsumed(&mut self, zone: Dbm) -> bool {
+        assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        if zone.is_empty() || self.includes_zone(&zone) {
+            return false;
+        }
+        self.add_zone(zone);
+        true
+    }
+
     /// Unions another federation into this one.
     pub fn union_with(&mut self, other: &Federation) {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
@@ -227,7 +255,7 @@ impl Federation {
         for z in &mut self.zones {
             z.up();
         }
-        self.reduce();
+        self.reduce_if_above(REDUCE_THRESHOLD);
     }
 
     /// Applies the past operator to every member zone.
@@ -237,7 +265,7 @@ impl Federation {
         for z in &mut self.zones {
             z.down();
         }
-        self.reduce();
+        self.reduce_if_above(REDUCE_THRESHOLD);
     }
 
     /// Frees clock `k` in every member zone.
@@ -245,7 +273,7 @@ impl Federation {
         for z in &mut self.zones {
             z.free(k);
         }
-        self.reduce();
+        self.reduce_if_above(REDUCE_THRESHOLD);
     }
 
     /// Resets clock `k` to `v` in every member zone.
@@ -253,7 +281,7 @@ impl Federation {
         for z in &mut self.zones {
             z.reset(k, v);
         }
-        self.reduce();
+        self.reduce_if_above(REDUCE_THRESHOLD);
     }
 
     /// Applies an arbitrary zone transformation to every member zone,
@@ -264,6 +292,20 @@ impl Federation {
             out.add_zone(f(z));
         }
         out
+    }
+
+    /// Runs [`Federation::reduce`] only when the federation holds more than
+    /// `threshold` member zones.
+    ///
+    /// The per-zone transformers (`up`, `down`, `free`, `reset`) call this
+    /// with [`REDUCE_THRESHOLD`]: mapping a transformation over the members
+    /// cannot invalidate the union semantics, so small federations skip the
+    /// quadratic subsumption sweep entirely and only growth past the
+    /// threshold pays for it.
+    pub fn reduce_if_above(&mut self, threshold: usize) {
+        if self.zones.len() > threshold {
+            self.reduce();
+        }
     }
 
     /// Removes member zones subsumed by a single other member zone.
@@ -513,6 +555,45 @@ mod tests {
         fed2.add_zone(interval(0, 10));
         assert_eq!(fed2.len(), 1);
         assert!(fed.set_equals(&fed2));
+    }
+
+    #[test]
+    fn insert_subsumed_rejects_union_covered_zones() {
+        // [0,6] ∪ [4,10] covers [2,8] only jointly: add_zone would keep it,
+        // insert_subsumed must reject it.
+        let mut fed = Federation::from_zone(interval(0, 6));
+        assert!(fed.insert_subsumed(interval(4, 10)));
+        assert!(!fed.insert_subsumed(interval(2, 8)));
+        assert_eq!(fed.len(), 2);
+        // Genuinely new valuations are accepted.
+        assert!(fed.insert_subsumed(interval(12, 14)));
+        assert_eq!(fed.len(), 3);
+        // Empty zones are never inserted.
+        let mut empty = Dbm::universe(2);
+        assert!(!empty.constrain(1, 0, Bound::lt(0)) || empty.is_empty());
+        assert!(!fed.insert_subsumed(empty));
+    }
+
+    #[test]
+    fn reduce_if_above_only_fires_past_threshold() {
+        let mut fed = Federation::empty(2);
+        // Bypass add_zone's subsumption by building the zone list directly.
+        fed.zones.push(interval(0, 10));
+        fed.zones.push(interval(2, 3));
+        fed.reduce_if_above(4);
+        assert_eq!(fed.len(), 2, "below threshold: no sweep");
+        fed.reduce_if_above(1);
+        assert_eq!(fed.len(), 1, "above threshold: subsumed zone dropped");
+    }
+
+    #[test]
+    fn transformers_preserve_semantics_without_eager_reduction() {
+        let mut fed = Federation::from_zone(interval(4, 5));
+        fed.add_zone(interval(1, 2));
+        fed.down();
+        assert!(fed.contains_scaled(&[0, 0]));
+        assert!(fed.contains_scaled(&[0, 10]));
+        assert!(!fed.contains_scaled(&[0, 11]));
     }
 
     #[test]

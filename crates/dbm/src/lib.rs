@@ -43,4 +43,4 @@ mod federation;
 
 pub use bound::{Bound, MAX_CONSTANT};
 pub use dbm::{Dbm, DelayWindow, DisplayZone, Relation};
-pub use federation::{zone_subtract, Federation};
+pub use federation::{zone_subtract, Federation, REDUCE_THRESHOLD};

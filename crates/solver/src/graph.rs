@@ -8,7 +8,7 @@
 use crate::error::SolverError;
 use std::collections::HashMap;
 use tiga_dbm::{Dbm, Federation};
-use tiga_model::{DiscreteState, JointEdge, System};
+use tiga_model::{DiscreteState, Explorer, JointEdge, System};
 use tiga_tctl::StatePredicate;
 
 /// Index of a node in a [`GameGraph`].
@@ -84,89 +84,102 @@ impl GameGraph {
         goal: &StatePredicate,
         options: &ExploreOptions,
     ) -> Result<Self, SolverError> {
-        let max_bounds = system.max_bounds();
+        let mut explorer = Explorer::new(system);
         let mut graph = GameGraph {
             nodes: Vec::new(),
             index: HashMap::new(),
             initial: 0,
         };
-        let root = system.initial_exploration_state()?;
-        let root_id = graph.intern(system, goal, root.discrete.clone())?;
+        let (root_id, root_zone) = explorer.initial()?;
+        graph.adopt(system, goal, &explorer, root_id)?;
         graph.initial = root_id;
-        graph.nodes[root_id].reach.add_zone(root.zone.clone());
+        graph.nodes[root_id].reach.add_zone(root_zone.clone());
 
         // Work list of (node, zone) pairs still to expand.
-        let mut queue: Vec<(NodeId, Dbm)> = vec![(root_id, root.zone)];
+        let mut queue: Vec<(NodeId, Dbm)> = vec![(root_id, root_zone)];
         while let Some((node_id, zone)) = queue.pop() {
             if options.stop_at_goal && graph.nodes[node_id].is_goal {
                 continue;
             }
-            let discrete = graph.nodes[node_id].discrete.clone();
-            let joint_edges = system.enabled_joint_edges(&discrete)?;
-            for joint in joint_edges {
-                let state = tiga_model::SymbolicState {
-                    discrete: discrete.clone(),
-                    zone: zone.clone(),
-                };
-                let Some(mut succ) = system.joint_successor(&state, &joint)? else {
-                    continue;
-                };
-                system.delay_close(&mut succ, &max_bounds)?;
-                if succ.zone.is_empty() {
-                    continue;
-                }
-                let succ_id = graph.intern(system, goal, succ.discrete)?;
+            for step in explorer.successors(node_id, &zone)? {
+                let succ_id = graph.adopt(system, goal, &explorer, step.target)?;
                 if graph.nodes.len() > options.max_states {
                     return Err(SolverError::StateLimitExceeded {
                         limit: options.max_states,
                     });
                 }
-                let controllable = system.is_controllable(&joint);
                 // Record the edge once per (joint, target).
                 let exists = graph.nodes[node_id]
                     .edges
                     .iter()
-                    .any(|e| e.joint == joint && e.target == succ_id);
+                    .any(|e| e.joint == step.joint && e.target == succ_id);
                 if !exists {
                     graph.nodes[node_id].edges.push(GraphEdge {
-                        joint: joint.clone(),
+                        joint: step.joint,
                         target: succ_id,
-                        controllable,
+                        controllable: step.controllable,
                     });
                 }
                 // Continue exploring only if the zone adds new valuations.
-                if !graph.nodes[succ_id].reach.includes_zone(&succ.zone) {
-                    graph.nodes[succ_id].reach.add_zone(succ.zone.clone());
-                    queue.push((succ_id, succ.zone));
+                if graph.nodes[succ_id]
+                    .reach
+                    .insert_subsumed(step.zone.clone())
+                {
+                    queue.push((succ_id, step.zone));
                 }
             }
         }
         Ok(graph)
     }
 
-    fn intern(
+    /// Mirrors an explorer state into the graph, creating the [`GameNode`]
+    /// (with its goal flag) on first sight.
+    ///
+    /// Explorer indices and node identifiers stay aligned because the graph
+    /// adopts every state the explorer interns, in interning order.
+    fn adopt(
         &mut self,
         system: &System,
         goal: &StatePredicate,
-        discrete: DiscreteState,
+        explorer: &Explorer<'_>,
+        idx: NodeId,
     ) -> Result<NodeId, SolverError> {
-        if let Some(&id) = self.index.get(&discrete) {
-            return Ok(id);
+        while self.nodes.len() <= idx {
+            let state = explorer.state(self.nodes.len());
+            let is_goal = goal.holds(system, &state.discrete)?;
+            self.nodes.push(GameNode {
+                discrete: state.discrete.clone(),
+                invariant: state.invariant.clone(),
+                reach: Federation::empty(system.dim()),
+                edges: Vec::new(),
+                is_goal,
+                urgent: state.urgent,
+            });
+            self.index
+                .insert(state.discrete.clone(), self.nodes.len() - 1);
         }
-        let invariant = system.invariant_zone(&discrete)?;
-        let is_goal = goal.holds(system, &discrete)?;
-        let urgent = system.is_urgent(&discrete);
-        let id = self.nodes.len();
-        self.nodes.push(GameNode {
-            discrete: discrete.clone(),
-            invariant,
-            reach: Federation::empty(system.dim()),
-            edges: Vec::new(),
-            is_goal,
-            urgent,
-        });
-        self.index.insert(discrete, id);
-        Ok(id)
+        Ok(idx)
+    }
+
+    /// Assembles a graph from nodes built elsewhere (the on-the-fly solver
+    /// constructs its partial graph this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range.
+    #[must_use]
+    pub(crate) fn from_parts(nodes: Vec<GameNode>, initial: NodeId) -> Self {
+        assert!(initial < nodes.len(), "initial node out of range");
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| (n.discrete.clone(), id))
+            .collect();
+        GameGraph {
+            nodes,
+            index,
+            initial,
+        }
     }
 
     /// The explored nodes.

@@ -7,13 +7,24 @@
 //! and synthesizes a state-based winning [`Strategy`] — the object the paper
 //! uses as a *test case*.
 //!
-//! The pipeline is:
+//! Three engines are provided behind the [`solve`] entry point, selected by
+//! [`SolveOptions::engine`]:
 //!
-//! 1. forward exploration of the discrete game graph ([`GameGraph`]),
-//! 2. backward fixpoint over zone federations using the controllable
-//!    predecessor with safe time-predecessors, uncontrollable escapes and
-//!    invariant-forced moves ([`solve_reachability`]),
-//! 3. rank-annotated strategy extraction ([`Strategy`]).
+//! * [`SolveEngine::Otfur`] (default) — on-the-fly solving: forward zone
+//!   exploration and backward winning-federation propagation interleave in
+//!   one waiting/passed-list search with zone subsumption, losing-subtree
+//!   pruning and early termination once the initial state is decided; the
+//!   [`Strategy`] is extracted during the search;
+//! * [`SolveEngine::Jacobi`] — eager exploration of the full game graph
+//!   ([`GameGraph`]) followed by a round-based fixpoint with rank-annotated
+//!   strategy extraction (the differential-testing oracle, also reachable
+//!   directly via [`solve_reachability`]);
+//! * [`SolveEngine::Worklist`] — eager exploration followed by chaotic
+//!   iteration ([`solve_reachability_worklist`]); no strategy.
+//!
+//! All engines share the controllable-predecessor update (safe
+//! time-predecessors, uncontrollable escapes and invariant-forced moves)
+//! and the [`tiga_model::Explorer`] exploration core.
 //!
 //! # Example
 //!
@@ -61,6 +72,7 @@
 
 mod error;
 mod graph;
+mod otfur;
 mod stats;
 mod strategy;
 mod winning;
@@ -69,4 +81,6 @@ pub use error::SolverError;
 pub use graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
 pub use stats::{SolverStats, TimedStats};
 pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
-pub use winning::{solve_reachability, solve_reachability_worklist, GameSolution, SolveOptions};
+pub use winning::{
+    solve, solve_reachability, solve_reachability_worklist, GameSolution, SolveEngine, SolveOptions,
+};

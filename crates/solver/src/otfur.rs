@@ -1,0 +1,381 @@
+//! On-the-fly solving of timed reachability games (OTFUR-style).
+//!
+//! The eager pipeline ([`crate::solve_reachability`]) materializes the whole
+//! reachable game graph before any back-propagation runs.  This module
+//! instead interleaves the two directions in a single waiting/passed-list
+//! search, after the on-the-fly algorithm of Cassez, David, Fleury, Larsen
+//! and Lime (CONCUR 2005) that UPPAAL-TIGA builds on:
+//!
+//! * **forward**: popping a state expands its not-yet-processed reach zones,
+//!   interning newly discovered discrete states (hashing-based, via
+//!   [`tiga_model::Explorer`]) and subsuming re-reached zones against the
+//!   passed list ([`Federation::insert_subsumed`]);
+//! * **backward**: the same pop re-evaluates the state's winning federation
+//!   with the shared `π` update ([`crate::winning::pi_update`]); growth wakes
+//!   the recorded dependents, exactly like the `Depend` sets of the paper;
+//! * **pruning**: a non-goal state whose own winning set and all successor
+//!   winning sets are empty provably gains nothing from an update, so the
+//!   evaluation is skipped (`pruned_evaluations` counts the skips);
+//! * **early termination**: as soon as the initial state is decided winning
+//!   the search stops — the remaining waiting list is never processed, which
+//!   is where the on-the-fly engine beats full-graph exploration.
+//!
+//! A winning [`Strategy`] is extracted *during* the search: every growth of a
+//! winning federation records its wait/action regions at the current
+//! revision counter, which plays the role of the Jacobi round number (every
+//! action region recorded at revision `r` leads into regions recorded at
+//! revisions `< r`, so the rank order is well-founded and the executor's
+//! progress argument carries over unchanged).
+//!
+//! # The reach-confinement invariant
+//!
+//! Edges are discovered *per expanded zone*: an edge whose clock guard meets
+//! none of a state's expanded reach zones is unknown to the search.  The
+//! eager engines are safe against this because they finish exploration
+//! before the first fixpoint step; an interleaved search is not — a state
+//! evaluated early could claim winning valuations in invariant regions where
+//! an undiscovered uncontrollable escape is enabled, and monotone growth
+//! would never retract them.  The search therefore **confines every winning
+//! federation to the state's reach federation** (goal states: their reach,
+//! which is what the offered zones cover).  Expansion of all pending zones
+//! happens immediately before each evaluation, so within the reach every
+//! enabled edge is known; and because the reach set is closed under the game
+//! dynamics (successor zones of reach zones are offered to the target,
+//! delay-closed zones absorb delays), the confined fixpoint agrees with the
+//! eager engines' fixpoint on every reachable valuation — in particular at
+//! the initial state.  An exhaustive run computes exactly
+//! `lfp ∩ reach` per state.
+
+use crate::error::SolverError;
+use crate::graph::{GameGraph, GameNode, GraphEdge, NodeId};
+use crate::strategy::{Decision, Strategy, StrategyRule};
+use crate::winning::{invariant_boundary, pi_update, EngineOutcome, SolveOptions};
+use std::collections::VecDeque;
+use tiga_dbm::{Dbm, Federation};
+use tiga_model::{Explorer, System};
+use tiga_tctl::StatePredicate;
+
+/// Per-state bookkeeping of the search, indexed like the explorer's states.
+struct NodeData {
+    /// Passed list: union of the delay-closed zones with which the state was
+    /// reached.
+    reach: Federation,
+    /// Reach zones not yet expanded forward.
+    frontier: Vec<Dbm>,
+    /// Outgoing joint edges discovered so far (deduplicated).
+    edges: Vec<GraphEdge>,
+    /// States to re-evaluate when this state's winning federation grows.
+    depend: Vec<NodeId>,
+    /// Invariant upper boundary (for the forced-move term).
+    boundary: Federation,
+    /// Whether the goal predicate holds here.
+    is_goal: bool,
+}
+
+struct Search<'a> {
+    system: &'a System,
+    goal: &'a StatePredicate,
+    options: &'a SolveOptions,
+    explorer: Explorer<'a>,
+    nodes: Vec<NodeData>,
+    win: Vec<Federation>,
+    strategy: Strategy,
+    queue: VecDeque<NodeId>,
+    in_queue: Vec<bool>,
+    /// Monotone revision counter used as the strategy rank.
+    revision: u32,
+    subsumed_zones: usize,
+    pruned_evaluations: usize,
+    pops: usize,
+    early_terminated: bool,
+}
+
+/// Runs the on-the-fly search and returns the partial game graph together
+/// with the engine outcome.
+pub(crate) fn run(
+    system: &System,
+    goal: &StatePredicate,
+    options: &SolveOptions,
+) -> Result<(GameGraph, EngineOutcome), SolverError> {
+    let mut search = Search {
+        system,
+        goal,
+        options,
+        explorer: Explorer::new(system),
+        nodes: Vec::new(),
+        win: Vec::new(),
+        strategy: Strategy::new(system.dim()),
+        queue: VecDeque::new(),
+        in_queue: Vec::new(),
+        revision: 0,
+        subsumed_zones: 0,
+        pruned_evaluations: 0,
+        pops: 0,
+        early_terminated: false,
+    };
+    let root = search.seed()?;
+    search.run(root)?;
+    search.finish(root)
+}
+
+impl Search<'_> {
+    /// Interns the initial state and queues it with the root zone pending.
+    fn seed(&mut self) -> Result<NodeId, SolverError> {
+        let (root, root_zone) = self.explorer.initial()?;
+        self.sync_nodes()?;
+        self.offer_zone(root, root_zone);
+        self.enqueue(root);
+        Ok(root)
+    }
+
+    /// Grows the per-node vectors to cover every state the explorer has
+    /// interned.  Goal states start with an empty winning federation: their
+    /// wins are the *reached* goal zones, added by [`Search::offer_zone`] as
+    /// they arrive (the reach-confinement invariant).
+    fn sync_nodes(&mut self) -> Result<(), SolverError> {
+        while self.nodes.len() < self.explorer.len() {
+            let idx = self.nodes.len();
+            let state = self.explorer.state(idx);
+            let is_goal = self.goal.holds(self.system, &state.discrete)?;
+            let boundary = invariant_boundary(&state.invariant, state.urgent);
+            self.nodes.push(NodeData {
+                reach: Federation::empty(self.system.dim()),
+                frontier: Vec::new(),
+                edges: Vec::new(),
+                depend: Vec::new(),
+                boundary,
+                is_goal,
+            });
+            self.win.push(Federation::empty(self.system.dim()));
+            self.in_queue.push(false);
+        }
+        Ok(())
+    }
+
+    /// Offers a reach zone to a state's passed list; newly covering zones
+    /// join the expansion frontier, already-covered ones count as subsumed.
+    ///
+    /// Reaching a goal state is what makes its zones winning, so a new goal
+    /// zone immediately extends the winning federation (recorded as a rank-0
+    /// wait region) and wakes the goal's dependents.
+    fn offer_zone(&mut self, node: NodeId, zone: Dbm) -> bool {
+        let data = &mut self.nodes[node];
+        if !data.reach.insert_subsumed(zone.clone()) {
+            self.subsumed_zones += 1;
+            return false;
+        }
+        data.frontier.push(zone.clone());
+        if self.nodes[node].is_goal {
+            // Reach zones are delay-closed within the invariant, so the zone
+            // is already a valid goal-winning region.
+            self.win[node].add_zone(zone.clone());
+            if self.options.extract_strategy {
+                self.strategy.add_rule(
+                    self.explorer.state(node).discrete.clone(),
+                    StrategyRule {
+                        rank: 0,
+                        zone,
+                        decision: Decision::Wait,
+                    },
+                );
+            }
+            let dependents = std::mem::take(&mut self.nodes[node].depend);
+            for d in &dependents {
+                self.enqueue(*d);
+            }
+            self.nodes[node].depend = dependents;
+        }
+        true
+    }
+
+    fn enqueue(&mut self, node: NodeId) {
+        if !self.in_queue[node] {
+            self.in_queue[node] = true;
+            self.queue.push_back(node);
+        }
+    }
+
+    /// The main waiting-list loop: expansion and back-propagation interleave
+    /// on every pop.
+    fn run(&mut self, root: NodeId) -> Result<(), SolverError> {
+        let origin = vec![0i64; self.system.dim()];
+        while let Some(node) = self.queue.pop_front() {
+            self.in_queue[node] = false;
+            self.pops += 1;
+            if self.pops
+                > self
+                    .options
+                    .max_rounds
+                    .saturating_mul(self.nodes.len().max(1))
+            {
+                break;
+            }
+            self.expand(node)?;
+            if self.evaluate(node)? {
+                if node == root
+                    && self.options.early_termination
+                    && self.win[root].contains_scaled(&origin)
+                {
+                    self.early_terminated = true;
+                    return Ok(());
+                }
+                let dependents = std::mem::take(&mut self.nodes[node].depend);
+                for d in &dependents {
+                    self.enqueue(*d);
+                }
+                self.nodes[node].depend = dependents;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward step: expands every pending frontier zone of `node`,
+    /// discovering edges, interning targets and scheduling them.
+    fn expand(&mut self, node: NodeId) -> Result<(), SolverError> {
+        if self.options.explore.stop_at_goal && self.nodes[node].is_goal {
+            self.nodes[node].frontier.clear();
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.nodes[node].frontier);
+        for zone in pending {
+            let steps = self.explorer.successors(node, &zone)?;
+            self.sync_nodes()?;
+            if self.explorer.len() > self.options.explore.max_states {
+                return Err(SolverError::StateLimitExceeded {
+                    limit: self.options.explore.max_states,
+                });
+            }
+            for step in steps {
+                let exists = self.nodes[node]
+                    .edges
+                    .iter()
+                    .any(|e| e.joint == step.joint && e.target == step.target);
+                if !exists {
+                    self.nodes[node].edges.push(GraphEdge {
+                        joint: step.joint,
+                        target: step.target,
+                        controllable: step.controllable,
+                    });
+                }
+                // This state must be re-evaluated whenever the target's
+                // winning federation grows (the `Depend` set of OTFUR).
+                if !self.nodes[step.target].depend.contains(&node) {
+                    self.nodes[step.target].depend.push(node);
+                }
+                if self.offer_zone(step.target, step.zone) {
+                    self.enqueue(step.target);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Backward step: re-evaluates the winning federation of `node` with the
+    /// shared `π` update.  Returns `true` if the federation grew.
+    fn evaluate(&mut self, node: NodeId) -> Result<bool, SolverError> {
+        let data = &self.nodes[node];
+        if data.is_goal {
+            return Ok(false);
+        }
+        // Losing-subtree pruning: with an empty own set and empty successor
+        // sets the update is provably the identity, so skip it.  The state
+        // is re-queued through `depend` if a successor ever gains wins.
+        if self.win[node].is_empty() && data.edges.iter().all(|e| self.win[e.target].is_empty()) {
+            self.pruned_evaluations += 1;
+            return Ok(false);
+        }
+        let state = self.explorer.state(node);
+        let (unconfined, action_regions) = pi_update(
+            self.system,
+            node,
+            &state.discrete,
+            &state.invariant,
+            data.is_goal,
+            &data.edges,
+            &data.boundary,
+            &self.win,
+            |id| self.explorer.state(id).invariant.clone(),
+        )?;
+        // Reach confinement (see the module docs): outside the expanded
+        // reach zones the edge set may be incomplete, so winning valuations
+        // there cannot be trusted — and are irrelevant for any reachable
+        // play, because the reach set is closed under the game dynamics.
+        let mut new_win = unconfined.intersection(&data.reach);
+        new_win.reduce_exact();
+        if self.win[node].includes(&new_win) {
+            return Ok(false);
+        }
+        self.revision = self.revision.saturating_add(1);
+        if self.options.extract_strategy {
+            let delta = new_win.difference(&self.win[node]);
+            let discrete = state.discrete.clone();
+            for zone in &delta {
+                self.strategy.add_rule(
+                    discrete.clone(),
+                    StrategyRule {
+                        rank: self.revision,
+                        zone: zone.clone(),
+                        decision: Decision::Wait,
+                    },
+                );
+            }
+            for (edge_idx, region) in &action_regions {
+                let joint = self.nodes[node].edges[*edge_idx].joint.clone();
+                for zone in region {
+                    self.strategy.add_rule(
+                        discrete.clone(),
+                        StrategyRule {
+                            rank: self.revision,
+                            zone: zone.clone(),
+                            decision: Decision::Take(joint.clone()),
+                        },
+                    );
+                }
+            }
+        }
+        self.win[node] = new_win;
+        Ok(true)
+    }
+
+    /// Assembles the partial game graph and the engine outcome.
+    fn finish(self, root: NodeId) -> Result<(GameGraph, EngineOutcome), SolverError> {
+        let Search {
+            explorer,
+            nodes,
+            win,
+            strategy,
+            pops,
+            subsumed_zones,
+            pruned_evaluations,
+            early_terminated,
+            ..
+        } = self;
+        let game_nodes: Vec<GameNode> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(idx, data)| {
+                let state = explorer.state(idx);
+                GameNode {
+                    discrete: state.discrete.clone(),
+                    invariant: state.invariant.clone(),
+                    reach: data.reach,
+                    edges: data.edges,
+                    is_goal: data.is_goal,
+                    urgent: state.urgent,
+                }
+            })
+            .collect();
+        let graph = GameGraph::from_parts(game_nodes, root);
+        Ok((
+            graph,
+            EngineOutcome {
+                winning: win,
+                strategy: Some(strategy),
+                iterations: pops,
+                subsumed_zones,
+                pruned_evaluations,
+                early_terminated,
+            },
+        ))
+    }
+}

@@ -19,6 +19,17 @@ pub struct SolverStats {
     pub peak_federation_size: usize,
     /// Total number of DBMs in the forward-reachability federations.
     pub reach_zones: usize,
+    /// Symbolic states whose reach zone was already covered by the passed
+    /// list (on-the-fly solver: zone-level subsumption hits).
+    pub subsumed_zones: usize,
+    /// Back-propagation evaluations skipped because the state's own and all
+    /// successor winning sets were empty — the `π` update is provably the
+    /// identity there, which is how losing subtrees are pruned from the
+    /// search (on-the-fly solver).
+    pub pruned_evaluations: usize,
+    /// Whether the search stopped early because the initial state was decided
+    /// before the waiting list drained (on-the-fly solver).
+    pub early_terminated: bool,
 }
 
 impl SolverStats {

@@ -22,35 +22,79 @@
 //! * `Pred_t` is the safe time-predecessor operator
 //!   ([`tiga_dbm::Federation::pred_t`]).
 //!
-//! Two solvers are provided: a Jacobi (round-based) solver that also extracts
-//! a rank-annotated [`Strategy`], and a worklist solver used as a faster
-//! decision procedure and as an ablation point in the benchmarks.
+//! Three engines compute this fixpoint (see [`SolveEngine`]): the default
+//! on-the-fly engine ([`crate::otfur`]) that interleaves exploration with
+//! propagation, a Jacobi (round-based) solver that also extracts a
+//! rank-annotated [`Strategy`] and serves as the differential-testing
+//! oracle, and a worklist solver used as a decision procedure and as an
+//! ablation point in the benchmarks.  This module owns the shared machinery:
+//! the [`pi_update`] single-state transformer, option/selector types, and
+//! the parameterized entry point that assembles every [`GameSolution`].
 
 use crate::error::SolverError;
-use crate::graph::{ExploreOptions, GameGraph, GameNode, NodeId};
+use crate::graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
 use crate::stats::{SolverStats, TimedStats};
 use crate::strategy::{Decision, Strategy, StrategyRule};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tiga_dbm::{Bound, Dbm, Federation};
-use tiga_model::{DiscreteState, JointEdge, System};
+use tiga_model::{DiscreteState, System};
 use tiga_tctl::{PathQuantifier, TestPurpose};
+
+/// Which fixpoint engine [`solve`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolveEngine {
+    /// On-the-fly (OTFUR-style): interleaves forward exploration with
+    /// backward winning-federation propagation, subsumes re-reached zones,
+    /// prunes provably-losing subtrees and stops as soon as the initial
+    /// state is decided.  Extracts a strategy during the search.
+    #[default]
+    Otfur,
+    /// Eager exploration followed by a round-based (Jacobi) fixpoint with
+    /// rank-annotated strategy extraction.  The differential-testing oracle.
+    Jacobi,
+    /// Eager exploration followed by chaotic worklist iteration.  A
+    /// decision procedure without strategy extraction; ablation baseline.
+    Worklist,
+}
+
+impl SolveEngine {
+    /// Stable lowercase name, used by benchmark reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveEngine::Otfur => "otfur",
+            SolveEngine::Jacobi => "jacobi",
+            SolveEngine::Worklist => "worklist",
+        }
+    }
+}
 
 /// Options controlling the game solver.
 #[derive(Clone, Debug)]
 pub struct SolveOptions {
+    /// Which engine [`solve`] dispatches to.
+    pub engine: SolveEngine,
     /// Forward-exploration options.
     pub explore: ExploreOptions,
-    /// Whether to extract a state-based strategy (Jacobi solver only).
+    /// Whether to extract a state-based strategy (Jacobi and on-the-fly
+    /// engines; the worklist engine never extracts one).
     pub extract_strategy: bool,
-    /// Safety valve on the number of fixpoint rounds.
+    /// Whether the on-the-fly engine may stop as soon as the initial state
+    /// is decided winning.  Disable to force exhaustive propagation (the
+    /// winning federations then coincide with the eager engines').
+    pub early_termination: bool,
+    /// Safety valve on the number of fixpoint rounds (eager engines) or a
+    /// per-state reevaluation budget (on-the-fly engine).
     pub max_rounds: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
         SolveOptions {
+            engine: SolveEngine::default(),
             explore: ExploreOptions::default(),
             extract_strategy: true,
+            early_termination: true,
             max_rounds: 10_000,
         }
     }
@@ -99,8 +143,26 @@ impl GameSolution {
     }
 }
 
-/// Solves a reachability game (`control: A<> φ`) and optionally extracts a
-/// winning strategy.
+/// Solves a reachability game (`control: A<> φ`) with the engine selected by
+/// [`SolveOptions::engine`] (on-the-fly by default).
+///
+/// # Errors
+///
+/// Returns [`SolverError::Unsupported`] for safety purposes, or propagates
+/// exploration and evaluation errors.
+pub fn solve(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &SolveOptions,
+) -> Result<GameSolution, SolverError> {
+    solve_with_engine(system, purpose, options, options.engine)
+}
+
+/// Solves a reachability game with the eager Jacobi engine and optionally
+/// extracts a winning strategy.
+///
+/// Forces [`SolveEngine::Jacobi`] regardless of [`SolveOptions::engine`];
+/// use [`solve`] to honor the selector.
 ///
 /// # Errors
 ///
@@ -111,27 +173,97 @@ pub fn solve_reachability(
     purpose: &TestPurpose,
     options: &SolveOptions,
 ) -> Result<GameSolution, SolverError> {
+    solve_with_engine(system, purpose, options, SolveEngine::Jacobi)
+}
+
+/// Solves a reachability game with the eager worklist (chaotic-iteration)
+/// engine.
+///
+/// This variant does not extract a strategy; it is used as a decision
+/// procedure and as an ablation point in the benchmark harness.  Forces
+/// [`SolveEngine::Worklist`] regardless of [`SolveOptions::engine`].
+///
+/// # Errors
+///
+/// Same as [`solve_reachability`].
+pub fn solve_reachability_worklist(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &SolveOptions,
+) -> Result<GameSolution, SolverError> {
+    solve_with_engine(system, purpose, options, SolveEngine::Worklist)
+}
+
+/// What an engine hands back to the shared assembly code.
+pub(crate) struct EngineOutcome {
+    pub winning: Vec<Federation>,
+    pub strategy: Option<Strategy>,
+    pub iterations: usize,
+    pub subsumed_zones: usize,
+    pub pruned_evaluations: usize,
+    pub early_terminated: bool,
+}
+
+/// The single parameterized entry point behind every public solver function:
+/// validates the purpose, runs the selected engine, and assembles the
+/// solution (timing, statistics, `winning_from_initial`, strategy gating)
+/// uniformly.
+fn solve_with_engine(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &SolveOptions,
+    engine: SolveEngine,
+) -> Result<GameSolution, SolverError> {
     if purpose.quantifier != PathQuantifier::Reachability {
         return Err(SolverError::Unsupported(
-            "solve_reachability only handles `control: A<>` purposes".to_string(),
+            "the game solver only handles `control: A<>` purposes".to_string(),
         ));
     }
-    let explore_start = Instant::now();
-    let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
-    let exploration_time = explore_start.elapsed();
-
-    let fixpoint_start = Instant::now();
-    let mut engine = Engine::new(system, &graph);
-    let outcome = engine.run_jacobi(options)?;
-    let fixpoint_time = fixpoint_start.elapsed();
+    let (graph, outcome, exploration_time, fixpoint_time) = match engine {
+        SolveEngine::Otfur => {
+            // Exploration and propagation are interleaved: the whole search
+            // is accounted to the fixpoint phase.
+            let start = Instant::now();
+            let (graph, outcome) = crate::otfur::run(system, &purpose.predicate, options)?;
+            (graph, outcome, Duration::ZERO, start.elapsed())
+        }
+        SolveEngine::Jacobi | SolveEngine::Worklist => {
+            let explore_start = Instant::now();
+            let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
+            let exploration_time = explore_start.elapsed();
+            let fixpoint_start = Instant::now();
+            let mut fixpoint = Engine::new(system, &graph);
+            let outcome = if engine == SolveEngine::Jacobi {
+                let jacobi = fixpoint.run_jacobi(options)?;
+                EngineOutcome {
+                    winning: jacobi.winning,
+                    strategy: Some(jacobi.strategy),
+                    iterations: jacobi.iterations,
+                    subsumed_zones: 0,
+                    pruned_evaluations: 0,
+                    early_terminated: false,
+                }
+            } else {
+                let (winning, iterations) = fixpoint.run_worklist(options)?;
+                EngineOutcome {
+                    winning,
+                    strategy: None,
+                    iterations,
+                    subsumed_zones: 0,
+                    pruned_evaluations: 0,
+                    early_terminated: false,
+                }
+            };
+            (graph, outcome, exploration_time, fixpoint_start.elapsed())
+        }
+    };
 
     let winning_from_initial = initial_is_winning(system, &graph, &outcome.winning);
     let strategy = if options.extract_strategy && winning_from_initial {
-        Some(outcome.strategy)
+        outcome.strategy
     } else {
         None
     };
-
     let stats = SolverStats {
         discrete_states: graph.len(),
         graph_edges: graph.edge_count(),
@@ -144,62 +276,15 @@ pub fn solve_reachability(
             .max()
             .unwrap_or(0),
         reach_zones: graph.reach_zone_count(),
+        subsumed_zones: outcome.subsumed_zones,
+        pruned_evaluations: outcome.pruned_evaluations,
+        early_terminated: outcome.early_terminated,
     };
     Ok(GameSolution {
         winning_from_initial,
         graph,
         winning: outcome.winning,
         strategy,
-        timed: TimedStats {
-            stats,
-            exploration_time,
-            fixpoint_time,
-        },
-    })
-}
-
-/// Solves a reachability game with a worklist (chaotic-iteration) engine.
-///
-/// This variant does not extract a strategy; it is used as a decision
-/// procedure and as the "on-the-fly propagation" ablation point in the
-/// benchmark harness.
-///
-/// # Errors
-///
-/// Same as [`solve_reachability`].
-pub fn solve_reachability_worklist(
-    system: &System,
-    purpose: &TestPurpose,
-    options: &SolveOptions,
-) -> Result<GameSolution, SolverError> {
-    if purpose.quantifier != PathQuantifier::Reachability {
-        return Err(SolverError::Unsupported(
-            "solve_reachability_worklist only handles `control: A<>` purposes".to_string(),
-        ));
-    }
-    let explore_start = Instant::now();
-    let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
-    let exploration_time = explore_start.elapsed();
-
-    let fixpoint_start = Instant::now();
-    let mut engine = Engine::new(system, &graph);
-    let (winning, iterations) = engine.run_worklist(options)?;
-    let fixpoint_time = fixpoint_start.elapsed();
-
-    let winning_from_initial = initial_is_winning(system, &graph, &winning);
-    let stats = SolverStats {
-        discrete_states: graph.len(),
-        graph_edges: graph.edge_count(),
-        iterations,
-        winning_zones: winning.iter().map(Federation::len).sum(),
-        peak_federation_size: winning.iter().map(Federation::len).max().unwrap_or(0),
-        reach_zones: graph.reach_zone_count(),
-    };
-    Ok(GameSolution {
-        winning_from_initial,
-        graph,
-        winning,
-        strategy: None,
         timed: TimedStats {
             stats,
             exploration_time,
@@ -257,86 +342,25 @@ impl<'a> Engine<'a> {
             .collect()
     }
 
-    /// Predecessor of a federation through a joint edge.
-    fn fed_pred(
-        &self,
-        source: &DiscreteState,
-        joint: &JointEdge,
-        target: &Federation,
-    ) -> Result<Federation, SolverError> {
-        let mut out = Federation::empty(self.system.dim());
-        for zone in target {
-            out.add_zone(self.system.joint_pred_zone(source, joint, zone)?);
-        }
-        Ok(out)
-    }
-
     /// Computes the single-node update `Goal(q) ∪ π(W)(q)` from the winning
-    /// sets in `win`, together with the controllable action regions used for
-    /// strategy extraction.
+    /// sets in `win` (see [`pi_update`]).
     fn node_update(
         &self,
         node_id: NodeId,
         node: &GameNode,
         win: &[Federation],
     ) -> Result<(Federation, Vec<(usize, Federation)>), SolverError> {
-        let dim = self.system.dim();
-        if node.is_goal {
-            return Ok((win[node_id].clone(), Vec::new()));
-        }
-        let mut cpred = Federation::empty(dim);
-        let mut action_regions: Vec<(usize, Federation)> = Vec::new();
-        let mut bad = Federation::empty(dim);
-        // (pred of winning target, guard zone) for each uncontrollable edge,
-        // used by the Forced term.
-        let mut unc: Vec<(Federation, Dbm)> = Vec::new();
-        for (edge_idx, edge) in node.edges.iter().enumerate() {
-            let target_win = &win[edge.target];
-            let pred_win = self.fed_pred(&node.discrete, &edge.joint, target_win)?;
-            if edge.controllable {
-                if !pred_win.is_empty() {
-                    cpred.union_with(&pred_win);
-                    action_regions.push((edge_idx, pred_win));
-                }
-            } else {
-                // Complement of the target winning set within its invariant.
-                let target_inv =
-                    Federation::from_zone(self.graph.node(edge.target).invariant.clone());
-                let escape = target_inv.difference(target_win);
-                if !escape.is_empty() {
-                    bad.union_with(&self.fed_pred(&node.discrete, &edge.joint, &escape)?);
-                }
-                let mut guard = self.system.joint_guard_zone(&node.discrete, &edge.joint)?;
-                guard.intersect(&node.invariant);
-                unc.push((pred_win, guard));
-            }
-        }
-        // Forced moves at the invariant boundary.
-        let mut forced = Federation::empty(dim);
-        if !self.boundary[node_id].is_empty() && !unc.is_empty() {
-            let mut some_enabled_good = Federation::empty(dim);
-            let mut all_good = Federation::from_zone(node.invariant.clone());
-            for (pred_win, guard) in &unc {
-                some_enabled_good.union_with(pred_win);
-                let mut not_guard = Federation::from_zone(node.invariant.clone());
-                not_guard.subtract_zone(guard);
-                all_good = all_good.intersection(&pred_win.union(&not_guard));
-            }
-            forced = self.boundary[node_id]
-                .intersection(&some_enabled_good)
-                .intersection(&all_good);
-        }
-        let mut targets = win[node_id].clone();
-        targets.union_with(&cpred);
-        targets.union_with(&forced);
-        if targets.is_empty() {
-            return Ok((win[node_id].clone(), action_regions));
-        }
-        let mut new_win = targets.pred_t(&bad);
-        new_win.intersect_zone(&node.invariant);
-        new_win.union_with(&win[node_id]);
-        new_win.reduce_exact();
-        Ok((new_win, action_regions))
+        pi_update(
+            self.system,
+            node_id,
+            &node.discrete,
+            &node.invariant,
+            node.is_goal,
+            &node.edges,
+            &self.boundary[node_id],
+            win,
+            |id| self.graph.node(id).invariant.clone(),
+        )
     }
 
     /// Jacobi iteration: every round recomputes all nodes from the previous
@@ -468,11 +492,95 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// One step of the controllable-predecessor fixpoint, shared verbatim by the
+/// Jacobi, worklist and on-the-fly engines: computes `Goal(q) ∪ π(W)(q)` for
+/// a single discrete state from the winning sets in `win`, together with the
+/// controllable action regions used for strategy extraction.
+///
+/// `win` is indexed by [`NodeId`]; `inv_of` supplies the invariant of a
+/// target node (the on-the-fly engine resolves it against its partial
+/// passed list, the eager engines against the explored graph).  Targets that
+/// have not been evaluated yet simply contribute their current — possibly
+/// empty — winning set, which is sound because the fixpoint is monotone and
+/// every growth re-triggers dependent updates.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pi_update<F>(
+    system: &System,
+    node_id: NodeId,
+    discrete: &DiscreteState,
+    invariant: &Dbm,
+    is_goal: bool,
+    edges: &[GraphEdge],
+    boundary: &Federation,
+    win: &[Federation],
+    inv_of: F,
+) -> Result<(Federation, Vec<(usize, Federation)>), SolverError>
+where
+    F: Fn(NodeId) -> Dbm,
+{
+    let dim = system.dim();
+    if is_goal {
+        return Ok((win[node_id].clone(), Vec::new()));
+    }
+    let mut cpred = Federation::empty(dim);
+    let mut action_regions: Vec<(usize, Federation)> = Vec::new();
+    let mut bad = Federation::empty(dim);
+    // (pred of winning target, guard zone) for each uncontrollable edge,
+    // used by the Forced term.
+    let mut unc: Vec<(Federation, Dbm)> = Vec::new();
+    for (edge_idx, edge) in edges.iter().enumerate() {
+        let target_win = &win[edge.target];
+        let pred_win = system.joint_pred_federation(discrete, &edge.joint, target_win)?;
+        if edge.controllable {
+            if !pred_win.is_empty() {
+                cpred.union_with(&pred_win);
+                action_regions.push((edge_idx, pred_win));
+            }
+        } else {
+            // Complement of the target winning set within its invariant.
+            let target_inv = Federation::from_zone(inv_of(edge.target));
+            let escape = target_inv.difference(target_win);
+            if !escape.is_empty() {
+                bad.union_with(&system.joint_pred_federation(discrete, &edge.joint, &escape)?);
+            }
+            let mut guard = system.joint_guard_zone(discrete, &edge.joint)?;
+            guard.intersect(invariant);
+            unc.push((pred_win, guard));
+        }
+    }
+    // Forced moves at the invariant boundary.
+    let mut forced = Federation::empty(dim);
+    if !boundary.is_empty() && !unc.is_empty() {
+        let mut some_enabled_good = Federation::empty(dim);
+        let mut all_good = Federation::from_zone(invariant.clone());
+        for (pred_win, guard) in &unc {
+            some_enabled_good.union_with(pred_win);
+            let mut not_guard = Federation::from_zone(invariant.clone());
+            not_guard.subtract_zone(guard);
+            all_good = all_good.intersection(&pred_win.union(&not_guard));
+        }
+        forced = boundary
+            .intersection(&some_enabled_good)
+            .intersection(&all_good);
+    }
+    let mut targets = win[node_id].clone();
+    targets.union_with(&cpred);
+    targets.union_with(&forced);
+    if targets.is_empty() {
+        return Ok((win[node_id].clone(), action_regions));
+    }
+    let mut new_win = targets.pred_t(&bad);
+    new_win.intersect_zone(invariant);
+    new_win.union_with(&win[node_id]);
+    new_win.reduce_exact();
+    Ok((new_win, action_regions))
+}
+
 /// The upper boundary of an invariant zone: the valuations from which no
 /// positive delay keeps the invariant satisfied.
 ///
 /// For urgent states the whole invariant is a boundary.
-fn invariant_boundary(invariant: &Dbm, urgent: bool) -> Federation {
+pub(crate) fn invariant_boundary(invariant: &Dbm, urgent: bool) -> Federation {
     if urgent {
         return Federation::from_zone(invariant.clone());
     }
@@ -636,6 +744,235 @@ mod tests {
         let tp2 = TestPurpose::parse("control: A<> Plant.Busy", &sys).unwrap();
         let solution2 = solve_reachability(&sys, &tp2, &SolveOptions::default()).unwrap();
         assert!(solution2.winning_from_initial);
+    }
+
+    /// Like [`forced_output_system`] plus a controllable decoy chain
+    /// `Idle -> C1 -> ... -> C5` that never reaches the goal.  The eager
+    /// engines explore the whole chain; the on-the-fly engine decides the
+    /// initial state before the chain's tail is ever reached.
+    fn forced_output_with_decoy_chain() -> System {
+        let mut b = SystemBuilder::new("forced-decoy");
+        let x = b.clock("x").unwrap();
+        let kick = b.input_channel("kick").unwrap();
+        let reply = b.output_channel("reply").unwrap();
+        let step = b.input_channel("step").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let busy = plant.location("Busy").unwrap();
+        let done = plant.location("Done").unwrap();
+        plant.set_invariant(busy, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        plant.add_edge(EdgeBuilder::new(idle, busy).input(kick).reset(x));
+        plant.add_edge(
+            EdgeBuilder::new(busy, done)
+                .output(reply)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        let mut prev = idle;
+        for i in 1..=5 {
+            let c = plant.location(&format!("C{i}")).unwrap();
+            plant.add_edge(EdgeBuilder::new(prev, c).input(step).reset(x));
+            prev = c;
+        }
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).output(kick));
+        user.add_edge(EdgeBuilder::new(u, u).output(step));
+        user.add_edge(EdgeBuilder::new(u, u).input(reply));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Regression model for the reach-confinement soundness bug: `Q` is
+    /// first reached uncontrollably at `x >= 5`, where the escape edge
+    /// (guard `x <= 2`) is invisible to zone-driven edge discovery.  `Q` is
+    /// later re-entered with `x = 0`, where the plant can escape to a losing
+    /// sink.  An engine that evaluates `Q` over its whole invariant before
+    /// the second zone arrives claims `x = 0` is winning and never retracts
+    /// it, deciding the game winning; the game is actually losing.
+    fn late_escape_system() -> System {
+        let mut b = SystemBuilder::new("late-escape");
+        let x = b.clock("x").unwrap();
+        let i1 = b.input_channel("i1").unwrap();
+        let i2 = b.input_channel("i2").unwrap();
+        let i3 = b.input_channel("i3").unwrap();
+        let u1 = b.output_channel("u1").unwrap();
+        let esc = b.output_channel("esc").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let p0 = plant.location("P0").unwrap();
+        let p1 = plant.location("P1").unwrap();
+        let q = plant.location("Q").unwrap();
+        let goal = plant.location("GoalLoc").unwrap();
+        let sink = plant.location("Sink").unwrap();
+        plant.add_edge(
+            EdgeBuilder::new(p0, q)
+                .output(u1)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 5)),
+        );
+        plant.add_edge(EdgeBuilder::new(p0, p1).input(i1));
+        plant.add_edge(EdgeBuilder::new(p1, q).input(i2).reset(x));
+        plant.add_edge(
+            EdgeBuilder::new(q, goal)
+                .input(i3)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 6)),
+        );
+        plant.add_edge(
+            EdgeBuilder::new(q, sink)
+                .output(esc)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Le, 2)),
+        );
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).input(u1));
+        user.add_edge(EdgeBuilder::new(u, u).input(esc));
+        user.add_edge(EdgeBuilder::new(u, u).output(i1));
+        user.add_edge(EdgeBuilder::new(u, u).output(i2));
+        user.add_edge(EdgeBuilder::new(u, u).output(i3));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn late_discovered_escape_edges_do_not_fool_otfur() {
+        let sys = late_escape_system();
+        let tp = TestPurpose::parse("control: A<> Plant.GoalLoc", &sys).unwrap();
+        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(!jacobi.winning_from_initial, "the game is losing");
+        for early in [true, false] {
+            let otfur = solve(&sys, &tp, &otfur_options(early)).unwrap();
+            assert!(
+                !otfur.winning_from_initial,
+                "on-the-fly (early_termination={early}) must agree with the oracle"
+            );
+        }
+    }
+
+    fn otfur_options(early_termination: bool) -> SolveOptions {
+        SolveOptions {
+            engine: SolveEngine::Otfur,
+            early_termination,
+            ..SolveOptions::default()
+        }
+    }
+
+    #[test]
+    fn otfur_agrees_with_jacobi_on_decisions() {
+        for sys in [
+            forced_output_system(),
+            silent_plant_system(),
+            dodging_plant_system(),
+            forced_output_with_decoy_chain(),
+        ] {
+            for goal in ["Plant.Done", "Plant.Busy"] {
+                let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
+                let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+                let otfur = solve(&sys, &tp, &otfur_options(true)).unwrap();
+                assert_eq!(
+                    jacobi.winning_from_initial,
+                    otfur.winning_from_initial,
+                    "system {} goal {goal}",
+                    sys.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_otfur_matches_jacobi_federations_within_reach() {
+        // The on-the-fly engine confines winning sets to the explored reach
+        // zones (see the otfur module docs); the eager fixpoint computes them
+        // over whole invariants.  On every reachable valuation — the
+        // semantically meaningful ones — they must coincide: the exhaustive
+        // on-the-fly result is exactly `jacobi ∩ reach` per state.
+        for sys in [
+            forced_output_system(),
+            silent_plant_system(),
+            dodging_plant_system(),
+        ] {
+            for goal in ["Plant.Done", "Plant.Busy"] {
+                let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
+                let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+                let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
+                assert!(!otfur.stats().early_terminated);
+                assert_eq!(jacobi.graph.len(), otfur.graph.len());
+                for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+                    let other = otfur.graph.node_of(&node.discrete).unwrap();
+                    let expected = jacobi.winning[id].intersection(&node.reach);
+                    assert!(
+                        expected.set_equals(&otfur.winning[other]),
+                        "winning sets differ in {} for {}",
+                        sys.name(),
+                        node.discrete.display(&sys)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn otfur_terminates_early_and_explores_fewer_states() {
+        let sys = forced_output_with_decoy_chain();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let otfur = solve(&sys, &tp, &otfur_options(true)).unwrap();
+        assert!(otfur.winning_from_initial);
+        assert!(otfur.stats().early_terminated, "initial decided early");
+        assert!(
+            otfur.stats().discrete_states < jacobi.stats().discrete_states,
+            "on-the-fly explored {} states, eager {}",
+            otfur.stats().discrete_states,
+            jacobi.stats().discrete_states
+        );
+    }
+
+    #[test]
+    fn otfur_extracts_a_usable_strategy() {
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve(&sys, &tp, &otfur_options(true)).unwrap();
+        assert!(solution.winning_from_initial);
+        let strategy = solution.strategy.as_ref().expect("strategy");
+        assert!(strategy.state_count() >= 2);
+        let d0 = sys.initial_discrete();
+        let decision = strategy.decide(&d0, &[0], 4).expect("covered");
+        assert!(matches!(
+            decision,
+            crate::strategy::StrategyDecision::Take(_)
+        ));
+        let busy = {
+            let mut d = d0.clone();
+            let (aut, loc) = sys.location_by_qualified_name("Plant.Busy").unwrap();
+            d.locations[aut.index()] = loc;
+            d
+        };
+        assert!(solution.is_winning_state(&busy, &[0], 4));
+        let decision = strategy.decide(&busy, &[4], 4).expect("covered");
+        assert!(matches!(
+            decision,
+            crate::strategy::StrategyDecision::Wait { .. }
+        ));
+    }
+
+    #[test]
+    fn otfur_prunes_losing_subtrees() {
+        // The dodging plant never wins: everything is explored, nothing is
+        // winning, and the non-goal states are recognized as losing.
+        let sys = dodging_plant_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve(&sys, &tp, &otfur_options(true)).unwrap();
+        assert!(!solution.winning_from_initial);
+        assert!(solution.stats().pruned_evaluations > 0);
+    }
+
+    #[test]
+    fn default_options_select_otfur() {
+        assert_eq!(SolveOptions::default().engine, SolveEngine::Otfur);
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
+        let solution = solve(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+        assert!(solution.strategy.is_some());
     }
 
     #[test]
