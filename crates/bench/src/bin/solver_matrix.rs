@@ -1,4 +1,5 @@
-//! Emits the engine × model ablation matrix as machine-readable JSON.
+//! Emits the engine × model ablation matrix as machine-readable JSON, and
+//! optionally gates it against a checked-in baseline.
 //!
 //! Runs every solver engine (`otfur`, `jacobi`, `worklist`) over the
 //! benchmark model zoo and writes one JSON object per (model, purpose,
@@ -6,17 +7,44 @@
 //!
 //! `--smoke` restricts the sweep to the smallest model so CI can exercise
 //! the full pipeline in seconds and archive the artifact.
+//!
+//! `--check PATH` compares the run's *deterministic* counters (explored
+//! states, zone counts, verdicts — never wall time) against a previously
+//! written matrix and exits non-zero on any drift; CI runs
+//!
+//! ```text
+//! solver_matrix --smoke --check BENCH_solver.baseline.json
+//! ```
+//!
+//! Refresh the baseline after an intentional solver change with:
+//!
+//! ```text
+//! cargo run --release -p tiga-bench --bin solver_matrix -- --smoke --out BENCH_solver.baseline.json
+//! ```
 
-use tiga_bench::{engine_matrix_rows, matrix_rows_to_json, model_zoo};
+use tiga_bench::{
+    compare_to_baseline, engine_matrix_rows, matrix_rows_to_json, model_zoo, parse_matrix_json,
+    BaselineRow,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(|| "BENCH_solver.json".to_string(), Clone::clone);
+    // A flag given without its value is a hard error: silently ignoring a
+    // truncated `--check` would disable the regression gate with exit 0.
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .unwrap_or_else(|| {
+                    eprintln!("error: `{flag}` expects a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let check_path = flag_value("--check");
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
 
     let zoo = model_zoo();
     let instances = if smoke {
@@ -53,4 +81,47 @@ fn main() {
     let json = matrix_rows_to_json(&rows);
     std::fs::write(&out_path, json).expect("write BENCH_solver.json");
     println!("wrote {} rows to {out_path}", rows.len());
+
+    if let Some(baseline_path) = check_path {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read baseline `{baseline_path}`: {e}\n\
+                     hint: create it with `cargo run --release -p tiga-bench --bin solver_matrix \
+                     -- --smoke --out {baseline_path}`"
+                );
+                std::process::exit(2);
+            }
+        };
+        let baseline = match parse_matrix_json(&baseline_text) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error: malformed baseline `{baseline_path}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let current: Vec<BaselineRow> = rows.iter().map(BaselineRow::from).collect();
+        let diffs = compare_to_baseline(&current, &baseline);
+        if diffs.is_empty() {
+            println!(
+                "baseline check: {} rows match {baseline_path}",
+                current.len()
+            );
+        } else {
+            let regressions = diffs.iter().filter(|d| d.regression).count();
+            eprintln!(
+                "baseline check FAILED against {baseline_path} ({} diffs, {regressions} regressions):",
+                diffs.len()
+            );
+            for diff in &diffs {
+                eprintln!("  {diff}");
+            }
+            eprintln!(
+                "refresh after an intentional solver change with:\n  cargo run --release -p \
+                 tiga-bench --bin solver_matrix -- --smoke --out {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+    }
 }

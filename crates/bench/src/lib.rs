@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
+
+pub use baseline::{compare_to_baseline, parse_matrix_json, BaselineDiff, BaselineRow};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiga_dbm::{Bound, Dbm, Federation};

@@ -1,0 +1,6 @@
+//! The `tiga` binary: a thin wrapper around [`tiga_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(tiga_cli::run(&args));
+}

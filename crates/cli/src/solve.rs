@@ -1,0 +1,259 @@
+//! `tiga solve` — solve the timed game of a `.tg` model.
+
+use crate::{
+    load_model, parse_num, reject_leftovers, take_flag, take_value, wants_help, EXIT_FAILURE,
+    EXIT_USAGE,
+};
+use tiga_solver::{solve, GameSolution, SolveEngine, SolveOptions};
+use tiga_tctl::TestPurpose;
+
+const USAGE: &str = "\
+USAGE:
+    tiga solve <file.tg> [OPTIONS]
+
+OPTIONS:
+    --engine otfur|jacobi|worklist   fixpoint engine (default: otfur)
+    --exhaustive                     disable early termination (propagate the
+                                     full winning sets even once the initial
+                                     state is decided)
+    --no-strategy                    skip strategy extraction
+    --max-rounds N                   fixpoint round / reevaluation budget
+    --purpose '<control: ...>'       override the file's control: line
+    --expect winning|losing          exit non-zero unless the verdict matches
+    --show-strategy                  print the synthesized strategy listing
+";
+
+/// Parsed arguments of `tiga solve`.
+#[derive(Clone, Debug)]
+pub struct SolveArgs {
+    /// Path to the `.tg` model.
+    pub path: String,
+    /// Solver options assembled from the flags (including the engine).
+    pub options: SolveOptions,
+    /// Objective override (otherwise the file's `control:` line is used).
+    pub purpose: Option<String>,
+    /// Fail unless the verdict matches (`Some(true)` = expect winning).
+    pub expect_winning: Option<bool>,
+    /// Include the strategy listing in the report.
+    pub show_strategy: bool,
+}
+
+/// Parses `tiga solve` arguments.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown or malformed flags.
+pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
+    let mut args = args.to_vec();
+    let engine = match take_value(&mut args, "--engine")?.as_deref() {
+        None | Some("otfur") => SolveEngine::Otfur,
+        Some("jacobi") => SolveEngine::Jacobi,
+        Some("worklist") => SolveEngine::Worklist,
+        Some(other) => {
+            return Err(format!(
+                "error: unknown engine `{other}` (expected otfur, jacobi or worklist)"
+            ))
+        }
+    };
+    let mut options = SolveOptions {
+        engine,
+        ..SolveOptions::default()
+    };
+    if take_flag(&mut args, "--exhaustive") {
+        options.early_termination = false;
+    }
+    if take_flag(&mut args, "--no-strategy") {
+        options.extract_strategy = false;
+    }
+    if let Some(rounds) = take_value(&mut args, "--max-rounds")? {
+        options.max_rounds = parse_num(&rounds, "--max-rounds")?;
+    }
+    let purpose = take_value(&mut args, "--purpose")?;
+    let expect_winning = match take_value(&mut args, "--expect")?.as_deref() {
+        None => None,
+        Some("winning") => Some(true),
+        Some("losing") => Some(false),
+        Some(other) => {
+            return Err(format!(
+                "error: `--expect` takes `winning` or `losing`, got `{other}`"
+            ))
+        }
+    };
+    let show_strategy = take_flag(&mut args, "--show-strategy");
+    let path = if args.is_empty() {
+        return Err(format!("error: missing <file.tg>\n\n{USAGE}"));
+    } else {
+        args.remove(0)
+    };
+    reject_leftovers(&args, USAGE)?;
+    Ok(SolveArgs {
+        path,
+        options,
+        purpose,
+        expect_winning,
+        show_strategy,
+    })
+}
+
+/// Runs `tiga solve`, returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a rendered diagnostic (parse error with caret, solver error, or
+/// verdict mismatch under `--expect`).
+pub fn run_solve(args: &SolveArgs) -> Result<String, String> {
+    let model = load_model(&args.path)?;
+    let purpose = resolve_purpose(&model, args.purpose.as_deref())?;
+    let solution = solve(&model.system, &purpose, &args.options)
+        .map_err(|e| format!("error: solver failed: {e}"))?;
+    let mut report = render_report(&args.path, &model.system, &purpose, args, &solution);
+    if args.show_strategy {
+        if let Some(strategy) = &solution.strategy {
+            report.push('\n');
+            report.push_str(&strategy.display(&model.system).to_string());
+        }
+    }
+    if let Some(expected) = args.expect_winning {
+        if solution.winning_from_initial != expected {
+            return Err(format!(
+                "{report}\nerror: expected the initial state to be {}, but it is {}",
+                verdict_name(expected),
+                verdict_name(solution.winning_from_initial)
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn verdict_name(winning: bool) -> &'static str {
+    if winning {
+        "WINNING"
+    } else {
+        "LOSING"
+    }
+}
+
+fn resolve_purpose(
+    model: &tiga_lang::TgModel,
+    override_text: Option<&str>,
+) -> Result<TestPurpose, String> {
+    match override_text {
+        Some(text) => TestPurpose::parse(text, &model.system)
+            .map_err(|e| format!("error: bad --purpose: {e}")),
+        None => model.purpose.clone().ok_or_else(|| {
+            format!(
+                "error: `{}` has no `control:` line; add one or pass --purpose",
+                model.system.name()
+            )
+        }),
+    }
+}
+
+fn render_report(
+    path: &str,
+    system: &tiga_model::System,
+    purpose: &TestPurpose,
+    args: &SolveArgs,
+    solution: &GameSolution,
+) -> String {
+    let stats = solution.stats();
+    let timed = &solution.timed;
+    let strategy_rules = solution
+        .strategy
+        .as_ref()
+        .map_or("-".to_string(), |s| s.rule_count().to_string());
+    format!(
+        "model: {} ({path})\n\
+         purpose: {}\n\
+         engine: {}\n\
+         verdict: {}\n\
+         discrete_states: {}\n\
+         graph_edges: {}\n\
+         iterations: {}\n\
+         winning_zones: {}\n\
+         reach_zones: {}\n\
+         subsumed_zones: {}\n\
+         pruned_evaluations: {}\n\
+         peak_federation_size: {}\n\
+         early_terminated: {}\n\
+         strategy_rules: {strategy_rules}\n\
+         time: exploration {}us + fixpoint {}us = {}us",
+        system.name(),
+        tiga_lang::control_line(purpose),
+        args.options.engine.name(),
+        verdict_name(solution.winning_from_initial),
+        stats.discrete_states,
+        stats.graph_edges,
+        stats.iterations,
+        stats.winning_zones,
+        stats.reach_zones,
+        stats.subsumed_zones,
+        stats.pruned_evaluations,
+        stats.peak_federation_size,
+        stats.early_terminated,
+        timed.exploration_time.as_micros(),
+        timed.fixpoint_time.as_micros(),
+        timed.total_time().as_micros(),
+    )
+}
+
+/// Entry point used by [`crate::run`].
+pub(crate) fn main(args: &[String]) -> i32 {
+    if wants_help(args) {
+        crate::emit(USAGE.trim_end());
+        return 0;
+    }
+    match parse_args(args) {
+        Err(usage) => {
+            eprintln!("{usage}");
+            EXIT_USAGE
+        }
+        Ok(parsed) => match run_solve(&parsed) {
+            Ok(report) => {
+                crate::emit(&report);
+                0
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                EXIT_FAILURE
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_engine_and_flags() {
+        let args = parse_args(&strings(&[
+            "model.tg",
+            "--engine",
+            "jacobi",
+            "--exhaustive",
+            "--max-rounds",
+            "42",
+            "--expect",
+            "winning",
+        ]))
+        .unwrap();
+        assert_eq!(args.path, "model.tg");
+        assert_eq!(args.options.engine, SolveEngine::Jacobi);
+        assert!(!args.options.early_termination);
+        assert_eq!(args.options.max_rounds, 42);
+        assert_eq!(args.expect_winning, Some(true));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&strings(&["m.tg", "--engine", "magic"])).is_err());
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["m.tg", "--wat"])).is_err());
+        assert!(parse_args(&strings(&["m.tg", "--expect", "maybe"])).is_err());
+    }
+}

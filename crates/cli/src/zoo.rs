@@ -1,0 +1,153 @@
+//! `tiga zoo` — list and export the built-in benchmark model zoo.
+
+use crate::{reject_leftovers, take_value, wants_help, EXIT_FAILURE, EXIT_USAGE};
+use std::fmt::Write as _;
+use std::path::Path;
+use tiga_bench::model_zoo;
+use tiga_lang::print_system;
+use tiga_model::System;
+use tiga_models::{coffee_machine, leader_election, smart_light};
+
+const USAGE: &str = "\
+USAGE:
+    tiga zoo [--emit-tg <dir>]
+
+Lists the benchmark model zoo (every case-study product with its test
+purposes).  With `--emit-tg`, writes each model to `<dir>/<model>.tg` (with
+its primary purpose as the `control:` line) and the corresponding plant to
+`<dir>/<model>.plant.tg` — the files under `examples/tg/` in this repository
+are generated exactly this way.
+";
+
+/// Parsed arguments of `tiga zoo`.
+#[derive(Clone, Debug)]
+pub struct ZooArgs {
+    /// Directory to export `.tg` files into.
+    pub emit_dir: Option<String>,
+}
+
+/// Parses `tiga zoo` arguments.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags.
+pub fn parse_args(args: &[String]) -> Result<ZooArgs, String> {
+    let mut args = args.to_vec();
+    let emit_dir = take_value(&mut args, "--emit-tg")?;
+    reject_leftovers(&args, USAGE)?;
+    Ok(ZooArgs { emit_dir })
+}
+
+/// The plant (specification-only) system behind a zoo model id.
+fn plant_for(model: &str) -> Option<System> {
+    match model {
+        "smart_light" => Some(smart_light::plant().expect("model builds")),
+        "coffee_machine" => Some(coffee_machine::plant().expect("model builds")),
+        "lep3" => {
+            Some(leader_election::plant(leader_election::LepConfig::new(3)).expect("model builds"))
+        }
+        _ => None,
+    }
+}
+
+/// Runs `tiga zoo`, returning the rendered listing.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the export directory cannot be written.
+pub fn run_zoo(args: &ZooArgs) -> Result<String, String> {
+    let zoo = model_zoo();
+    let mut out = String::new();
+    let _ = writeln!(out, "{} zoo instances:", zoo.len());
+    for instance in &zoo {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<18} {} automata, {} clocks, {} channels — {}",
+            instance.model,
+            instance.purpose_name,
+            instance.system.automata().len(),
+            instance.system.clocks().len(),
+            instance.system.channels().len(),
+            instance.purpose.source,
+        );
+    }
+
+    if let Some(dir) = &args.emit_dir {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("error: cannot create `{}`: {e}", dir.display()))?;
+        let mut emitted_models = Vec::new();
+        for instance in &zoo {
+            if emitted_models.contains(&instance.model) {
+                continue; // one file per model, with its primary purpose
+            }
+            emitted_models.push(instance.model.clone());
+            let path = dir.join(format!("{}.tg", instance.model));
+            write_tg(
+                &path,
+                &print_system(&instance.system, Some(&instance.purpose)),
+            )?;
+            let _ = writeln!(out, "wrote {}", path.display());
+            if let Some(plant) = plant_for(&instance.model) {
+                let path = dir.join(format!("{}.plant.tg", instance.model));
+                write_tg(&path, &print_system(&plant, None))?;
+                let _ = writeln!(out, "wrote {}", path.display());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn write_tg(path: &Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents)
+        .map_err(|e| format!("error: cannot write `{}`: {e}", path.display()))
+}
+
+/// Entry point used by [`crate::run`].
+pub(crate) fn main(args: &[String]) -> i32 {
+    if wants_help(args) {
+        crate::emit(USAGE.trim_end());
+        return 0;
+    }
+    match parse_args(args) {
+        Err(usage) => {
+            eprintln!("{usage}");
+            EXIT_USAGE
+        }
+        Ok(parsed) => match run_zoo(&parsed) {
+            Ok(listing) => {
+                crate::emit(listing.trim_end());
+                0
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                EXIT_FAILURE
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_covers_the_zoo() {
+        let listing = run_zoo(&ZooArgs { emit_dir: None }).unwrap();
+        for model in ["coffee_machine", "smart_light", "lep3"] {
+            assert!(listing.contains(model), "{listing}");
+        }
+    }
+
+    #[test]
+    fn every_zoo_model_has_a_plant() {
+        let zoo = model_zoo();
+        for instance in &zoo {
+            assert!(
+                plant_for(&instance.model).is_some(),
+                "no plant mapping for zoo model `{}` — extend plant_for",
+                instance.model
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Acceptance pin: the checked-in `examples/tg/` files are faithful to the
+//! programmatic model zoo.
+//!
+//! * every checked-in `.tg` parses;
+//! * `tiga solve examples/tg/smart_light.tg` (default options) reproduces
+//!   the same verdict and `SolverStats` state counts as solving the
+//!   programmatic `model_zoo()` entry;
+//! * the checked-in products and plants are structurally equal to their
+//!   in-memory counterparts, so `tiga zoo --emit-tg` is a no-op diff.
+
+use std::path::{Path, PathBuf};
+use tiga_bench::model_zoo;
+use tiga_lang::{parse_model, print_system};
+use tiga_solver::{solve, SolveOptions};
+
+fn tg_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/tg")
+}
+
+fn load(name: &str) -> tiga_lang::TgModel {
+    let path = tg_dir().join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    parse_model(&source).unwrap_or_else(|e| panic!("{name}: {}", e.render(&source, name)))
+}
+
+#[test]
+fn every_checked_in_tg_file_parses() {
+    let mut count = 0;
+    for entry in std::fs::read_dir(tg_dir()).expect("examples/tg exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "tg") {
+            load(&path.file_name().unwrap().to_string_lossy());
+            count += 1;
+        }
+    }
+    assert!(
+        count >= 6,
+        "expected ≥ 6 checked-in .tg files, found {count}"
+    );
+}
+
+#[test]
+fn solve_smart_light_tg_matches_programmatic_zoo_entry() {
+    let model = load("smart_light.tg");
+    let purpose = model.purpose.as_ref().expect("has a control: line");
+    let from_file = solve(&model.system, purpose, &SolveOptions::default()).expect("solves");
+
+    let zoo = model_zoo();
+    let reference = zoo
+        .iter()
+        .find(|i| i.model == "smart_light" && i.purpose_name == "bright")
+        .expect("zoo has smart_light/bright");
+    assert_eq!(model.system, reference.system, "parsed system differs");
+    let programmatic = solve(
+        &reference.system,
+        &reference.purpose,
+        &SolveOptions::default(),
+    )
+    .expect("solves");
+
+    assert_eq!(
+        from_file.winning_from_initial, programmatic.winning_from_initial,
+        "verdicts differ"
+    );
+    let (a, b) = (from_file.stats(), programmatic.stats());
+    assert_eq!(a.discrete_states, b.discrete_states);
+    assert_eq!(a.graph_edges, b.graph_edges);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.winning_zones, b.winning_zones);
+    assert_eq!(a.reach_zones, b.reach_zones);
+    assert_eq!(a.subsumed_zones, b.subsumed_zones);
+    assert_eq!(a.pruned_evaluations, b.pruned_evaluations);
+    assert_eq!(a.early_terminated, b.early_terminated);
+}
+
+#[test]
+fn checked_in_products_equal_zoo_models() {
+    let zoo = model_zoo();
+    for (file, model_id) in [
+        ("smart_light.tg", "smart_light"),
+        ("coffee_machine.tg", "coffee_machine"),
+        ("lep3.tg", "lep3"),
+    ] {
+        let parsed = load(file);
+        let reference = zoo
+            .iter()
+            .find(|i| i.model == model_id)
+            .unwrap_or_else(|| panic!("zoo has {model_id}"));
+        assert_eq!(
+            parsed.system, reference.system,
+            "{file} drifted from the programmatic model — \
+             regenerate with `tiga zoo --emit-tg examples/tg`"
+        );
+        // The checked-in file carries the model's primary purpose.
+        assert_eq!(
+            parsed.purpose.expect("product files carry a control: line"),
+            reference.purpose,
+            "{file} carries a different purpose than the zoo's primary one"
+        );
+    }
+}
+
+#[test]
+fn checked_in_plants_equal_plant_builders() {
+    use tiga_models::{coffee_machine, leader_election, smart_light};
+    let plants = [
+        ("smart_light.plant.tg", smart_light::plant().unwrap()),
+        ("coffee_machine.plant.tg", coffee_machine::plant().unwrap()),
+        (
+            "lep3.plant.tg",
+            leader_election::plant(leader_election::LepConfig::new(3)).unwrap(),
+        ),
+    ];
+    for (file, reference) in &plants {
+        let parsed = load(file);
+        assert_eq!(
+            &parsed.system, reference,
+            "{file} drifted — regenerate with `tiga zoo --emit-tg examples/tg`"
+        );
+        assert!(parsed.purpose.is_none(), "plant files carry no objective");
+    }
+}
+
+#[test]
+fn checked_in_files_are_printer_fixpoints() {
+    let zoo = model_zoo();
+    for instance in &zoo {
+        if instance.purpose_name != zoo_primary(&instance.model) {
+            continue;
+        }
+        let file = tg_dir().join(format!("{}.tg", instance.model));
+        let on_disk = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let printed = print_system(&instance.system, Some(&instance.purpose));
+        assert_eq!(
+            on_disk,
+            printed,
+            "{} is stale — regenerate with `tiga zoo --emit-tg examples/tg`",
+            file.display()
+        );
+    }
+}
+
+/// The primary (first-listed) purpose of each zoo model.
+fn zoo_primary(model: &str) -> &'static str {
+    match model {
+        "coffee_machine" => "coffee",
+        "smart_light" => "bright",
+        "lep3" => "tp1",
+        other => panic!("unknown zoo model {other}"),
+    }
+}

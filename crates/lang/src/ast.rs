@@ -1,0 +1,224 @@
+//! Surface syntax tree of a `.tg` file.
+//!
+//! The AST is deliberately *unresolved*: names are plain strings with spans,
+//! and it is the lowering stage ([`crate::lower`]) that resolves them against
+//! the declarations and reports span-carrying errors for unknown or
+//! duplicated names.
+
+use crate::error::Span;
+use tiga_model::CmpOp;
+
+/// A value paired with the source span it was parsed from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub node: T,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs a value with its span.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+/// Kind of a channel declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKindAst {
+    /// `input name` — controllable (tester) actions.
+    Input,
+    /// `output name` — uncontrollable (plant) actions.
+    Output,
+    /// `internal name` — controllability taken from the edges.
+    Internal,
+}
+
+/// A `var` or `const` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDeclAst {
+    /// Declared name.
+    pub name: Spanned<String>,
+    /// Array size (`None` for scalars).
+    pub size: Option<Spanned<i64>>,
+    /// Inclusive lower bound.
+    pub lower: i64,
+    /// Inclusive upper bound.
+    pub upper: i64,
+    /// Initial value of every element.
+    pub initial: i64,
+    /// Whether this came from a `const` declaration (singleton range).
+    pub is_const: bool,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A clock constraint `c op bound` or `c - c' op bound`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstraintAst {
+    /// Left-hand clock name.
+    pub left: Spanned<String>,
+    /// Optional subtracted clock (diagonal constraints).
+    pub minus: Option<Spanned<String>>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Bound expression over discrete variables.
+    pub bound: ExprAst,
+    /// Span of the whole constraint.
+    pub span: Span,
+}
+
+/// An integer/boolean expression (unresolved).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExprAst {
+    /// The node.
+    pub kind: ExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Expression node kinds, mirroring [`tiga_model::Expr`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal (possibly negative: the parser folds a leading `-`).
+    Num(i64),
+    /// Variable reference.
+    Name(String),
+    /// Array element `name[index]`.
+    Index(String, Box<ExprAst>),
+    /// Arithmetic negation `-(e)`.
+    Neg(Box<ExprAst>),
+    /// Logical negation `!(e)`.
+    Not(Box<ExprAst>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<ExprAst>, Box<ExprAst>),
+    /// Comparison.
+    Cmp(CmpOp, Box<ExprAst>, Box<ExprAst>),
+    /// Conjunction `&&`.
+    And(Box<ExprAst>, Box<ExprAst>),
+    /// Disjunction `||`.
+    Or(Box<ExprAst>, Box<ExprAst>),
+    /// Conditional `(c ? t : e)`.
+    Ite(Box<ExprAst>, Box<ExprAst>, Box<ExprAst>),
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// A location declaration inside an automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocationAst {
+    /// Location name.
+    pub name: Spanned<String>,
+    /// Whether the location is marked `init`.
+    pub init: bool,
+    /// Whether the location is marked `urgent`.
+    pub urgent: bool,
+    /// Invariant constraints (conjunction).
+    pub invariant: Vec<ConstraintAst>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// Synchronization annotation of an edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncAst {
+    /// Channel name.
+    pub channel: Spanned<String>,
+    /// `true` for `channel?` (receive), `false` for `channel!` (emit).
+    pub receive: bool,
+}
+
+/// A clock reset clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResetAst {
+    /// Clock name.
+    pub clock: Spanned<String>,
+    /// New value (`None` means zero).
+    pub value: Option<ExprAst>,
+}
+
+/// A variable update clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateAst {
+    /// Target variable name.
+    pub target: Spanned<String>,
+    /// Element index for arrays.
+    pub index: Option<ExprAst>,
+    /// Assigned value.
+    pub value: ExprAst,
+}
+
+/// An edge declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeAst {
+    /// Source location name.
+    pub source: Spanned<String>,
+    /// Target location name.
+    pub target: Spanned<String>,
+    /// Synchronization (`None` for internal `tau` edges).
+    pub sync: Option<SyncAst>,
+    /// Clock-constraint guard atoms, in source order.
+    pub guard: Vec<ConstraintAst>,
+    /// Data-guard expressions (conjoined in source order).
+    pub when: Vec<ExprAst>,
+    /// Clock resets, in source order.
+    pub resets: Vec<ResetAst>,
+    /// Variable updates, in source order.
+    pub updates: Vec<UpdateAst>,
+    /// Controllability override (`controllable` / `uncontrollable`).
+    pub controllable: Option<bool>,
+    /// Span of the edge header.
+    pub span: Span,
+}
+
+/// An automaton declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AutomatonAst {
+    /// Automaton name.
+    pub name: Spanned<String>,
+    /// Declared locations, in source order.
+    pub locations: Vec<LocationAst>,
+    /// Declared edges, in source order.
+    pub edges: Vec<EdgeAst>,
+}
+
+/// The raw `control:` objective line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControlAst {
+    /// The raw text of the whole line (starting at `control`), handed to
+    /// `tiga-tctl` verbatim after the system is built.
+    pub raw: String,
+    /// Span of the line within the `.tg` source.
+    pub span: Span,
+}
+
+/// A parsed (but not yet resolved) `.tg` file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileAst {
+    /// The `system` header, if present.
+    pub system_name: Option<Spanned<String>>,
+    /// Clock declarations, in source order.
+    pub clocks: Vec<Spanned<String>>,
+    /// Channel declarations, in source order.
+    pub channels: Vec<(ChannelKindAst, Spanned<String>)>,
+    /// Variable and constant declarations, in source order.
+    pub vars: Vec<VarDeclAst>,
+    /// Automata, in source order.
+    pub automata: Vec<AutomatonAst>,
+    /// The objective line, if present.
+    pub control: Option<ControlAst>,
+}

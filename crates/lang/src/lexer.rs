@@ -1,0 +1,562 @@
+//! Tokenizer for the `.tg` modeling language.
+//!
+//! Every token carries its byte [`Span`] so that the parser and the lowering
+//! stage can attach precise source locations to diagnostics.  `//` comments
+//! run to the end of the line; whitespace (including newlines) only separates
+//! tokens.  The `control:` objective line is *not* tokenized here — the
+//! parser captures it as raw text and hands it to `tiga-tctl` (see
+//! [`crate::parser`]).
+
+use crate::error::{LangError, Span};
+
+/// A lexical token together with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source bytes covered by the token.
+    pub span: Span,
+}
+
+/// The kinds of token recognised by the `.tg` language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`clock`, `automaton`, model names, ...).
+    Ident(String),
+    /// Quoted name (`"smart-light"`) — lets declarations carry names that
+    /// are not valid identifiers.
+    Str(String),
+    /// Non-negative integer literal (negative numbers are parsed as a
+    /// leading `-` folded by the parser).
+    Number(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `?`
+    Question,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// A whole `control: ...` objective line, captured raw (minus trailing
+    /// comment/whitespace) because its body uses `tiga-tctl` syntax (`<>`,
+    /// qualified names with `.`) that the `.tg` lexer does not know.  Only
+    /// recognised when `control` is the first word on its line.
+    ControlLine(String),
+}
+
+impl TokenKind {
+    /// Short human-readable description used in parse errors.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("`{name}`"),
+            TokenKind::Str(name) => format!("\"{name}\""),
+            TokenKind::Number(n) => format!("`{n}`"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Assign => "`:=`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+            TokenKind::Question => "`?`".to_string(),
+            TokenKind::Bang => "`!`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::EqEq => "`==`".to_string(),
+            TokenKind::NotEq => "`!=`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::AndAnd => "`&&`".to_string(),
+            TokenKind::OrOr => "`||`".to_string(),
+            TokenKind::ControlLine(_) => "`control:` line".to_string(),
+        }
+    }
+}
+
+/// Splits `.tg` source into tokens.
+///
+/// # Errors
+///
+/// Returns a span-carrying [`LangError`] on stray characters, unterminated
+/// strings, non-integer numeric literals and oversized integers.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LangError> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let end_of_input = input.len();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+
+    // Byte offset one past character index `i` (for span ends).
+    let after =
+        |i: usize| -> usize { chars.get(i + 1).map_or(end_of_input, |&(offset, _)| offset) };
+
+    while i < chars.len() {
+        let (start, c) = chars[i];
+        let push1 = |kind: TokenKind, tokens: &mut Vec<Token>| {
+            tokens.push(Token {
+                kind,
+                span: Span::new(start, after(i)),
+            });
+        };
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if chars.get(i + 1).map(|&(_, c)| c) == Some('/') => {
+                while i < chars.len() && chars[i].1 != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push1(TokenKind::LBrace, &mut tokens);
+                i += 1;
+            }
+            '}' => {
+                push1(TokenKind::RBrace, &mut tokens);
+                i += 1;
+            }
+            '(' => {
+                push1(TokenKind::LParen, &mut tokens);
+                i += 1;
+            }
+            ')' => {
+                push1(TokenKind::RParen, &mut tokens);
+                i += 1;
+            }
+            '[' => {
+                push1(TokenKind::LBracket, &mut tokens);
+                i += 1;
+            }
+            ']' => {
+                push1(TokenKind::RBracket, &mut tokens);
+                i += 1;
+            }
+            ',' => {
+                push1(TokenKind::Comma, &mut tokens);
+                i += 1;
+            }
+            ';' => {
+                push1(TokenKind::Semi, &mut tokens);
+                i += 1;
+            }
+            '?' => {
+                push1(TokenKind::Question, &mut tokens);
+                i += 1;
+            }
+            '+' => {
+                push1(TokenKind::Plus, &mut tokens);
+                i += 1;
+            }
+            '*' => {
+                push1(TokenKind::Star, &mut tokens);
+                i += 1;
+            }
+            '/' => {
+                push1(TokenKind::Slash, &mut tokens);
+                i += 1;
+            }
+            '%' => {
+                push1(TokenKind::Percent, &mut tokens);
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Assign,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Colon, &mut tokens);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Minus, &mut tokens);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    tokens.push(Token {
+                        kind: TokenKind::EqEq,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Eq, &mut tokens);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Bang, &mut tokens);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Lt, &mut tokens);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    push1(TokenKind::Gt, &mut tokens);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('&') {
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    return Err(LangError::lex(
+                        "stray `&` (conjunction is `&&`)",
+                        Span::new(start, after(i)),
+                    ));
+                }
+            }
+            '|' => {
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('|') {
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        span: Span::new(start, after(i + 1)),
+                    });
+                    i += 2;
+                } else {
+                    return Err(LangError::lex(
+                        "stray `|` (disjunction is `||`)",
+                        Span::new(start, after(i)),
+                    ));
+                }
+            }
+            '"' => {
+                let mut name = String::new();
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        None => {
+                            return Err(LangError::lex(
+                                "unterminated string literal",
+                                Span::new(start, end_of_input),
+                            ));
+                        }
+                        Some(&(_, '"')) => break,
+                        Some(&(offset, '\\')) => match chars.get(j + 1) {
+                            Some(&(_, '"')) => {
+                                name.push('"');
+                                j += 2;
+                            }
+                            Some(&(_, '\\')) => {
+                                name.push('\\');
+                                j += 2;
+                            }
+                            Some(&(_, 'n')) => {
+                                name.push('\n');
+                                j += 2;
+                            }
+                            _ => {
+                                return Err(LangError::lex(
+                                    "unknown escape in string literal (use \\\", \\\\ or \\n)",
+                                    Span::new(offset, after(j)),
+                                ));
+                            }
+                        },
+                        Some(&(_, '\n')) => {
+                            return Err(LangError::lex(
+                                "string literal runs past the end of the line",
+                                Span::new(start, chars[j].0),
+                            ));
+                        }
+                        Some(&(_, c)) => {
+                            name.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(name),
+                    span: Span::new(start, after(j)),
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: i64 = 0;
+                let mut j = i;
+                while let Some(&(_, d)) = chars.get(j) {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(d as u8 - b'0')))
+                        .ok_or_else(|| {
+                            LangError::lex(
+                                "integer literal overflows i64",
+                                Span::new(start, after(j)),
+                            )
+                        })?;
+                    j += 1;
+                }
+                if chars.get(j).map(|&(_, c)| c) == Some('.') {
+                    return Err(LangError::lex(
+                        "non-integer numeric literal (clocks and bounds are integers)",
+                        Span::new(start, after(j)),
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    span: Span::new(start, chars.get(j).map_or(end_of_input, |&(o, _)| o)),
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                let mut j = i;
+                while let Some(&(_, d)) = chars.get(j) {
+                    if !(d.is_ascii_alphanumeric() || d == '_') {
+                        break;
+                    }
+                    name.push(d);
+                    j += 1;
+                }
+                let line_start = input[..start].rfind('\n').map_or(0, |p| p + 1);
+                if name == "control" && input[line_start..start].trim().is_empty() {
+                    // Objective line: capture everything to the end of the
+                    // line raw, dropping a trailing `//` comment.
+                    let line_end = input[start..]
+                        .find('\n')
+                        .map_or(end_of_input, |p| start + p);
+                    let mut raw = &input[start..line_end];
+                    if let Some(comment) = raw.find("//") {
+                        raw = &raw[..comment];
+                    }
+                    let raw = raw.trim_end();
+                    tokens.push(Token {
+                        kind: TokenKind::ControlLine(raw.to_string()),
+                        span: Span::new(start, start + raw.len()),
+                    });
+                    while i < chars.len() && chars[i].0 < line_end {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(name),
+                        span: Span::new(start, chars.get(j).map_or(end_of_input, |&(o, _)| o)),
+                    });
+                    i = j;
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    format!("unexpected character `{other}`"),
+                    Span::new(start, after(i)),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_declarations() {
+        assert_eq!(
+            kinds("clock x // the main clock"),
+            vec![
+                TokenKind::Ident("clock".into()),
+                TokenKind::Ident("x".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("edge Off -> L1 on touch?"),
+            vec![
+                TokenKind::Ident("edge".into()),
+                TokenKind::Ident("Off".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("L1".into()),
+                TokenKind::Ident("on".into()),
+                TokenKind::Ident("touch".into()),
+                TokenKind::Question,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_colon_assign_eq() {
+        assert_eq!(
+            kinds("a := 1 = 2 : =="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Number(1),
+                TokenKind::Eq,
+                TokenKind::Number(2),
+                TokenKind::Colon,
+                TokenKind::EqEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            kinds("x - y -> z -1"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("y".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("z".into()),
+                TokenKind::Minus,
+                TokenKind::Number(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_names_with_escapes() {
+        assert_eq!(
+            kinds(r#"system "smart-light""#),
+            vec![
+                TokenKind::Ident("system".into()),
+                TokenKind::Str("smart-light".into()),
+            ]
+        );
+        assert_eq!(
+            kinds(r#""a\"b\\c""#),
+            vec![TokenKind::Str("a\"b\\c".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input_with_spans() {
+        let err = tokenize("clock x $").unwrap_err();
+        assert_eq!(err.span, Span::new(8, 9));
+        let err = tokenize("x <= 1.5").unwrap_err();
+        assert!(err.message.contains("non-integer"), "{err}");
+        assert_eq!(err.span.start, 5);
+        let err = tokenize("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+        let err = tokenize("x == 99999999999999999999").unwrap_err();
+        assert!(err.message.contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn control_lines_are_captured_raw() {
+        let toks = tokenize("clock x\ncontrol: A<> IUT.Bright // goal\nclock y\n").unwrap();
+        let kinds: Vec<_> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds[2],
+            &TokenKind::ControlLine("control: A<> IUT.Bright".into())
+        );
+        assert_eq!(kinds[3], &TokenKind::Ident("clock".into()));
+        // `control` not at the start of a line stays an identifier.
+        let toks = tokenize("location control").unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Ident("control".into()));
+    }
+
+    #[test]
+    fn spans_are_byte_ranges() {
+        let toks = tokenize("ab <= 30").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(6, 8));
+    }
+}

@@ -1,0 +1,427 @@
+//! Lowering: resolved construction of a [`System`] from a [`FileAst`].
+//!
+//! All name resolution happens here, against the declarations collected from
+//! the file, and every failure is reported with the [`Span`] of the offending
+//! name.  The `control:` line is handed to `tiga-tctl` once the system is
+//! built; tctl byte positions are re-based onto the line's span so its
+//! diagnostics point into the `.tg` source like everything else.
+
+use crate::ast::{
+    ArithOp, AutomatonAst, ChannelKindAst, ConstraintAst, EdgeAst, ExprAst, ExprKind, FileAst,
+    Spanned,
+};
+use crate::error::{LangError, Span};
+use std::collections::HashMap;
+use tiga_model::{
+    AutomatonBuilder, ChannelId, ClockConstraint, ClockId, EdgeBuilder, Expr, LocationId,
+    ModelError, System, SystemBuilder, VarId,
+};
+use tiga_tctl::{TctlError, TestPurpose};
+
+/// Default system name when the file has no `system` header.
+pub const DEFAULT_SYSTEM_NAME: &str = "system";
+
+/// Largest accepted array size: every element is a store slot that discrete
+/// states carry around, so anything beyond this is a model bug (the zoo's
+/// largest array is the LEP buffer with one slot per node).
+pub const MAX_ARRAY_SIZE: i64 = 1 << 20;
+
+/// A fully lowered `.tg` file: the built system plus the optional objective.
+#[derive(Clone, Debug)]
+pub struct TgModel {
+    /// The constructed system.
+    pub system: System,
+    /// The parsed `control:` objective, if the file has one.
+    pub purpose: Option<TestPurpose>,
+}
+
+/// Resolution scope shared by all automata of a file.
+struct Scope {
+    clocks: HashMap<String, ClockId>,
+    channels: HashMap<String, ChannelId>,
+    vars: HashMap<String, VarId>,
+}
+
+impl Scope {
+    fn clock(&self, name: &Spanned<String>) -> Result<ClockId, LangError> {
+        self.clocks
+            .get(&name.node)
+            .copied()
+            .ok_or_else(|| LangError::lower(format!("unknown clock `{}`", name.node), name.span))
+    }
+
+    fn channel(&self, name: &Spanned<String>) -> Result<ChannelId, LangError> {
+        self.channels
+            .get(&name.node)
+            .copied()
+            .ok_or_else(|| LangError::lower(format!("unknown channel `{}`", name.node), name.span))
+    }
+
+    fn var(&self, name: &str, span: Span) -> Result<VarId, LangError> {
+        self.vars.get(name).copied().ok_or_else(|| {
+            let hint = if self.clocks.contains_key(name) {
+                " (clocks cannot appear in data expressions; use `guard`/`inv` constraints)"
+            } else {
+                ""
+            };
+            LangError::lower(format!("unknown variable `{name}`{hint}"), span)
+        })
+    }
+}
+
+fn model_err(e: &ModelError, span: Span) -> LangError {
+    LangError::lower(e.to_string(), span)
+}
+
+/// Lowers a parsed file onto the model builders.
+///
+/// # Errors
+///
+/// Returns a span-carrying [`LangError`] for unresolved names, duplicate
+/// declarations, invalid ranges, missing initial locations and objective
+/// errors.
+pub fn lower_file(file: &FileAst) -> Result<TgModel, LangError> {
+    let name = file
+        .system_name
+        .as_ref()
+        .map_or(DEFAULT_SYSTEM_NAME, |n| n.node.as_str());
+    let mut builder = SystemBuilder::new(name);
+    let mut scope = Scope {
+        clocks: HashMap::new(),
+        channels: HashMap::new(),
+        vars: HashMap::new(),
+    };
+
+    for clock in &file.clocks {
+        let id = builder
+            .clock(&clock.node)
+            .map_err(|e| model_err(&e, clock.span))?;
+        scope.clocks.insert(clock.node.clone(), id);
+    }
+    for (kind, channel) in &file.channels {
+        let id = match kind {
+            ChannelKindAst::Input => builder.input_channel(&channel.node),
+            ChannelKindAst::Output => builder.output_channel(&channel.node),
+            ChannelKindAst::Internal => builder.internal_channel(&channel.node),
+        }
+        .map_err(|e| model_err(&e, channel.span))?;
+        scope.channels.insert(channel.node.clone(), id);
+    }
+    for var in &file.vars {
+        let id = match &var.size {
+            None => builder.int_var(&var.name.node, var.lower, var.upper, var.initial),
+            Some(size) => {
+                if size.node <= 0 {
+                    return Err(LangError::lower(
+                        format!("array `{}` must have a positive size", var.name.node),
+                        size.span,
+                    ));
+                }
+                // Sanity cap: the flattened store materializes `size` i64
+                // slots, so an absurd size from untrusted input must become
+                // a diagnostic, not an allocation.
+                if size.node > MAX_ARRAY_SIZE {
+                    return Err(LangError::lower(
+                        format!(
+                            "array `{}` has size {} (the maximum is {MAX_ARRAY_SIZE})",
+                            var.name.node, size.node
+                        ),
+                        size.span,
+                    ));
+                }
+                builder.int_array(
+                    &var.name.node,
+                    usize::try_from(size.node).expect("positive size fits usize"),
+                    var.lower,
+                    var.upper,
+                    var.initial,
+                )
+            }
+        }
+        .map_err(|e| model_err(&e, var.span))?;
+        scope.vars.insert(var.name.node.clone(), id);
+    }
+
+    if file.automata.is_empty() {
+        let span = file.system_name.as_ref().map_or(Span::at(0), |n| n.span);
+        return Err(LangError::lower(
+            "a .tg file must declare at least one automaton",
+            span,
+        ));
+    }
+    for automaton in &file.automata {
+        let lowered = lower_automaton(automaton, &scope)?;
+        builder
+            .add_automaton(lowered)
+            .map_err(|e| model_err(&e, automaton.name.span))?;
+    }
+    let system = builder.build().map_err(|e| model_err(&e, Span::at(0)))?;
+
+    let purpose = match &file.control {
+        None => None,
+        Some(control) => Some(
+            TestPurpose::parse(&control.raw, &system).map_err(|e| control_err(&e, control.span))?,
+        ),
+    };
+    Ok(TgModel { system, purpose })
+}
+
+/// Re-bases a tctl error onto the `control:` line's span.
+fn control_err(e: &TctlError, line: Span) -> LangError {
+    let span = match e {
+        TctlError::Lex { position, .. } | TctlError::Parse { position, .. } => {
+            let at = (line.start + position).min(line.end);
+            Span::new(at, at + 1)
+        }
+        _ => line,
+    };
+    LangError::control(e.to_string(), span)
+}
+
+fn lower_automaton(
+    automaton: &AutomatonAst,
+    scope: &Scope,
+) -> Result<tiga_model::Automaton, LangError> {
+    let mut builder = AutomatonBuilder::new(&automaton.name.node);
+    let mut locations: HashMap<&str, LocationId> = HashMap::new();
+    let mut initial: Option<(&str, Span)> = None;
+    for loc in &automaton.locations {
+        let id = builder
+            .location(&loc.name.node)
+            .map_err(|e| model_err(&e, loc.name.span))?;
+        locations.insert(&loc.name.node, id);
+        if loc.init {
+            if let Some((first, _)) = initial {
+                return Err(LangError::lower(
+                    format!(
+                        "automaton `{}` has two `init` locations (`{first}` and `{}`)",
+                        automaton.name.node, loc.name.node
+                    ),
+                    loc.name.span,
+                ));
+            }
+            initial = Some((&loc.name.node, loc.name.span));
+            builder.set_initial(id);
+        }
+        if loc.urgent {
+            builder.set_urgent(id);
+        }
+        let invariant = loc
+            .invariant
+            .iter()
+            .map(|c| lower_constraint(c, scope))
+            .collect::<Result<Vec<_>, _>>()?;
+        builder.set_invariant(id, invariant);
+    }
+    for edge in &automaton.edges {
+        builder.add_edge(lower_edge(edge, &locations, scope, &automaton.name.node)?);
+    }
+    builder
+        .build()
+        .map_err(|e| model_err(&e, automaton.name.span))
+}
+
+fn lower_edge(
+    edge: &EdgeAst,
+    locations: &HashMap<&str, LocationId>,
+    scope: &Scope,
+    automaton: &str,
+) -> Result<tiga_model::Edge, LangError> {
+    let resolve = |name: &Spanned<String>| -> Result<LocationId, LangError> {
+        locations.get(name.node.as_str()).copied().ok_or_else(|| {
+            LangError::lower(
+                format!(
+                    "unknown location `{}` in automaton `{automaton}`",
+                    name.node
+                ),
+                name.span,
+            )
+        })
+    };
+    let mut b = EdgeBuilder::new(resolve(&edge.source)?, resolve(&edge.target)?);
+    if let Some(sync) = &edge.sync {
+        let channel = scope.channel(&sync.channel)?;
+        b = if sync.receive {
+            b.input(channel)
+        } else {
+            b.output(channel)
+        };
+    }
+    for constraint in &edge.guard {
+        b = b.guard_clock(lower_constraint(constraint, scope)?);
+    }
+    for when in &edge.when {
+        b = b.when(lower_expr(when, scope)?);
+    }
+    for reset in &edge.resets {
+        let clock = scope.clock(&reset.clock)?;
+        b = match &reset.value {
+            None => b.reset(clock),
+            Some(value) => b.reset_to(clock, lower_expr(value, scope)?),
+        };
+    }
+    for update in &edge.updates {
+        let target = scope.var(&update.target.node, update.target.span)?;
+        let value = lower_expr(&update.value, scope)?;
+        b = match &update.index {
+            None => b.set(target, value),
+            Some(index) => b.set_element(target, lower_expr(index, scope)?, value),
+        };
+    }
+    if let Some(controllable) = edge.controllable {
+        b = b.controllable(controllable);
+    }
+    Ok(b.build())
+}
+
+fn lower_constraint(c: &ConstraintAst, scope: &Scope) -> Result<ClockConstraint, LangError> {
+    let left = scope.clock(&c.left)?;
+    let bound = lower_expr(&c.bound, scope)?;
+    Ok(match &c.minus {
+        None => ClockConstraint::new(left, c.op, bound),
+        Some(minus) => ClockConstraint::diff(left, scope.clock(minus)?, c.op, bound),
+    })
+}
+
+fn lower_expr(e: &ExprAst, scope: &Scope) -> Result<Expr, LangError> {
+    Ok(match &e.kind {
+        ExprKind::Num(n) => Expr::constant(*n),
+        ExprKind::Name(name) => Expr::var(scope.var(name, e.span)?),
+        ExprKind::Index(name, idx) => {
+            Expr::index(scope.var(name, e.span)?, lower_expr(idx, scope)?)
+        }
+        ExprKind::Neg(inner) => Expr::Neg(Box::new(lower_expr(inner, scope)?)),
+        ExprKind::Not(inner) => lower_expr(inner, scope)?.negated(),
+        ExprKind::Arith(op, a, b) => {
+            let a = lower_expr(a, scope)?;
+            let b = lower_expr(b, scope)?;
+            match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => Expr::Div(Box::new(a), Box::new(b)),
+                ArithOp::Mod => Expr::Mod(Box::new(a), Box::new(b)),
+            }
+        }
+        ExprKind::Cmp(op, a, b) => lower_expr(a, scope)?.cmp(*op, lower_expr(b, scope)?),
+        ExprKind::And(a, b) => lower_expr(a, scope)?.and(lower_expr(b, scope)?),
+        ExprKind::Or(a, b) => lower_expr(a, scope)?.or(lower_expr(b, scope)?),
+        ExprKind::Ite(c, t, o) => Expr::ite(
+            lower_expr(c, scope)?,
+            lower_expr(t, scope)?,
+            lower_expr(o, scope)?,
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use tiga_model::{ChannelKind, CmpOp, Sync};
+
+    fn lower(src: &str) -> Result<TgModel, LangError> {
+        lower_file(&parse_file(src)?)
+    }
+
+    #[test]
+    fn lowers_a_complete_system() {
+        let src = r#"
+system "demo"
+clock x
+input press
+output done
+const LIMIT = 3
+var count: int[0, 10] = 0
+var slots[2]: int[0, 1] = 0
+
+automaton M {
+    init location Idle
+    location Busy { inv x <= 3 }
+    edge Idle -> Busy on press? {
+        guard x >= 1;
+        when (count < LIMIT);
+        reset x;
+        set count := (count + 1);
+        set slots[0] := 1
+    }
+    edge Busy -> Idle on done!
+    edge Busy -> Busy { controllable }
+}
+control: A<> M.Busy
+"#;
+        let model = lower(src).unwrap();
+        let sys = &model.system;
+        assert_eq!(sys.name(), "demo");
+        assert_eq!(sys.clocks().len(), 1);
+        assert_eq!(sys.channels().len(), 2);
+        assert_eq!(sys.channels()[0].kind(), ChannelKind::Input);
+        assert_eq!(sys.vars().len(), 3);
+        let m = &sys.automata()[0];
+        assert_eq!(m.locations().len(), 2);
+        assert_eq!(m.location(m.initial()).name, "Idle");
+        assert_eq!(m.edges().len(), 3);
+        let e0 = &m.edges()[0];
+        assert!(matches!(e0.sync, Sync::Input(_)));
+        assert_eq!(e0.guard.clocks.len(), 1);
+        assert_eq!(e0.guard.clocks[0].op, CmpOp::Ge);
+        assert!(e0.guard.data.is_some());
+        assert_eq!(e0.resets.len(), 1);
+        assert_eq!(e0.updates.len(), 2);
+        assert_eq!(m.edges()[2].controllable, Some(true));
+        assert!(model.purpose.is_some());
+    }
+
+    #[test]
+    fn unknown_names_point_at_their_spans() {
+        let src = "automaton A { init location L edge L -> L { guard y >= 1 } }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("unknown clock `y`"), "{err}");
+        assert_eq!(&src[err.span.start..err.span.end], "y");
+
+        let src = "automaton A { init location L edge L -> M }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("unknown location `M`"), "{err}");
+
+        let src = "automaton A { init location L edge L -> L on zap? }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("unknown channel `zap`"), "{err}");
+
+        let src = "clock x\nautomaton A { init location L edge L -> L { when x > 1 } }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("clocks cannot appear"), "{err}");
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let err = lower("clock x").unwrap_err();
+        assert!(err.message.contains("at least one automaton"), "{err}");
+
+        let err = lower("clock x\nclock x\nautomaton A { init location L }").unwrap_err();
+        assert!(err.message.to_lowercase().contains("duplicate"), "{err}");
+
+        let src = "automaton A { init location L init location M }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("two `init` locations"), "{err}");
+
+        let src = "var v: int[5, 3] = 4\nautomaton A { init location L }";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("range"), "{err}");
+    }
+
+    #[test]
+    fn control_line_errors_map_into_the_tg_source() {
+        let src = "automaton A { init location L }\ncontrol: A<> B.Nowhere\n";
+        let err = lower(src).unwrap_err();
+        assert!(err.message.contains("resolve"), "{err}");
+        // The span stays within the control line.
+        assert!(err.span.start >= src.find("control").unwrap());
+    }
+
+    #[test]
+    fn first_location_is_initial_without_init_marker() {
+        let model = lower("automaton A { location L location M }").unwrap();
+        let a = &model.system.automata()[0];
+        assert_eq!(a.location(a.initial()).name, "L");
+    }
+}

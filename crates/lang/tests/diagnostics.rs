@@ -1,0 +1,107 @@
+//! Diagnostics contract over the malformed-input corpus:
+//!
+//! every file in `tests/corpus/` must be **rejected** with a span-carrying
+//! [`LangError`] — never a panic — and the error must render into a
+//! rustc-style report that points into the file.
+
+use std::path::PathBuf;
+use tiga_lang::parse_model;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|entry| entry.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tg"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 15,
+        "corpus shrank to {} files — keep the malformed inputs",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn every_corpus_file_is_rejected_with_a_span() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&path).expect("readable corpus file");
+        // Catch panics explicitly so a regression names the offending file.
+        let result = std::panic::catch_unwind(|| parse_model(&source));
+        let result = result.unwrap_or_else(|_| panic!("{name}: parse_model PANICKED"));
+        let err = result.err().unwrap_or_else(|| {
+            panic!("{name}: expected a diagnostic, but the file parsed successfully")
+        });
+        assert!(
+            err.span.start <= err.span.end,
+            "{name}: inverted span {:?}",
+            err.span
+        );
+        assert!(
+            err.span.start <= source.len(),
+            "{name}: span {:?} outside the {}-byte source",
+            err.span,
+            source.len()
+        );
+        assert!(!err.message.is_empty(), "{name}: empty message");
+        let report = err.render(&source, &name);
+        assert!(
+            report.contains(&format!("{name}:")),
+            "{name}: report lacks a file:line:col locus\n{report}"
+        );
+        assert!(
+            report.contains('^'),
+            "{name}: report lacks a caret underline\n{report}"
+        );
+    }
+}
+
+#[test]
+fn specific_diagnostics_name_the_problem() {
+    let expectations = [
+        ("unbalanced_guard.tg", "`)`"),
+        ("unknown_clock.tg", "unknown clock `y`"),
+        ("non_integer_bound.tg", "non-integer"),
+        ("unknown_location.tg", "unknown location `Nowhere`"),
+        ("unknown_channel.tg", "unknown channel `zap`"),
+        ("duplicate_clock.tg", "duplicate"),
+        ("inverted_range.tg", "range"),
+        ("negative_array_size.tg", "positive size"),
+        ("huge_array.tg", "maximum"),
+        ("two_init_locations.tg", "two `init` locations"),
+        ("stray_character.tg", "unexpected character `$`"),
+        ("overflowing_literal.tg", "overflows"),
+        ("keyword_as_name.tg", "keyword `guard`"),
+        ("bad_control_line.tg", "Ghost"),
+        ("clock_in_data_guard.tg", "clocks cannot appear"),
+        ("no_automaton.tg", "at least one automaton"),
+        ("missing_arrow.tg", "`->`"),
+    ];
+    for (file, needle) in expectations {
+        let path = corpus_dir().join(file);
+        let source = std::fs::read_to_string(&path).expect("corpus file exists");
+        let err = parse_model(&source).expect_err(file);
+        assert!(
+            err.message.contains(needle),
+            "{file}: expected message containing {needle:?}, got: {}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn spans_single_out_the_right_source_text() {
+    let source = std::fs::read_to_string(corpus_dir().join("unknown_clock.tg")).unwrap();
+    let err = parse_model(&source).unwrap_err();
+    assert_eq!(&source[err.span.start..err.span.end], "y");
+
+    let source = std::fs::read_to_string(corpus_dir().join("duplicate_clock.tg")).unwrap();
+    let err = parse_model(&source).unwrap_err();
+    // The *second* declaration is the offender.
+    assert!(err.span.start > source.find("clock x").unwrap());
+}

@@ -1,0 +1,208 @@
+//! The serializer/parser round-trip contract:
+//!
+//! ```text
+//! parse(print(sys)) ≡ sys        (structural equality on `System`)
+//! ```
+//!
+//! pinned across the whole benchmark model zoo (products *and* plants), the
+//! seeded mutant pools derived from every plant, and randomly generated
+//! expression trees.
+
+use proptest::prelude::*;
+use tiga_bench::model_zoo;
+use tiga_lang::{parse_model, print_system};
+use tiga_model::{CmpOp, Expr, System, VarTable};
+use tiga_models::{coffee_machine, leader_election, smart_light};
+use tiga_testing::{generate_mutants, MutationConfig};
+
+/// One full round trip, asserting structural equality and re-printing
+/// stability (print ∘ parse ∘ print is a fixpoint).
+fn assert_roundtrip(system: &System, context: &str) {
+    let printed = print_system(system, None);
+    let model = parse_model(&printed)
+        .unwrap_or_else(|e| panic!("{context}: printed .tg does not parse:\n{e}\n---\n{printed}"));
+    assert_eq!(
+        &model.system, system,
+        "{context}: parse(print(sys)) differs from sys\n---\n{printed}"
+    );
+    let reprinted = print_system(&model.system, None);
+    assert_eq!(
+        printed, reprinted,
+        "{context}: printing is not a fixpoint after one round trip"
+    );
+}
+
+#[test]
+fn zoo_products_roundtrip_with_purposes() {
+    for instance in model_zoo() {
+        let printed = print_system(&instance.system, Some(&instance.purpose));
+        let model = parse_model(&printed).unwrap_or_else(|e| {
+            panic!(
+                "{}/{}: printed .tg does not parse:\n{e}",
+                instance.model, instance.purpose_name
+            )
+        });
+        assert_eq!(
+            model.system, instance.system,
+            "{}/{} system differs after round trip",
+            instance.model, instance.purpose_name
+        );
+        let purpose = model.purpose.expect("control line survives the round trip");
+        assert_eq!(
+            purpose, instance.purpose,
+            "{}/{} purpose differs after round trip",
+            instance.model, instance.purpose_name
+        );
+    }
+}
+
+#[test]
+fn zoo_plants_roundtrip() {
+    let plants = [
+        ("smart_light", smart_light::plant().unwrap()),
+        ("coffee_machine", coffee_machine::plant().unwrap()),
+        (
+            "lep3",
+            leader_election::plant(leader_election::LepConfig::new(3)).unwrap(),
+        ),
+        (
+            "lep4-detailed",
+            leader_election::plant(leader_election::LepConfig::detailed(4)).unwrap(),
+        ),
+    ];
+    for (name, plant) in &plants {
+        assert_roundtrip(plant, name);
+    }
+}
+
+#[test]
+fn seeded_mutants_roundtrip() {
+    let plants = [
+        ("smart_light", smart_light::plant().unwrap()),
+        ("coffee_machine", coffee_machine::plant().unwrap()),
+        (
+            "lep3",
+            leader_election::plant(leader_election::LepConfig::new(3)).unwrap(),
+        ),
+    ];
+    let mut total = 0;
+    for (name, plant) in &plants {
+        let mutants = generate_mutants(plant, &MutationConfig::default()).unwrap();
+        assert!(!mutants.is_empty(), "{name} generates no mutants");
+        for mutant in &mutants {
+            assert_roundtrip(&mutant.system, &format!("{name}/{}", mutant.name));
+        }
+        total += mutants.len();
+    }
+    assert!(total >= 30, "mutant pools shrank suspiciously: {total}");
+}
+
+#[test]
+fn awkward_names_roundtrip_quoted() {
+    // Names that collide with keywords or are not identifiers must be quoted
+    // by the printer and survive the trip.
+    let mut b = tiga_model::SystemBuilder::new("weird system/name");
+    let _x = b.clock("guard").unwrap();
+    let press = b.input_channel("reset").unwrap();
+    b.int_var("când", 0, 3, 1).unwrap();
+    let mut a = tiga_model::AutomatonBuilder::new("edge");
+    let l0 = a.location("init").unwrap();
+    let l1 = a.location("with space").unwrap();
+    a.add_edge(tiga_model::EdgeBuilder::new(l0, l1).input(press));
+    b.add_automaton(a.build().unwrap()).unwrap();
+    let system = b.build().unwrap();
+    assert_roundtrip(&system, "awkward-names");
+}
+
+#[test]
+fn programmatic_purposes_print_reparseably() {
+    // A purpose built from a predicate (no source text) must be
+    // reconstructed into parseable tctl syntax, not the Display placeholder.
+    let system = smart_light::product().unwrap();
+    let (aut, loc) = system.location_by_qualified_name("IUT.Bright").unwrap();
+    let purpose =
+        tiga_tctl::TestPurpose::reachability(tiga_tctl::StatePredicate::Location(aut, loc));
+    assert!(purpose.source.is_empty());
+    let printed = print_system(&system, Some(&purpose));
+    let model = parse_model(&printed)
+        .unwrap_or_else(|e| panic!("programmatic purpose does not re-parse: {e}\n---\n{printed}"));
+    assert_eq!(model.system, system);
+    let reparsed = model.purpose.expect("control line present");
+    assert_eq!(reparsed.quantifier, purpose.quantifier);
+    assert_eq!(reparsed.predicate, purpose.predicate);
+}
+
+// ---- random expression trees -------------------------------------------
+
+/// A variable table with a scalar and an array, matching indices 0 and 1.
+fn expr_table() -> VarTable {
+    let mut table = VarTable::new();
+    table.declare("n", 1, -8, 8, 0).unwrap();
+    table.declare("buf", 3, 0, 1, 0).unwrap();
+    table
+}
+
+fn arb_cmp() -> proptest::strategy::Union<CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Random expression trees over the two declared variables.
+fn arb_expr(depth: u32) -> proptest::strategy::Union<Expr> {
+    let scalar = tiga_model::VarId::from_index(0);
+    let array = tiga_model::VarId::from_index(1);
+    if depth == 0 {
+        return prop_oneof![
+            (-50i64..50).prop_map(Expr::constant),
+            Just(Expr::var(scalar)),
+            (0i64..3).prop_map(move |i| Expr::index(array, Expr::constant(i))),
+        ];
+    }
+    let sub = move || arb_expr(depth - 1);
+    prop_oneof![
+        (-50i64..50).prop_map(Expr::constant),
+        Just(Expr::var(scalar)),
+        (0i64..3).prop_map(move |i| Expr::index(array, Expr::constant(i))),
+        sub().prop_map(|e| Expr::Neg(Box::new(e))),
+        sub().prop_map(Expr::negated),
+        (sub(), sub()).prop_map(|(a, b)| a + b),
+        (sub(), sub()).prop_map(|(a, b)| a - b),
+        (sub(), sub()).prop_map(|(a, b)| a * b),
+        (sub(), sub()).prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+        (sub(), sub()).prop_map(|(a, b)| Expr::Mod(Box::new(a), Box::new(b))),
+        (arb_cmp(), sub(), sub()).prop_map(|(op, a, b)| a.cmp(op, b)),
+        (sub(), sub()).prop_map(|(a, b)| a.and(b)),
+        (sub(), sub()).prop_map(|(a, b)| a.or(b)),
+        (sub(), sub(), sub()).prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+    ]
+}
+
+proptest! {
+    /// Print → parse over a whole system whose edge guard carries the random
+    /// expression, so the expression goes through the real pipeline.
+    #[test]
+    fn random_expressions_roundtrip(expr in arb_expr(3)) {
+        let table = expr_table();
+        let mut b = tiga_model::SystemBuilder::new("expr-prop");
+        b.int_var("n", -8, 8, 0).unwrap();
+        b.int_array("buf", 3, 0, 1, 0).unwrap();
+        let mut a = tiga_model::AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        a.add_edge(tiga_model::EdgeBuilder::new(l0, l0).when(expr.clone()));
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let system = b.build().unwrap();
+
+        let printed = print_system(&system, None);
+        let reparsed = parse_model(&printed).unwrap_or_else(|e| panic!(
+            "printed expression `{}` does not parse: {e}",
+            tiga_lang::expr_to_tg(&expr, &table)
+        ));
+        prop_assert_eq!(&reparsed.system, &system);
+    }
+}

@@ -15,7 +15,11 @@
 //! * [`testing`] ([`tiga_testing`]) — tioco conformance testing with winning
 //!   strategies as test cases (the paper's contribution);
 //! * [`models`] ([`tiga_models`]) — the Smart Light and Leader Election
-//!   Protocol case studies.
+//!   Protocol case studies;
+//! * [`lang`] ([`tiga_lang`]) — the `.tg` textual modeling language (lexer →
+//!   parser → lowering, plus the `print_system` serializer); the `tiga`
+//!   command line in `crates/cli` drives solve/test/zoo workflows from `.tg`
+//!   files.
 //!
 //! Benchmarks live in the separate `tiga-bench` crate (`crates/bench`), and
 //! `crates/vendor` holds API-compatible stand-ins for `rand`, `proptest` and
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub use tiga_dbm as dbm;
+pub use tiga_lang as lang;
 pub use tiga_model as model;
 pub use tiga_models as models;
 pub use tiga_solver as solver;
