@@ -345,6 +345,53 @@ mod tests {
     }
 
     #[test]
+    fn every_prefix_truncation_is_a_clean_error_or_fewer_rows() {
+        // A truncated baseline (half-written file, interrupted download)
+        // must never panic: every byte-prefix of a real matrix JSON either
+        // fails with a message or parses as complete rows only.
+        let full = parse_matrix_json(SAMPLE_JSON).unwrap();
+        for cut in 0..SAMPLE_JSON.len() {
+            let prefix = &SAMPLE_JSON[..cut];
+            let result = std::panic::catch_unwind(|| parse_matrix_json(prefix))
+                .unwrap_or_else(|_| panic!("prefix of {cut} bytes PANICKED:\n{prefix}"));
+            if let Ok(rows) = result {
+                assert!(
+                    rows.len() <= full.len(),
+                    "prefix of {cut} bytes invented rows"
+                );
+                assert_eq!(rows, full[..rows.len()].to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_variants_error_with_messages() {
+        // Mid-string cut: the object never closes.
+        let err = parse_matrix_json("[\n  {\"model\": \"cof").unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
+        // Closed object with the tail fields missing.
+        let err = parse_matrix_json("[{\"model\": \"m\", \"purpose\": \"p\"}]").unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+        // Unterminated string value inside a closed object.
+        let err = parse_matrix_json("[{\"model\": \"m}]").unwrap_err();
+        assert!(!err.is_empty());
+        // Stray bytes only.
+        assert!(parse_matrix_json("}}}}").is_err());
+        assert!(parse_matrix_json("").is_err());
+    }
+
+    #[test]
+    fn reordered_keys_parse_identically() {
+        // Field lookup is by name, so key order inside an object must not
+        // matter — a hand-edited or re-serialized baseline stays valid.
+        let reordered = r#"[
+  {"early_terminated": true, "engine": "otfur", "winning": true, "discrete_states": 5, "model": "coffee_machine", "graph_edges": 9, "purpose": "coffee", "iterations": 11, "peak_federation_size": 2, "winning_zones": 5, "subsumed_zones": 4, "reach_zones": 6, "pruned_evaluations": 3}
+]
+"#;
+        assert_eq!(parse_matrix_json(reordered).unwrap(), vec![sample()]);
+    }
+
+    #[test]
     fn identical_rows_pass_the_gate() {
         assert!(compare_to_baseline(&[sample()], &[sample()]).is_empty());
     }

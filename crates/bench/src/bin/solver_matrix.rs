@@ -46,6 +46,31 @@ fn main() {
     let check_path = flag_value("--check");
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_solver.json".to_string());
 
+    // Load and parse the baseline *before* the matrix run: a missing or
+    // malformed baseline is a usage error (exit 2) and must be reported
+    // immediately, never as a panic — the file is hand-refreshed and CI
+    // feeds whatever is checked in.
+    let baseline = check_path.map(|baseline_path| {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot read baseline `{baseline_path}`: {e}\n\
+                     hint: create it with `cargo run --release -p tiga-bench --bin solver_matrix \
+                     -- --smoke --out {baseline_path}`"
+                );
+                std::process::exit(2);
+            }
+        };
+        match parse_matrix_json(&baseline_text) {
+            Ok(rows) => (baseline_path, rows),
+            Err(e) => {
+                eprintln!("error: malformed baseline `{baseline_path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
     let zoo = model_zoo();
     let instances = if smoke {
         // The zoo is ordered smallest-first; the smoke run keeps only the
@@ -82,25 +107,7 @@ fn main() {
     std::fs::write(&out_path, json).expect("write BENCH_solver.json");
     println!("wrote {} rows to {out_path}", rows.len());
 
-    if let Some(baseline_path) = check_path {
-        let baseline_text = match std::fs::read_to_string(&baseline_path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!(
-                    "error: cannot read baseline `{baseline_path}`: {e}\n\
-                     hint: create it with `cargo run --release -p tiga-bench --bin solver_matrix \
-                     -- --smoke --out {baseline_path}`"
-                );
-                std::process::exit(2);
-            }
-        };
-        let baseline = match parse_matrix_json(&baseline_text) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!("error: malformed baseline `{baseline_path}`: {e}");
-                std::process::exit(2);
-            }
-        };
+    if let Some((baseline_path, baseline)) = baseline {
         let current: Vec<BaselineRow> = rows.iter().map(BaselineRow::from).collect();
         let diffs = compare_to_baseline(&current, &baseline);
         if diffs.is_empty() {

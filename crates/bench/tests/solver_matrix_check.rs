@@ -1,0 +1,104 @@
+//! Exit-code contract of `solver_matrix --check`:
+//!
+//! * `0` — matrix matches the baseline;
+//! * `1` — matrix drifted (regressions/improvements listed on stderr);
+//! * `2` — the baseline itself is unusable (missing, truncated, malformed),
+//!   reported *before* the matrix is recomputed and never as a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn solver_matrix(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_solver_matrix"))
+        .args(args)
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("solver_matrix runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+#[test]
+fn missing_baseline_is_exit_2_with_hint() {
+    let out = solver_matrix(&["--smoke", "--check", "does_not_exist.baseline.json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+    assert!(stderr.contains("hint:"), "{stderr}");
+}
+
+#[test]
+fn truncated_baseline_is_exit_2_not_a_panic() {
+    let path = tmp("truncated.baseline.json");
+    std::fs::write(
+        &path,
+        "[\n  {\"model\": \"coffee_machine\", \"purpose\": \"cof",
+    )
+    .unwrap();
+    let out = solver_matrix(&["--smoke", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed baseline"), "{stderr}");
+    // Fail-fast: the matrix must not have been computed first.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("wrote"), "{stdout}");
+}
+
+#[test]
+fn garbage_baseline_is_exit_2() {
+    let path = tmp("garbage.baseline.json");
+    std::fs::write(&path, "not json at all {{{ \u{fffd}\u{fffd}").unwrap();
+    let out = solver_matrix(&["--smoke", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("malformed baseline"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn check_flag_without_value_is_exit_2() {
+    let out = solver_matrix(&["--smoke", "--check"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expects a value"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn self_check_roundtrip_passes_and_tampering_fails() {
+    // A freshly written smoke matrix must gate cleanly against itself...
+    let base = tmp("self.baseline.json");
+    let out = solver_matrix(&["--smoke", "--out", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = solver_matrix(&[
+        "--smoke",
+        "--out",
+        tmp("self.current.json").to_str().unwrap(),
+        "--check",
+        base.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // ... and a tampered counter must fail the gate with exit 1.
+    let text = std::fs::read_to_string(&base).unwrap();
+    let tampered_text = text.replacen("\"discrete_states\": ", "\"discrete_states\": 9", 1);
+    assert_ne!(text, tampered_text, "tampering had no effect");
+    let tampered = tmp("tampered.baseline.json");
+    std::fs::write(&tampered, tampered_text).unwrap();
+    let out = solver_matrix(&[
+        "--smoke",
+        "--out",
+        tmp("self.current2.json").to_str().unwrap(),
+        "--check",
+        tampered.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("baseline check FAILED"),
+        "{out:?}"
+    );
+}

@@ -12,17 +12,22 @@
 //!   [`tiga_testing::CampaignOptions`];
 //! * `tiga zoo` — list the built-in benchmark model zoo, and with
 //!   `--emit-tg <dir>` export every zoo model (and its plant) as `.tg` via
-//!   the [`tiga_lang::print_system`] serializer.
+//!   the [`tiga_lang::print_system`] serializer;
+//! * `tiga fuzz` — differential fuzzing: seeded random timed games through
+//!   the [`tiga_gen`] oracles (engine agreement, printer/parser roundtrip,
+//!   zone-algebra reference), with shrunk `.tg` reproducers on failure.
 //!
 //! All diagnostics are rendered with source spans ([`tiga_lang::LangError`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fuzz;
 mod solve;
 mod test;
 mod zoo;
 
+pub use fuzz::{run_fuzz, FuzzArgs};
 pub use solve::{run_solve, SolveArgs};
 pub use test::{run_test, TestArgs};
 pub use zoo::{run_zoo, ZooArgs};
@@ -44,6 +49,8 @@ USAGE:
     tiga test  <file.tg> [--spec <plant.tg>] [--threads N] [--seed N]
                [--repetitions N] [--max-mutants N] [--purpose '<control: ...>']
     tiga zoo   [--emit-tg <dir>]
+    tiga fuzz  [--seed N] [--count N] [--shrink|--no-shrink] [--out <dir>]
+               [--max-states N] [--zone-rounds N] [--zone-samples N]
 
 Run `tiga <command> --help` for details of one command.
 ";
@@ -58,6 +65,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("solve") => solve::main(&args[1..]),
         Some("test") => test::main(&args[1..]),
         Some("zoo") => zoo::main(&args[1..]),
+        Some("fuzz") => fuzz::main(&args[1..]),
         Some("--help" | "-h" | "help") => {
             emit(USAGE.trim_end());
             0

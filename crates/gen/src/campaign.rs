@@ -1,0 +1,266 @@
+//! The fuzzing campaign driver: generate → run all oracles → shrink.
+//!
+//! [`fuzz_campaign`] is the library entry point behind `tiga fuzz`.  It is
+//! fully deterministic for a given [`FuzzOptions::seed`]: per-case seeds are
+//! derived with SplitMix64, so any failing case is reproducible from the
+//! master seed and its index alone — and a shrunk reproducer additionally
+//! gets written out as a self-contained `.tg` file.
+
+use crate::gen::{generate_spec, GenConfig};
+use crate::oracle::{
+    check_engine_agreement, check_roundtrip, check_zone_algebra, EngineCheck, EngineCheckOptions,
+};
+use crate::shrink::shrink_spec;
+use crate::spec::SysSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tiga_lang::print_system;
+
+/// Options of one fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Master seed; case `i` uses the `i`-th SplitMix64 value derived from it.
+    pub seed: u64,
+    /// Number of generated systems.
+    pub count: usize,
+    /// Whether failing cases are shrunk before reporting.
+    pub shrink: bool,
+    /// Re-check budget per shrink (oracle re-runs).
+    pub shrink_budget: usize,
+    /// Zone-algebra rounds per case (each draws fresh zones).
+    pub zone_rounds: usize,
+    /// Sampled valuations per zone-algebra round.
+    pub zone_samples: usize,
+    /// Engine budgets.
+    pub engines: EngineCheckOptions,
+    /// System-shape knobs.
+    pub gen: GenConfig,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 1,
+            count: 100,
+            shrink: true,
+            shrink_budget: 400,
+            zone_rounds: 2,
+            zone_samples: 24,
+            engines: EngineCheckOptions::default(),
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// One confirmed oracle failure.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Index of the case within the campaign.
+    pub case_index: usize,
+    /// The derived per-case seed (regenerates the unshrunk system).
+    pub case_seed: u64,
+    /// Which oracle failed: `engine-agreement`, `roundtrip` or `zone-algebra`.
+    pub oracle: &'static str,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+    /// Self-contained `.tg` reproducer (shrunk when shrinking is enabled);
+    /// `None` for failures without a buildable system (`zone-algebra`,
+    /// which has no system at all, and `generator`, whose spec failed to
+    /// build) — those reproduce from the case seed alone.
+    pub reproducer: Option<String>,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Systems generated.
+    pub cases: usize,
+    /// Cases whose game every engine solved and agreed on.
+    pub agreed: usize,
+    /// ... of which the shared verdict was "winning".
+    pub winning: usize,
+    /// Cases skipped by the engine oracle (safety objective / state limit).
+    pub skipped: usize,
+    /// All confirmed failures.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// `true` when every oracle was clean on every case.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Renders a spec as a self-contained `.tg` reproducer with a header
+/// documenting its provenance.
+///
+/// # Panics
+///
+/// Panics if the spec does not build (reproducers come from specs that
+/// built at least once).
+#[must_use]
+pub fn reproducer_tg(spec: &SysSpec, case_seed: u64, oracle: &'static str) -> String {
+    let (system, purpose) = spec.build().expect("reproducer spec builds");
+    format!(
+        "// tiga fuzz reproducer\n// oracle: {oracle}\n// case seed: {case_seed:#x}\n// re-run: tiga solve <this file> --engine jacobi   (vs. otfur/worklist)\n{}",
+        print_system(&system, Some(&purpose))
+    )
+}
+
+/// Runs one fuzzing campaign.  `progress` is invoked after every case with
+/// `(cases_done, failures_so_far)`.
+pub fn fuzz_campaign(options: &FuzzOptions, progress: &mut dyn FnMut(usize, usize)) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    let mut stream = options.seed;
+    for case_index in 0..options.count {
+        let case_seed = splitmix64(&mut stream);
+        report.cases += 1;
+
+        // Oracle 3 first: it is independent of the generated system and uses
+        // its own RNG stream derived from the case seed.
+        let mut zone_rng = StdRng::seed_from_u64(case_seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+        for round in 0..options.zone_rounds {
+            let dim = 2 + (round % 3);
+            if let Some(detail) = check_zone_algebra(&mut zone_rng, dim, 6, options.zone_samples) {
+                report.failures.push(FuzzFailure {
+                    case_index,
+                    case_seed,
+                    oracle: "zone-algebra",
+                    detail,
+                    reproducer: None,
+                });
+            }
+        }
+
+        let spec = generate_spec(case_seed, &options.gen);
+        let (system, purpose) = match spec.build() {
+            Ok(built) => built,
+            Err(e) => {
+                // The generator must only emit buildable specs.
+                report.failures.push(FuzzFailure {
+                    case_index,
+                    case_seed,
+                    oracle: "generator",
+                    detail: format!("generated spec does not build: {e}"),
+                    reproducer: None,
+                });
+                progress(case_index + 1, report.failures.len());
+                continue;
+            }
+        };
+
+        // Oracle 2: roundtrip.
+        if let Some(detail) = check_roundtrip(&system, &purpose) {
+            let shrunk = maybe_shrink(options, &spec, &mut |s| {
+                s.build()
+                    .ok()
+                    .is_some_and(|(sys, p)| check_roundtrip(&sys, &p).is_some())
+            });
+            report.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "roundtrip",
+                detail,
+                reproducer: Some(reproducer_tg(&shrunk, case_seed, "roundtrip")),
+            });
+        }
+
+        // Oracle 1: engine agreement.
+        match check_engine_agreement(&system, &purpose, &options.engines) {
+            EngineCheck::Agreed { winning } => {
+                report.agreed += 1;
+                if winning {
+                    report.winning += 1;
+                }
+            }
+            EngineCheck::Skipped(_) => report.skipped += 1,
+            EngineCheck::Diverged(detail) => {
+                let engines = options.engines.clone();
+                let shrunk = maybe_shrink(options, &spec, &mut |s| {
+                    s.build().ok().is_some_and(|(sys, p)| {
+                        matches!(
+                            check_engine_agreement(&sys, &p, &engines),
+                            EngineCheck::Diverged(_)
+                        )
+                    })
+                });
+                report.failures.push(FuzzFailure {
+                    case_index,
+                    case_seed,
+                    oracle: "engine-agreement",
+                    detail,
+                    reproducer: Some(reproducer_tg(&shrunk, case_seed, "engine-agreement")),
+                });
+            }
+        }
+        progress(case_index + 1, report.failures.len());
+    }
+    report
+}
+
+fn maybe_shrink(
+    options: &FuzzOptions,
+    spec: &SysSpec,
+    still_fails: &mut dyn FnMut(&SysSpec) -> bool,
+) -> SysSpec {
+    if options.shrink {
+        shrink_spec(spec, still_fails, options.shrink_budget)
+    } else {
+        spec.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_and_reports_progress() {
+        let options = FuzzOptions {
+            count: 10,
+            zone_rounds: 1,
+            zone_samples: 8,
+            ..FuzzOptions::default()
+        };
+        let mut ticks = 0usize;
+        let a = fuzz_campaign(&options, &mut |_, _| ticks += 1);
+        assert_eq!(ticks, 10);
+        assert_eq!(a.cases, 10);
+        let b = fuzz_campaign(&options, &mut |_, _| {});
+        assert_eq!(a.agreed, b.agreed);
+        assert_eq!(a.winning, b.winning);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn campaign_finds_both_verdicts() {
+        // Over a modest number of cases the generator should produce both
+        // winnable and unwinnable games — otherwise the engine oracle only
+        // exercises half the code.
+        let options = FuzzOptions {
+            count: 40,
+            zone_rounds: 0,
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_campaign(&options, &mut |_, _| {});
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert!(report.agreed > 0);
+        assert!(
+            report.winning > 0 && report.winning < report.agreed,
+            "verdict mix is degenerate: {} winning of {} agreed",
+            report.winning,
+            report.agreed
+        );
+    }
+}

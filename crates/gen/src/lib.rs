@@ -1,0 +1,58 @@
+//! # tiga-gen — seeded random timed games and differential fuzzing oracles
+//!
+//! The hand-written model zoo covers four case studies; this crate covers
+//! everything else.  It provides
+//!
+//! * a **seeded, knob-controlled generator** of random timed-game systems
+//!   ([`generate_spec`], [`GenConfig`]) — clocks, bounded variables and
+//!   arrays, input/output/internal channels, urgent locations, invariants,
+//!   guarded edges with resets and updates, and a random `control:`
+//!   objective — materialized through the ordinary [`tiga_model`] builders;
+//! * three **differential oracles** ([`check_engine_agreement`],
+//!   [`check_roundtrip`], [`check_zone_algebra`]) that cross-check the
+//!   solver engines against each other, the `.tg` printer against the
+//!   parser, and the DBM/Federation layer against an exact
+//!   rational-valuation reference model ([`refmodel`]);
+//! * a **greedy structural shrinker** ([`shrink_spec`]) that reduces a
+//!   failing system to a minimal `.tg` reproducer; and
+//! * the **campaign driver** ([`fuzz_campaign`]) behind `tiga fuzz`.
+//!
+//! Everything is deterministic per seed: a failure report names the case
+//! seed, and `generate_spec(case_seed, &config)` regenerates the exact
+//! offending system.
+//!
+//! # Example
+//!
+//! ```
+//! use tiga_gen::{fuzz_campaign, FuzzOptions};
+//!
+//! let options = FuzzOptions {
+//!     count: 5,
+//!     ..FuzzOptions::default()
+//! };
+//! let report = fuzz_campaign(&options, &mut |_, _| {});
+//! assert_eq!(report.cases, 5);
+//! assert!(report.is_clean(), "{:#?}", report.failures);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod gen;
+mod oracle;
+pub mod refmodel;
+mod shrink;
+mod spec;
+
+pub use campaign::{fuzz_campaign, reproducer_tg, FuzzFailure, FuzzOptions, FuzzReport};
+pub use gen::{generate_spec, GenConfig};
+pub use oracle::{
+    check_engine_agreement, check_roundtrip, check_zone_algebra, random_federation, random_zone,
+    subtract_partition_violation, EngineCheck, EngineCheckOptions,
+};
+pub use shrink::shrink_spec;
+pub use spec::{
+    AutSpec, ChanKind, ConstraintSpec, EdgeSpec, ExprSpec, LocSpec, ObjectiveSpec, SpecError,
+    SysSpec, UpdateSpec, VarSpec,
+};

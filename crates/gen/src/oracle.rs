@@ -1,0 +1,480 @@
+//! The three differential oracles of the fuzzing harness.
+//!
+//! 1. **Engine agreement** — every solver engine must return the same
+//!    verdict on a generated game, and (for small graphs) semantically
+//!    identical winning federations: the worklist engine must match the
+//!    Jacobi oracle exactly, and the exhaustive on-the-fly engine must match
+//!    `jacobi ∩ reach` per discrete state (its documented confinement).
+//! 2. **Roundtrip** — `parse(print(sys)) ≡ sys` and the objective survives,
+//!    on *generated* systems rather than the hand-written zoo.
+//! 3. **Zone algebra** — `Federation` `up`/`down`/`free`/`reset`/
+//!    `intersect`/`subtract` agree with the exact rational-valuation
+//!    reference model of [`crate::refmodel`], and `zone_subtract` satisfies
+//!    its partition laws.
+
+use crate::refmodel;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiga_dbm::{zone_subtract, Bound, Dbm, Federation};
+use tiga_lang::{parse_model, print_system};
+use tiga_model::System;
+use tiga_solver::{solve, GameSolution, SolveEngine, SolveOptions, SolverError};
+use tiga_tctl::{PathQuantifier, TestPurpose};
+
+/// Outcome of the engine-agreement oracle on one generated game.
+#[derive(Clone, Debug)]
+pub enum EngineCheck {
+    /// All engines agreed; the shared verdict is reported for statistics.
+    Agreed {
+        /// Whether the initial state is winning.
+        winning: bool,
+    },
+    /// The case was not solvable within budget (or not a reachability game);
+    /// not a failure.
+    Skipped(String),
+    /// The engines disagreed — a bug in at least one of them.
+    Diverged(String),
+}
+
+/// Budget and depth knobs for the engine-agreement oracle.
+#[derive(Clone, Debug)]
+pub struct EngineCheckOptions {
+    /// Forward-exploration state cap per engine.
+    pub max_states: usize,
+    /// Compare full winning federations (not just verdicts) when the Jacobi
+    /// graph has at most this many discrete states.
+    pub deep_compare_limit: usize,
+}
+
+impl Default for EngineCheckOptions {
+    fn default() -> Self {
+        EngineCheckOptions {
+            max_states: 20_000,
+            deep_compare_limit: 300,
+        }
+    }
+}
+
+fn solve_options(engine: SolveEngine, early: bool, max_states: usize) -> SolveOptions {
+    let mut options = SolveOptions {
+        engine,
+        early_termination: early,
+        ..SolveOptions::default()
+    };
+    options.explore.max_states = max_states;
+    options
+}
+
+/// Runs all engines on one game and compares their answers.
+#[must_use]
+pub fn check_engine_agreement(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &EngineCheckOptions,
+) -> EngineCheck {
+    if purpose.quantifier != PathQuantifier::Reachability {
+        return EngineCheck::Skipped("safety objective (solver is reachability-only)".into());
+    }
+    let jacobi = match solve(
+        system,
+        purpose,
+        &solve_options(SolveEngine::Jacobi, true, options.max_states),
+    ) {
+        Ok(solution) => solution,
+        Err(SolverError::StateLimitExceeded { .. }) => {
+            return EngineCheck::Skipped("state limit exceeded".into());
+        }
+        Err(e) => return EngineCheck::Diverged(format!("jacobi failed to solve: {e}")),
+    };
+    let mut runs: Vec<(&'static str, GameSolution)> = Vec::new();
+    for (name, engine, early) in [
+        ("worklist", SolveEngine::Worklist, true),
+        ("otfur", SolveEngine::Otfur, true),
+        ("otfur-exhaustive", SolveEngine::Otfur, false),
+    ] {
+        match solve(
+            system,
+            purpose,
+            &solve_options(engine, early, options.max_states),
+        ) {
+            Ok(solution) => runs.push((name, solution)),
+            Err(e) => {
+                return EngineCheck::Diverged(format!(
+                    "jacobi solved the game but {name} failed: {e}"
+                ));
+            }
+        }
+    }
+    for (name, solution) in &runs {
+        if solution.winning_from_initial != jacobi.winning_from_initial {
+            return EngineCheck::Diverged(format!(
+                "verdict disagreement: jacobi={} but {name}={}",
+                verdict(jacobi.winning_from_initial),
+                verdict(solution.winning_from_initial)
+            ));
+        }
+    }
+    if jacobi.graph.len() <= options.deep_compare_limit {
+        if let Some(detail) = deep_compare(system, &jacobi, &runs) {
+            return EngineCheck::Diverged(detail);
+        }
+    }
+    EngineCheck::Agreed {
+        winning: jacobi.winning_from_initial,
+    }
+}
+
+fn verdict(winning: bool) -> &'static str {
+    if winning {
+        "WINNING"
+    } else {
+        "LOSING"
+    }
+}
+
+/// Winning-set comparison beyond the verdict (see module docs).
+fn deep_compare(
+    system: &System,
+    jacobi: &GameSolution,
+    runs: &[(&'static str, GameSolution)],
+) -> Option<String> {
+    for (name, solution) in runs {
+        match *name {
+            // The worklist engine explores the same eager graph and computes
+            // the same fixpoint.
+            "worklist" => {
+                for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+                    let Some(other) = solution.graph.node_of(&node.discrete) else {
+                        return Some(format!(
+                            "worklist graph is missing state {}",
+                            node.discrete.display(system)
+                        ));
+                    };
+                    if !jacobi.winning[id].set_equals(&solution.winning[other]) {
+                        return Some(format!(
+                            "worklist winning set differs from jacobi in {}",
+                            node.discrete.display(system)
+                        ));
+                    }
+                }
+            }
+            // The exhaustive on-the-fly engine confines winning sets to the
+            // explored reach zones: expected = jacobi ∩ reach, per state.
+            "otfur-exhaustive" => {
+                if solution.graph.len() != jacobi.graph.len() {
+                    return Some(format!(
+                        "exhaustive otfur explored {} states, jacobi {}",
+                        solution.graph.len(),
+                        jacobi.graph.len()
+                    ));
+                }
+                for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+                    let Some(other) = solution.graph.node_of(&node.discrete) else {
+                        return Some(format!(
+                            "exhaustive otfur graph is missing state {}",
+                            node.discrete.display(system)
+                        ));
+                    };
+                    let expected = jacobi.winning[id].intersection(&node.reach);
+                    if !expected.set_equals(&solution.winning[other]) {
+                        return Some(format!(
+                            "exhaustive otfur winning set differs from jacobi ∩ reach in {}",
+                            node.discrete.display(system)
+                        ));
+                    }
+                }
+            }
+            // Early-terminating otfur may stop anywhere; only its verdict is
+            // comparable.
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Checks `parse(print(sys)) ≡ sys` (plus objective survival and printer
+/// fixpoint) on one generated system.  Returns a description of the first
+/// violation.
+#[must_use]
+pub fn check_roundtrip(system: &System, purpose: &TestPurpose) -> Option<String> {
+    let printed = print_system(system, Some(purpose));
+    let model = match parse_model(&printed) {
+        Ok(model) => model,
+        Err(e) => {
+            return Some(format!("printed .tg does not parse: {e}\n---\n{printed}"));
+        }
+    };
+    if &model.system != system {
+        return Some(format!(
+            "parse(print(sys)) differs from sys\n---\n{printed}"
+        ));
+    }
+    match &model.purpose {
+        None => return Some("control: line lost in the round trip".into()),
+        Some(p) if p != purpose => {
+            return Some(format!(
+                "objective changed in the round trip: `{}` vs `{}`",
+                p, purpose
+            ));
+        }
+        Some(_) => {}
+    }
+    let reprinted = print_system(&model.system, model.purpose.as_ref());
+    if reprinted != printed {
+        return Some("printing is not a fixpoint after one round trip".into());
+    }
+    None
+}
+
+// ---- zone algebra ---------------------------------------------------------
+
+/// Generates a pseudo-random non-empty zone (the generator half of oracle 3;
+/// also drives the `zone_subtract` property tests).
+#[must_use]
+pub fn random_zone(rng: &mut StdRng, dim: usize, max_const: i32) -> Dbm {
+    loop {
+        let mut zone = Dbm::universe(dim);
+        let constraints = rng.gen_range(0..2 * dim);
+        for _ in 0..constraints {
+            let i = rng.gen_range(0..dim);
+            let j = rng.gen_range(0..dim);
+            if i == j {
+                continue;
+            }
+            let m = rng.gen_range(-max_const..=max_const);
+            let bound = if rng.gen_bool(0.5) {
+                Bound::le(m)
+            } else {
+                Bound::lt(m)
+            };
+            zone.constrain(i, j, bound);
+        }
+        if !zone.is_empty() {
+            return zone;
+        }
+    }
+}
+
+/// Generates a pseudo-random federation with up to `zones` member zones.
+#[must_use]
+pub fn random_federation(rng: &mut StdRng, dim: usize, zones: usize, max_const: i32) -> Federation {
+    let count = rng.gen_range(1..=zones.max(1));
+    Federation::from_zones(dim, (0..count).map(|_| random_zone(rng, dim, max_const)))
+}
+
+/// A random scaled valuation with `vals[0] = 0`.
+fn random_valuation(rng: &mut StdRng, dim: usize, max_const: i32, scale: i64) -> Vec<i64> {
+    let top = (i64::from(max_const) + 2) * scale;
+    let mut vals = vec![0i64; dim];
+    for v in vals.iter_mut().skip(1) {
+        *v = rng.gen_range(0..=top);
+    }
+    vals
+}
+
+/// Checks the `zone_subtract` partition laws for one `(a, b)` pair:
+/// every piece is non-empty, inside `a`, disjoint from `b` and from the
+/// other pieces; `(a \ b) ∪ (a ∩ b)` denotes exactly `a`; and subtracting
+/// `b` again from any piece is the identity.
+///
+/// Shared by the campaign's zone-algebra oracle and the dedicated property
+/// tests (`tests/zone_subtract_props.rs`), so the law set cannot drift
+/// between the two.  Returns a description of the first violation.
+#[must_use]
+pub fn subtract_partition_violation(a: &Dbm, b: &Dbm) -> Option<String> {
+    let dim = a.dim();
+    let pieces = zone_subtract(a, b);
+    for (idx, piece) in pieces.iter().enumerate() {
+        if piece.is_empty() {
+            return Some(format!("zone_subtract produced an empty piece #{idx}"));
+        }
+        if !piece.is_subset_of(a) {
+            return Some(format!(
+                "zone_subtract piece #{idx} leaves the minuend\na = {a:?}\nb = {b:?}"
+            ));
+        }
+        if piece.intersects(b) {
+            return Some(format!(
+                "zone_subtract piece #{idx} intersects the subtrahend\na = {a:?}\nb = {b:?}"
+            ));
+        }
+        for (jdx, other) in pieces.iter().enumerate().skip(idx + 1) {
+            if piece.intersects(other) {
+                return Some(format!(
+                    "zone_subtract pieces #{idx} and #{jdx} overlap\na = {a:?}\nb = {b:?}"
+                ));
+            }
+        }
+        let again = Federation::from_zones(dim, zone_subtract(piece, b));
+        if !again.set_equals(&Federation::from_zone(piece.clone())) {
+            return Some(format!(
+                "zone_subtract piece #{idx} is not stable under re-subtraction\na = {a:?}\nb = {b:?}"
+            ));
+        }
+    }
+    let mut recovered = Federation::from_zones(dim, pieces);
+    if let Some(meet) = a.intersection(b) {
+        recovered.add_zone(meet);
+    }
+    if !recovered.set_equals(&Federation::from_zone(a.clone())) {
+        return Some(format!(
+            "(a \\ b) ∪ (a ∩ b) differs from a\na = {a:?}\nb = {b:?}"
+        ));
+    }
+    None
+}
+
+/// One round of the zone-algebra oracle: random zones/federations through
+/// every per-zone transformer and the subtraction laws, checked against the
+/// reference model at `samples` random rational valuations.
+///
+/// Returns a description of the first violation.
+#[must_use]
+pub fn check_zone_algebra(
+    rng: &mut StdRng,
+    dim: usize,
+    max_const: i32,
+    samples: usize,
+) -> Option<String> {
+    let scale = 2;
+    let a = random_zone(rng, dim, max_const);
+    let b = random_zone(rng, dim, max_const);
+
+    // zone_subtract partition laws (symbolic, no sampling).
+    if let Some(violation) = subtract_partition_violation(&a, &b) {
+        return Some(violation);
+    }
+
+    // Federation transformers vs the reference model at sampled valuations.
+    let fa = random_federation(rng, dim, 3, max_const);
+    let fb = random_federation(rng, dim, 3, max_const);
+    let mut up = fa.clone();
+    up.up();
+    let mut down = fa.clone();
+    down.down();
+    let free_k = if dim > 1 {
+        Some(rng.gen_range(1..dim))
+    } else {
+        None
+    };
+    let freed = free_k.map(|k| {
+        let mut f = fa.clone();
+        f.free(k);
+        f
+    });
+    let reset_v = rng.gen_range(0..=max_const);
+    let reset = free_k.map(|k| {
+        let mut f = fa.clone();
+        f.reset(k, reset_v);
+        f
+    });
+    let inter = fa.intersection(&fb);
+    let diff = fa.difference(&fb);
+
+    for _ in 0..samples {
+        let vals = random_valuation(rng, dim, max_const, scale);
+        let in_a = fa.iter().any(|z| refmodel::zone_contains(z, &vals, scale));
+        let in_b = fb.iter().any(|z| refmodel::zone_contains(z, &vals, scale));
+        let point = || {
+            vals.iter()
+                .skip(1)
+                .map(|v| format!("{}", *v as f64 / scale as f64))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if inter.contains_at(&vals, scale) != (in_a && in_b) {
+            return Some(format!(
+                "intersection disagrees with the reference at ({})\nfa = {fa:?}\nfb = {fb:?}",
+                point()
+            ));
+        }
+        if diff.contains_at(&vals, scale) != (in_a && !in_b) {
+            return Some(format!(
+                "difference disagrees with the reference at ({})\nfa = {fa:?}\nfb = {fb:?}",
+                point()
+            ));
+        }
+        let ref_up = fa.iter().any(|z| refmodel::up_contains(z, &vals, scale));
+        if up.contains_at(&vals, scale) != ref_up {
+            return Some(format!(
+                "up() disagrees with the reference at ({})\nfa = {fa:?}",
+                point()
+            ));
+        }
+        let ref_down = fa.iter().any(|z| refmodel::down_contains(z, &vals, scale));
+        if down.contains_at(&vals, scale) != ref_down {
+            return Some(format!(
+                "down() disagrees with the reference at ({})\nfa = {fa:?}",
+                point()
+            ));
+        }
+        if let (Some(k), Some(freed)) = (free_k, &freed) {
+            let ref_free = fa
+                .iter()
+                .any(|z| refmodel::free_contains(z, k, &vals, scale));
+            if freed.contains_at(&vals, scale) != ref_free {
+                return Some(format!(
+                    "free({k}) disagrees with the reference at ({})\nfa = {fa:?}",
+                    point()
+                ));
+            }
+        }
+        if let (Some(k), Some(reset)) = (free_k, &reset) {
+            let ref_reset = fa
+                .iter()
+                .any(|z| refmodel::reset_contains(z, k, reset_v, &vals, scale));
+            if reset.contains_at(&vals, scale) != ref_reset {
+                return Some(format!(
+                    "reset({k}, {reset_v}) disagrees with the reference at ({})\nfa = {fa:?}",
+                    point()
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zone_algebra_oracle_is_clean_on_seeded_rounds() {
+        let mut rng = StdRng::seed_from_u64(0xA15E);
+        for round in 0..50 {
+            for dim in 2..=4 {
+                if let Some(detail) = check_zone_algebra(&mut rng, dim, 6, 16) {
+                    panic!("round {round}, dim {dim}: {detail}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_agreement_on_generated_systems() {
+        let config = crate::GenConfig::default();
+        let options = EngineCheckOptions::default();
+        let mut agreed = 0;
+        for seed in 0..30 {
+            let (system, purpose) = crate::generate_spec(seed, &config).build().unwrap();
+            match check_engine_agreement(&system, &purpose, &options) {
+                EngineCheck::Agreed { .. } => agreed += 1,
+                EngineCheck::Skipped(_) => {}
+                EngineCheck::Diverged(detail) => panic!("seed {seed}: {detail}"),
+            }
+        }
+        assert!(agreed >= 20, "only {agreed}/30 cases were solvable");
+    }
+
+    #[test]
+    fn roundtrip_oracle_on_generated_systems() {
+        let config = crate::GenConfig::default();
+        for seed in 0..60 {
+            let (system, purpose) = crate::generate_spec(seed, &config).build().unwrap();
+            if let Some(detail) = check_roundtrip(&system, &purpose) {
+                panic!("seed {seed}: {detail}");
+            }
+        }
+    }
+}

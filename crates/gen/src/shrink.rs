@@ -1,0 +1,194 @@
+//! Structural shrinking of failing specs.
+//!
+//! Given a spec on which an oracle fails and a predicate that re-runs the
+//! oracle, [`shrink_spec`] greedily applies the first structural edit that
+//! keeps the failure alive, restarting from the largest-granularity edits
+//! (drop an automaton) down to clause-level cleanups (drop one guard), until
+//! no edit preserves the failure or the re-check budget is exhausted.
+//!
+//! Edits that produce a spec that no longer *builds* (e.g. dropping the
+//! automaton the objective points at) are discarded without consuming
+//! budget: [`crate::SysSpec::build`] is the validity filter.
+
+use crate::spec::SysSpec;
+
+/// Greedily shrinks `spec` while `still_fails` holds.
+///
+/// `budget` caps the number of `still_fails` invocations (each one re-runs
+/// the failing oracle, which may involve solving the game four times).
+#[must_use]
+pub fn shrink_spec(
+    spec: &SysSpec,
+    still_fails: &mut dyn FnMut(&SysSpec) -> bool,
+    mut budget: usize,
+) -> SysSpec {
+    let mut current = spec.clone();
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            if candidate.build().is_err() {
+                continue;
+            }
+            budget -= 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Enumerates one-step shrink candidates, coarsest first.
+fn candidates(spec: &SysSpec) -> Vec<SysSpec> {
+    let mut out = Vec::new();
+    // Whole automata (keep at least one).
+    if spec.automata.len() > 1 {
+        for a in 0..spec.automata.len() {
+            let mut s = spec.clone();
+            s.drop_automaton(a);
+            out.push(s);
+        }
+    }
+    // Channels (edges synchronizing on them go too).
+    for ch in 0..spec.channels.len() {
+        let mut s = spec.clone();
+        s.drop_channel(ch);
+        out.push(s);
+    }
+    // Edges.
+    for (a, aut) in spec.automata.iter().enumerate() {
+        for e in 0..aut.edges.len() {
+            let mut s = spec.clone();
+            s.automata[a].edges.remove(e);
+            out.push(s);
+        }
+    }
+    // Locations (touching edges go too; keep at least one per automaton).
+    for (a, aut) in spec.automata.iter().enumerate() {
+        if aut.locations.len() > 1 {
+            for l in 0..aut.locations.len() {
+                let mut s = spec.clone();
+                s.drop_location(a, l);
+                out.push(s);
+            }
+        }
+    }
+    // Clocks and variables.
+    for c in 0..spec.clocks {
+        let mut s = spec.clone();
+        s.drop_clock(c);
+        out.push(s);
+    }
+    for v in 0..spec.vars.len() {
+        let mut s = spec.clone();
+        s.drop_var(v);
+        out.push(s);
+    }
+    // Clause-level cleanups.
+    for (a, aut) in spec.automata.iter().enumerate() {
+        for (l, loc) in aut.locations.iter().enumerate() {
+            if !loc.invariant.is_empty() {
+                let mut s = spec.clone();
+                s.automata[a].locations[l].invariant.clear();
+                out.push(s);
+            }
+            if loc.urgent {
+                let mut s = spec.clone();
+                s.automata[a].locations[l].urgent = false;
+                out.push(s);
+            }
+        }
+        for (e, edge) in aut.edges.iter().enumerate() {
+            for g in 0..edge.guard.len() {
+                let mut s = spec.clone();
+                s.automata[a].edges[e].guard.remove(g);
+                out.push(s);
+            }
+            if edge.when.is_some() {
+                let mut s = spec.clone();
+                s.automata[a].edges[e].when = None;
+                out.push(s);
+            }
+            for r in 0..edge.resets.len() {
+                let mut s = spec.clone();
+                s.automata[a].edges[e].resets.remove(r);
+                out.push(s);
+            }
+            for u in 0..edge.updates.len() {
+                let mut s = spec.clone();
+                s.automata[a].edges[e].updates.remove(u);
+                out.push(s);
+            }
+            if edge.controllable.is_some() {
+                let mut s = spec.clone();
+                s.automata[a].edges[e].controllable = None;
+                out.push(s);
+            }
+        }
+    }
+    // Objective simplifications.
+    if spec.objective.or_target.is_some() {
+        let mut s = spec.clone();
+        s.objective.or_target = None;
+        out.push(s);
+    }
+    if spec.objective.var_clause.is_some() {
+        let mut s = spec.clone();
+        s.objective.var_clause = None;
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_spec, GenConfig};
+
+    #[test]
+    fn shrinks_to_the_failure_kernel() {
+        // Synthetic failure: "the spec still contains an urgent location".
+        // The shrinker must strip everything not needed to keep one urgent
+        // location alive while every intermediate spec still builds.
+        let config = GenConfig {
+            urgent_prob: 1.0,
+            ..GenConfig::default()
+        };
+        let spec = generate_spec(5, &config);
+        assert!(spec.build().is_ok());
+        let mut checks = 0usize;
+        let shrunk = shrink_spec(
+            &spec,
+            &mut |s| {
+                checks += 1;
+                s.automata
+                    .iter()
+                    .any(|a| a.locations.iter().any(|l| l.urgent))
+            },
+            1_000,
+        );
+        assert!(checks > 0);
+        assert!(shrunk.build().is_ok(), "shrunk spec must still build");
+        assert!(shrunk
+            .automata
+            .iter()
+            .any(|a| a.locations.iter().any(|l| l.urgent)));
+        // The kernel is small: one automaton, no channels, no vars, no
+        // clocks, and at most the locations the objective needs.
+        assert_eq!(shrunk.automata.len(), 1);
+        assert!(shrunk.channels.is_empty());
+        assert!(shrunk.vars.is_empty());
+        assert_eq!(shrunk.clocks, 0);
+    }
+
+    #[test]
+    fn budget_zero_returns_the_input() {
+        let spec = generate_spec(6, &GenConfig::default());
+        let shrunk = shrink_spec(&spec, &mut |_| true, 0);
+        assert_eq!(shrunk, spec);
+    }
+}

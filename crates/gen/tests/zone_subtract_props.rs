@@ -1,0 +1,80 @@
+//! Property tests for [`tiga_dbm::zone_subtract`] exactness, driven by the
+//! generator's random zones so that failures of the campaign's zone-algebra
+//! oracle localize to the DBM layer:
+//!
+//! * **partition**: `(a \ b) ∪ (a ∩ b)` denotes exactly `a`;
+//! * **disjointness**: every piece is disjoint from `b`, and the pieces are
+//!   pairwise disjoint;
+//! * **idempotence**: subtracting `b` again from the pieces changes nothing.
+//!
+//! All checks are symbolic (federation inclusion), plus an independent
+//! membership sweep against the exact rational-valuation reference model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tiga_dbm::{zone_subtract, Federation};
+use tiga_gen::{random_zone, refmodel, subtract_partition_violation};
+
+const MAX_CONST: i32 = 7;
+
+#[test]
+fn subtract_partitions_the_minuend() {
+    // The laws themselves live in `tiga_gen::subtract_partition_violation`,
+    // shared with the campaign's zone-algebra oracle so the two cannot
+    // drift; this test pins them over many generator-drawn zone pairs.
+    let mut rng = StdRng::seed_from_u64(0x50B7_12AC);
+    for round in 0..400 {
+        let dim = 2 + (round % 3);
+        let a = random_zone(&mut rng, dim, MAX_CONST);
+        let b = random_zone(&mut rng, dim, MAX_CONST);
+        if let Some(violation) = subtract_partition_violation(&a, &b) {
+            panic!("round {round}: {violation}");
+        }
+    }
+}
+
+#[test]
+fn subtract_membership_matches_the_reference_model() {
+    // Independent of the symbolic checks above: at random rational
+    // valuations, membership in the pieces must equal `in a && !in b`
+    // decided by the reference model that only reads raw DBM entries.
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let scale = 2i64;
+    for round in 0..300 {
+        let dim = 2 + (round % 3);
+        let a = random_zone(&mut rng, dim, MAX_CONST);
+        let b = random_zone(&mut rng, dim, MAX_CONST);
+        let diff = Federation::from_zones(dim, zone_subtract(&a, &b));
+        for _ in 0..24 {
+            let mut vals = vec![0i64; dim];
+            for v in vals.iter_mut().skip(1) {
+                *v = rng.gen_range(0..=i64::from(MAX_CONST + 2) * scale);
+            }
+            let expected = refmodel::zone_contains(&a, &vals, scale)
+                && !refmodel::zone_contains(&b, &vals, scale);
+            assert_eq!(
+                diff.contains_at(&vals, scale),
+                expected,
+                "round {round}, valuation {vals:?}\na = {a:?}\nb = {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subtract_edge_cases() {
+    let mut rng = StdRng::seed_from_u64(0xED6E);
+    for round in 0..100 {
+        let dim = 2 + (round % 3);
+        let a = random_zone(&mut rng, dim, MAX_CONST);
+        // a \ a = ∅.
+        assert!(zone_subtract(&a, &a).is_empty(), "a \\ a != ∅\na = {a:?}");
+        // a \ universe = ∅.
+        let universe = tiga_dbm::Dbm::universe(dim);
+        assert!(zone_subtract(&a, &universe).is_empty());
+        // universe \ a ∪ a = universe.
+        let mut rebuilt = Federation::from_zones(dim, zone_subtract(&universe, &a));
+        rebuilt.add_zone(a.clone());
+        assert!(rebuilt.set_equals(&Federation::from_zone(universe)));
+    }
+}

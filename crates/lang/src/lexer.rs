@@ -26,9 +26,12 @@ pub enum TokenKind {
     /// Quoted name (`"smart-light"`) — lets declarations carry names that
     /// are not valid identifiers.
     Str(String),
-    /// Non-negative integer literal (negative numbers are parsed as a
-    /// leading `-` folded by the parser).
-    Number(i64),
+    /// Non-negative integer literal, stored as its **magnitude** (negative
+    /// numbers are parsed as a leading `-` folded by the parser).  A `u64`
+    /// payload lets `-9223372036854775808` (`i64::MIN`, whose magnitude
+    /// overflows an `i64`) survive the lexer; the parser enforces the signed
+    /// range where the literal is used.
+    Number(u64),
     /// `{`
     LBrace,
     /// `}`
@@ -366,7 +369,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LangError> {
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
-                let mut value: i64 = 0;
+                let mut value: u64 = 0;
                 let mut j = i;
                 while let Some(&(_, d)) = chars.get(j) {
                     if !d.is_ascii_digit() {
@@ -374,10 +377,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LangError> {
                     }
                     value = value
                         .checked_mul(10)
-                        .and_then(|v| v.checked_add(i64::from(d as u8 - b'0')))
+                        .and_then(|v| v.checked_add(u64::from(d as u8 - b'0')))
                         .ok_or_else(|| {
                             LangError::lex(
-                                "integer literal overflows i64",
+                                "integer literal overflows the 64-bit range",
                                 Span::new(start, after(j)),
                             )
                         })?;

@@ -75,6 +75,25 @@ pub fn is_bare_name(name: &str) -> bool {
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
+/// Applies the sign to a lexed literal magnitude, enforcing the `i64` range.
+///
+/// The lexer stores magnitudes as `u64` precisely so that
+/// `-9223372036854775808` (`i64::MIN`) folds exactly — its magnitude `2⁶³`
+/// has no positive `i64` representation, so negation must happen on the
+/// unsigned value.  Both `i32` and `i64` boundary literals round-trip
+/// through print → parse this way.
+fn fold_literal(magnitude: u64, negative: bool, span: Span) -> Result<i64, LangError> {
+    if negative {
+        if magnitude > i64::MIN.unsigned_abs() {
+            return Err(LangError::parse("integer literal overflows i64", span));
+        }
+        Ok(magnitude.wrapping_neg() as i64)
+    } else {
+        i64::try_from(magnitude)
+            .map_err(|_| LangError::parse("integer literal overflows i64", span))
+    }
+}
+
 /// Parses `.tg` source into an unresolved [`FileAst`].
 ///
 /// # Errors
@@ -190,7 +209,7 @@ impl Parser {
                 if let TokenKind::Number(n) = t.kind {
                     let span = self.bump().expect("peeked").span;
                     let span = minus_span.map_or(span, |m| m.to(span));
-                    Ok(Spanned::new(if negative { -n } else { n }, span))
+                    Ok(Spanned::new(fold_literal(n, negative, span)?, span))
                 } else {
                     Err(self.unexpected(&format!("an integer {what}")))
                 }
@@ -679,9 +698,10 @@ impl Parser {
                     let n = *n;
                     let start = self.bump().expect("peeked").span;
                     let num = self.bump().expect("peeked").span;
+                    let span = start.to(num);
                     Ok(ExprAst {
-                        kind: ExprKind::Num(-n),
-                        span: start.to(num),
+                        kind: ExprKind::Num(fold_literal(n, true, span)?),
+                        span,
                     })
                 } else {
                     let start = self.bump().expect("peeked").span;
@@ -704,7 +724,7 @@ impl Parser {
                     let n = *n;
                     let span = self.bump().expect("peeked").span;
                     Ok(ExprAst {
-                        kind: ExprKind::Num(n),
+                        kind: ExprKind::Num(fold_literal(n, false, span)?),
                         span,
                     })
                 }

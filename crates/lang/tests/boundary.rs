@@ -1,0 +1,111 @@
+//! Integer-boundary pinning for the `.tg` pipeline (corpus sibling of the
+//! malformed `overflowing_literal.tg`):
+//!
+//! * `-2147483648` (`i32::MIN`) survives lexer → parser → lowering →
+//!   [`print_system`] round trips, printed as a *literal* — not as the
+//!   structurally different negation `-(2147483648)`;
+//! * `-9223372036854775808` (`i64::MIN`) does too, which requires the lexer
+//!   to carry literal magnitudes as `u64`;
+//! * the bare magnitude `9223372036854775808` (no leading minus) is a
+//!   diagnostic, not a panic or a silent wrap.
+
+use std::path::PathBuf;
+use tiga_lang::{expr_to_tg, parse_model, print_system};
+use tiga_model::Expr;
+
+fn corpus_valid(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus_valid")
+        .join(name);
+    std::fs::read_to_string(path).expect("valid corpus file exists")
+}
+
+#[test]
+fn i32_min_corpus_file_roundtrips() {
+    let source = corpus_valid("negative_literal_boundary.tg");
+    let model = parse_model(&source).expect("boundary corpus parses");
+    let vars = model.system.vars();
+
+    // Lowered values are exact.
+    let i32min = vars.lookup("I32MIN").expect("declared");
+    assert_eq!(vars.decl(i32min).initial(), i64::from(i32::MIN));
+    let i64min = vars.lookup("I64MIN").expect("declared");
+    assert_eq!(vars.decl(i64min).initial(), i64::MIN);
+    let i64max = vars.lookup("I64MAX").expect("declared");
+    assert_eq!(vars.decl(i64max).initial(), i64::MAX);
+    let v = vars.lookup("v").expect("declared");
+    assert_eq!(vars.decl(v).lower(), i64::from(i32::MIN));
+    assert_eq!(vars.decl(v).initial(), i64::from(i32::MIN));
+
+    // The guard keeps the literal-vs-negation distinction: `-2147483648`
+    // lowers to Const, `-(2147483648)` to Neg(Const).
+    let edge = &model.system.automata()[0].edges()[0];
+    let when = expr_to_tg(edge.guard.data.as_ref().expect("when clause"), vars);
+    assert!(when.contains("-2147483648"), "{when}");
+    assert!(when.contains("-(2147483648)"), "{when}");
+
+    // Full round trip: parse(print(sys)) ≡ sys, and printing is a fixpoint.
+    let printed = print_system(&model.system, None);
+    assert!(printed.contains("= -2147483648"), "{printed}");
+    assert!(printed.contains("= -9223372036854775808"), "{printed}");
+    let again = parse_model(&printed).expect("printed boundary file parses");
+    assert_eq!(again.system, model.system);
+    assert_eq!(print_system(&again.system, None), printed);
+}
+
+#[test]
+fn printer_emits_boundary_constants_as_literals() {
+    let table = tiga_model::VarTable::new();
+    assert_eq!(
+        expr_to_tg(&Expr::constant(i64::from(i32::MIN)), &table),
+        "-2147483648"
+    );
+    assert_eq!(
+        expr_to_tg(&Expr::constant(i64::MIN), &table),
+        "-9223372036854775808"
+    );
+    assert_eq!(
+        expr_to_tg(&Expr::Neg(Box::new(Expr::constant(2_147_483_648))), &table),
+        "-(2147483648)"
+    );
+}
+
+#[test]
+fn i64_min_expression_roundtrips_programmatically() {
+    // A system built in memory with i64::MIN in a data guard must survive
+    // print → parse, which is exactly where an i64-magnitude lexer is
+    // required: the printed literal's magnitude is 2^63.
+    let mut b = tiga_model::SystemBuilder::new("i64min");
+    let v = b.int_var("v", -4, 4, 0).unwrap();
+    let mut a = tiga_model::AutomatonBuilder::new("A");
+    let l0 = a.location("L0").unwrap();
+    a.add_edge(
+        tiga_model::EdgeBuilder::new(l0, l0)
+            .when(Expr::var(v).gt(Expr::constant(i64::MIN)))
+            .when(Expr::var(v).lt(Expr::constant(i64::MAX))),
+    );
+    b.add_automaton(a.build().unwrap()).unwrap();
+    let system = b.build().unwrap();
+    let printed = print_system(&system, None);
+    let reparsed = parse_model(&printed)
+        .unwrap_or_else(|e| panic!("printed i64::MIN does not re-parse: {e}\n---\n{printed}"));
+    assert_eq!(reparsed.system, system);
+}
+
+#[test]
+fn bare_i64_min_magnitude_is_rejected_with_a_span() {
+    for source in [
+        "const K = 9223372036854775808\nautomaton A { init location L }",
+        "automaton A { init location L edge L -> L { when 9223372036854775808 == 0 } }",
+        "const K = -9223372036854775809\nautomaton A { init location L }",
+    ] {
+        let err = parse_model(source).expect_err("out-of-range literal");
+        assert!(err.message.contains("overflows i64"), "{err}");
+        assert!(
+            source[err.span.start..err.span.end].contains("9223372036854775808")
+                || source[err.span.start..err.span.end].contains("-9223372036854775809"),
+            "span {:?} does not cover the literal",
+            err.span
+        );
+    }
+}

@@ -76,6 +76,7 @@ fn specific_diagnostics_name_the_problem() {
         ("two_init_locations.tg", "two `init` locations"),
         ("stray_character.tg", "unexpected character `$`"),
         ("overflowing_literal.tg", "overflows"),
+        ("bare_overflowing_literal.tg", "overflows i64"),
         ("keyword_as_name.tg", "keyword `guard`"),
         ("bad_control_line.tg", "Ghost"),
         ("clock_in_data_guard.tg", "clocks cannot appear"),

@@ -50,8 +50,12 @@ impl ClockConstraint {
     ///
     /// # Errors
     ///
-    /// Returns an error if the bound expression cannot be evaluated or the
-    /// operator is `!=` (non-convex).
+    /// Returns an error if the bound expression cannot be evaluated, the
+    /// operator is `!=` (non-convex), or the bound constant lies outside the
+    /// DBM encoding's `[-MAX_CONSTANT, MAX_CONSTANT]` range (this must be a
+    /// diagnostic, not a [`Bound`] constructor panic: `.tg` inputs reach
+    /// this path with arbitrary literals, e.g. `guard x >= -2147483648`,
+    /// whose negation also overflows a plain `i32`).
     pub fn apply_to(
         &self,
         zone: &mut Dbm,
@@ -59,6 +63,10 @@ impl ClockConstraint {
         store: &[i64],
     ) -> Result<bool, ModelError> {
         let m64 = self.bound.eval(table, store)?;
+        let limit = i64::from(tiga_dbm::MAX_CONSTANT);
+        if !(-limit..=limit).contains(&m64) {
+            return Err(ModelError::Eval(EvalError::Overflow));
+        }
         let m = i32::try_from(m64).map_err(|_| ModelError::Eval(EvalError::Overflow))?;
         let i = self.left.dbm_index();
         let j = self.minus.map_or(0, ClockId::dbm_index);
@@ -407,6 +415,40 @@ mod tests {
             .apply_to(&mut z2, &table, &[])
             .unwrap());
         assert!(z2.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_bounds_error_instead_of_panicking() {
+        // Constants the Bound encoding cannot represent must surface as
+        // evaluation errors, never as constructor panics — `.tg` inputs
+        // reach this path with arbitrary literals.  `i32::MIN` is the nasty
+        // one: it fits an i32, but `Ge`/`Gt` negate the constant.
+        let table = empty_table();
+        let x = ClockId::from_index(0);
+        for value in [
+            i64::from(i32::MIN),
+            -i64::from(i32::MAX),
+            i64::from(i32::MAX),
+            i64::from(tiga_dbm::MAX_CONSTANT) + 1,
+            -(i64::from(tiga_dbm::MAX_CONSTANT) + 1),
+            i64::MIN,
+            i64::MAX,
+        ] {
+            for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt, CmpOp::Eq] {
+                let mut zone = Dbm::universe(2);
+                let err = ClockConstraint::new(x, op, value)
+                    .apply_to(&mut zone, &table, &[])
+                    .expect_err("out-of-range bound must error");
+                assert!(matches!(err, ModelError::Eval(EvalError::Overflow)));
+            }
+        }
+        // The full in-range boundary still works.
+        let mut zone = Dbm::universe(2);
+        assert!(
+            ClockConstraint::new(x, CmpOp::Ge, -i64::from(tiga_dbm::MAX_CONSTANT))
+                .apply_to(&mut zone, &table, &[])
+                .unwrap()
+        );
     }
 
     #[test]

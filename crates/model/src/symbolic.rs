@@ -157,6 +157,18 @@ impl JointEdge {
     }
 }
 
+/// Converts an evaluated reset value into the DBM bound range, rejecting
+/// values the [`tiga_dbm::Bound`] encoding cannot represent (constructing
+/// such a bound would panic; `.tg` inputs reach this path with arbitrary
+/// literals).
+fn checked_reset_value(v: i64) -> Result<i32, ModelError> {
+    if (0..=i64::from(tiga_dbm::MAX_CONSTANT)).contains(&v) {
+        Ok(v as i32)
+    } else {
+        Err(ModelError::Eval(crate::error::EvalError::Overflow))
+    }
+}
+
 impl System {
     /// The initial discrete state (initial locations, initial variable
     /// values).
@@ -391,8 +403,7 @@ impl System {
                         self.clock(r.clock).name()
                     )));
                 }
-                let v = i32::try_from(v)
-                    .map_err(|_| ModelError::Eval(crate::error::EvalError::Overflow))?;
+                let v = checked_reset_value(v)?;
                 z.reset(r.clock.dbm_index(), v);
             }
         }
@@ -457,8 +468,7 @@ impl System {
                         self.clock(r.clock).name()
                     )));
                 }
-                let v = i32::try_from(v)
-                    .map_err(|_| ModelError::Eval(crate::error::EvalError::Overflow))?;
+                let v = checked_reset_value(v)?;
                 let idx = r.clock.dbm_index();
                 if !(z.constrain(idx, 0, Bound::le(v)) && z.constrain(0, idx, Bound::le(-v))) {
                     return Ok(z); // empty: the reset can never land in the target zone

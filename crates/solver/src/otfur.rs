@@ -231,11 +231,31 @@ impl Search<'_> {
 
     /// Forward step: expands every pending frontier zone of `node`,
     /// discovering edges, interning targets and scheduling them.
+    ///
+    /// Expanding a *self-loop* edge offers its successor zone back into this
+    /// node's own frontier mid-expansion, so the drain loops until the
+    /// frontier is genuinely empty.  Stopping after one snapshot would let
+    /// [`Search::evaluate`] run against a reach federation containing a zone
+    /// whose edges are still undiscovered — the evaluation could then claim
+    /// winning valuations where an unknown uncontrollable escape is enabled,
+    /// and monotone growth would never retract them (the reach-confinement
+    /// soundness argument requires every reach zone to be expanded before
+    /// the state is evaluated).  The loop terminates because every offered
+    /// zone is extrapolated (finitely many distinct zones per state) and
+    /// [`Federation::insert_subsumed`] admits only zones that add coverage.
     fn expand(&mut self, node: NodeId) -> Result<(), SolverError> {
         if self.options.explore.stop_at_goal && self.nodes[node].is_goal {
             self.nodes[node].frontier.clear();
             return Ok(());
         }
+        while !self.nodes[node].frontier.is_empty() {
+            self.expand_pending(node)?;
+        }
+        Ok(())
+    }
+
+    /// Expands one snapshot of the pending frontier zones.
+    fn expand_pending(&mut self, node: NodeId) -> Result<(), SolverError> {
         let pending = std::mem::take(&mut self.nodes[node].frontier);
         for zone in pending {
             let steps = self.explorer.successors(node, &zone)?;
@@ -291,6 +311,7 @@ impl Search<'_> {
             &state.discrete,
             &state.invariant,
             data.is_goal,
+            state.urgent,
             &data.edges,
             &data.boundary,
             &self.win,

@@ -356,6 +356,7 @@ impl<'a> Engine<'a> {
             &node.discrete,
             &node.invariant,
             node.is_goal,
+            node.urgent,
             &node.edges,
             &self.boundary[node_id],
             win,
@@ -503,6 +504,12 @@ impl<'a> Engine<'a> {
 /// have not been evaluated yet simply contribute their current — possibly
 /// empty — winning set, which is sound because the fixpoint is monotone and
 /// every growth re-triggers dependent updates.
+///
+/// `urgent` states admit no delay, so the safe time-predecessor degenerates
+/// to its `δ = 0` case `targets \ bad` (found by `tiga fuzz`: applying the
+/// full `Pred_t` past-closure in an urgent state claimed valuations winning
+/// that can only reach the win-enabling guard by letting time pass — which
+/// urgency forbids; such states are timelocks, not wins).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn pi_update<F>(
     system: &System,
@@ -510,6 +517,7 @@ pub(crate) fn pi_update<F>(
     discrete: &DiscreteState,
     invariant: &Dbm,
     is_goal: bool,
+    urgent: bool,
     edges: &[GraphEdge],
     boundary: &Federation,
     win: &[Federation],
@@ -569,7 +577,15 @@ where
     if targets.is_empty() {
         return Ok((win[node_id].clone(), action_regions));
     }
-    let mut new_win = targets.pred_t(&bad);
+    let mut new_win = if urgent {
+        // No delay is possible: the tester wins exactly where it already
+        // wins at δ = 0 and the plant cannot preempt into ¬W.
+        let mut now = targets;
+        now.subtract(&bad);
+        now
+    } else {
+        targets.pred_t(&bad)
+    };
     new_win.intersect_zone(invariant);
     new_win.union_with(&win[node_id]);
     new_win.reduce_exact();
@@ -831,6 +847,120 @@ mod tests {
         user.add_edge(EdgeBuilder::new(u, u).output(i3));
         b.add_automaton(user.build().unwrap()).unwrap();
         b.build().unwrap()
+    }
+
+    /// Regression model for the self-loop frontier bug (found by `tiga
+    /// fuzz`, seed 0xf905de9d34fbd072): a controllable sync self-loop resets
+    /// `y` only, so each round pumps the `x - y` difference until
+    /// extrapolation unbounds `x` — at which point an uncontrollable tau
+    /// escape (guard `x > 5`) becomes enabled.  The successor zone of the
+    /// self-loop lands in the *same* state's frontier mid-expansion; an
+    /// engine that evaluates the state against a reach federation containing
+    /// that not-yet-expanded zone claims `x > 5` valuations winning before
+    /// the escape edge is discovered, and monotone growth never retracts
+    /// them.  Jacobi correctly confines the winning set to `x <= 5`.
+    fn self_loop_pumping_system() -> System {
+        let mut b = SystemBuilder::new("self-loop-pump");
+        let x = b.clock("x").unwrap();
+        let y = b.clock("y").unwrap();
+        let go = b.input_channel("go").unwrap();
+        let mut a0 = AutomatonBuilder::new("A0");
+        let a0l0 = a0.location("L0").unwrap();
+        let a0l1 = a0.location("L1").unwrap();
+        a0.add_edge(EdgeBuilder::new(a0l0, a0l1).output(go));
+        b.add_automaton(a0.build().unwrap()).unwrap();
+        let mut a1 = AutomatonBuilder::new("A1");
+        let a1l0 = a1.location("L0").unwrap();
+        a1.add_edge(EdgeBuilder::new(a1l0, a1l0).output(go));
+        a1.add_edge(EdgeBuilder::new(a1l0, a1l0).output(go).reset(x));
+        b.add_automaton(a1.build().unwrap()).unwrap();
+        let mut a2 = AutomatonBuilder::new("A2");
+        let a2l0 = a2.location("L0").unwrap();
+        a2.add_invariant(a2l0, ClockConstraint::new(y, CmpOp::Le, 2));
+        a2.add_edge(
+            EdgeBuilder::new(a2l0, a2l0).guard_clock(ClockConstraint::new(x, CmpOp::Gt, 5)),
+        );
+        a2.add_edge(EdgeBuilder::new(a2l0, a2l0).input(go).reset(y));
+        b.add_automaton(a2.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Regression model for the urgent-state delay bug (found by `tiga
+    /// fuzz`, seed 0xa75b7d0d09348573): `Wait` is urgent and its only exit
+    /// is an uncontrollable tau guarded `x == 2` into the goal.  With time
+    /// frozen, `Wait` at `x < 2` is a timelock (the guard can never become
+    /// enabled), so only `x == 2` is winning there — an engine that applies
+    /// the full `Pred_t` past-closure in urgent states wrongly claims all of
+    /// `x <= 2`.
+    fn urgent_guarded_exit_system() -> System {
+        let mut b = SystemBuilder::new("urgent-exit");
+        let x = b.clock("x").unwrap();
+        let mut a = AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        let wait = a.location("Wait").unwrap();
+        let goal = a.location("GoalLoc").unwrap();
+        a.set_urgent(wait);
+        a.add_edge(EdgeBuilder::new(l0, wait).controllable(true));
+        a.add_edge(EdgeBuilder::new(wait, goal).guard_clock(ClockConstraint::new(x, CmpOp::Eq, 2)));
+        b.add_automaton(a.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn urgent_states_admit_no_delay_in_the_fixpoint() {
+        let sys = urgent_guarded_exit_system();
+        let tp = TestPurpose::parse("control: A<> A.GoalLoc", &sys).unwrap();
+        let wait = {
+            let mut d = sys.initial_discrete();
+            let (aut, loc) = sys.location_by_qualified_name("A.Wait").unwrap();
+            d.locations[aut.index()] = loc;
+            d
+        };
+        for (name, solution) in [
+            (
+                "jacobi",
+                solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap(),
+            ),
+            (
+                "worklist",
+                solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap(),
+            ),
+            ("otfur", solve(&sys, &tp, &otfur_options(false)).unwrap()),
+        ] {
+            // The game itself is winning: wait in L0 until x == 2, then step
+            // into Wait, where the plant is forced into the goal.
+            assert!(solution.winning_from_initial, "{name}");
+            // x == 2 wins in Wait (forced move), x == 1 is a timelock.
+            assert!(solution.is_winning_state(&wait, &[4], 2), "{name}");
+            assert!(
+                !solution.is_winning_state(&wait, &[2], 2),
+                "{name}: urgent state must not delay toward the guard"
+            );
+        }
+    }
+
+    #[test]
+    fn self_loop_frontier_zones_are_expanded_before_evaluation() {
+        let sys = self_loop_pumping_system();
+        let tp = TestPurpose::parse("control: A<> A0.L1", &sys).unwrap();
+        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
+        assert_eq!(jacobi.winning_from_initial, otfur.winning_from_initial);
+        // x = 6, y = 2: the tau escape is enabled and the plant can dodge
+        // forever, so the valuation is losing — for every engine.
+        let d0 = sys.initial_discrete();
+        assert!(!jacobi.is_winning_state(&d0, &[12, 4], 2));
+        assert!(!otfur.is_winning_state(&d0, &[12, 4], 2));
+        // Full confinement agreement: exhaustive on-the-fly == jacobi ∩ reach.
+        for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+            let other = otfur.graph.node_of(&node.discrete).unwrap();
+            let expected = jacobi.winning[id].intersection(&node.reach);
+            assert!(
+                expected.set_equals(&otfur.winning[other]),
+                "winning sets differ for {}",
+                node.discrete.display(&sys)
+            );
+        }
     }
 
     #[test]

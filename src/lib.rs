@@ -19,7 +19,11 @@
 //! * [`lang`] ([`tiga_lang`]) — the `.tg` textual modeling language (lexer →
 //!   parser → lowering, plus the `print_system` serializer); the `tiga`
 //!   command line in `crates/cli` drives solve/test/zoo workflows from `.tg`
-//!   files.
+//!   files;
+//! * [`gen`] ([`tiga_gen`]) — seeded random timed-game generation, the
+//!   differential fuzzing oracles (engine agreement, printer/parser
+//!   roundtrip, zone-algebra reference model) and the shrinker behind
+//!   `tiga fuzz`.
 //!
 //! Benchmarks live in the separate `tiga-bench` crate (`crates/bench`), and
 //! `crates/vendor` holds API-compatible stand-ins for `rand`, `proptest` and
@@ -68,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub use tiga_dbm as dbm;
+pub use tiga_gen as gen;
 pub use tiga_lang as lang;
 pub use tiga_model as model;
 pub use tiga_models as models;
