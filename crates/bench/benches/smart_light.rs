@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tiga_bench::smart_light_harness;
 use tiga_models::smart_light;
-use tiga_solver::{solve_reachability, SolveOptions};
+use tiga_solver::{solve_jacobi, SolveOptions};
 use tiga_tctl::TestPurpose;
 use tiga_testing::{OutputPolicy, SimulatedIut};
 
@@ -25,8 +25,7 @@ fn bench_strategy_synthesis(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    solve_reachability(&product, &purpose, &SolveOptions::default())
-                        .expect("solvable"),
+                    solve_jacobi(&product, &purpose, &SolveOptions::default()).expect("solvable"),
                 )
             });
         });

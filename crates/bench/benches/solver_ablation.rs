@@ -13,10 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tiga_bench::lep_instance;
 use tiga_models::smart_light;
-use tiga_solver::{
-    solve, solve_reachability, solve_reachability_worklist, ExploreOptions, SolveEngine,
-    SolveOptions,
-};
+use tiga_solver::{solve, solve_jacobi, solve_worklist, ExploreOptions, SolveEngine, SolveOptions};
 use tiga_tctl::TestPurpose;
 
 fn options(stop_at_goal: bool, extract_strategy: bool) -> SolveOptions {
@@ -59,9 +56,7 @@ fn bench_engines(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("jacobi", name), name, |b, _| {
             b.iter(|| {
-                black_box(
-                    solve_reachability(system, purpose, &options(true, true)).expect("solves"),
-                )
+                black_box(solve_jacobi(system, purpose, &options(true, true)).expect("solves"))
             });
         });
         group.bench_with_input(
@@ -69,25 +64,18 @@ fn bench_engines(c: &mut Criterion) {
             name,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        solve_reachability(system, purpose, &options(true, false)).expect("solves"),
-                    )
+                    black_box(solve_jacobi(system, purpose, &options(true, false)).expect("solves"))
                 });
             },
         );
         group.bench_with_input(BenchmarkId::new("worklist", name), name, |b, _| {
             b.iter(|| {
-                black_box(
-                    solve_reachability_worklist(system, purpose, &options(true, false))
-                        .expect("solves"),
-                )
+                black_box(solve_worklist(system, purpose, &options(true, false)).expect("solves"))
             });
         });
         group.bench_with_input(BenchmarkId::new("no_goal_pruning", name), name, |b, _| {
             b.iter(|| {
-                black_box(
-                    solve_reachability(system, purpose, &options(false, true)).expect("solves"),
-                )
+                black_box(solve_jacobi(system, purpose, &options(false, true)).expect("solves"))
             });
         });
     }

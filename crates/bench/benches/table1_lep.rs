@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tiga_bench::{lep_instance, lep_max_nodes, solve_lep};
-use tiga_solver::{solve_reachability, SolveOptions};
+use tiga_solver::{solve_jacobi, SolveOptions};
 
 fn bench_table1(c: &mut Criterion) {
     let max_n = lep_max_nodes();
@@ -33,7 +33,7 @@ fn bench_table1(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(*tp, n), &n, |b, _| {
                 b.iter(|| {
                     black_box(
-                        solve_reachability(&system, &purpose, &SolveOptions::default())
+                        solve_jacobi(&system, &purpose, &SolveOptions::default())
                             .expect("solvable"),
                     )
                 });

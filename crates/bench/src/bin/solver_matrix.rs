@@ -2,11 +2,16 @@
 //! optionally gates it against a checked-in baseline.
 //!
 //! Runs every solver engine (`otfur`, `jacobi`, `worklist`) over the
-//! benchmark model zoo and writes one JSON object per (model, purpose,
-//! engine) combination to `BENCH_solver.json` (override with `--out PATH`).
+//! benchmark model zoo *and* the fixed fuzz seed set
+//! ([`tiga_bench::fuzz_matrix_instances`]) and writes one JSON object per
+//! (model, purpose, engine) combination to `BENCH_solver.json` (override
+//! with `--out PATH`).
 //!
-//! `--smoke` restricts the sweep to the smallest model so CI can exercise
-//! the full pipeline in seconds and archive the artifact.
+//! `--smoke` restricts the zoo sweep to the smallest model plus every
+//! safety purpose so CI can exercise the full pipeline — including the
+//! safety dual fixpoint — in seconds and archive the artifact; the fuzz
+//! seed set is always included, pinning engine counters on *generated*
+//! systems too.
 //!
 //! `--check PATH` compares the run's *deterministic* counters (explored
 //! states, zone counts, verdicts — never wall time) against a previously
@@ -23,9 +28,10 @@
 //! ```
 
 use tiga_bench::{
-    compare_to_baseline, engine_matrix_rows, matrix_rows_to_json, model_zoo, parse_matrix_json,
-    BaselineRow,
+    compare_to_baseline, engine_matrix_rows, fuzz_matrix_instances, matrix_rows_to_json, model_zoo,
+    parse_matrix_json, BaselineRow,
 };
+use tiga_tctl::PathQuantifier;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -72,16 +78,20 @@ fn main() {
     });
 
     let zoo = model_zoo();
-    let instances = if smoke {
-        // The zoo is ordered smallest-first; the smoke run keeps only the
-        // first model's purposes.
+    let mut instances = if smoke {
+        // The zoo is ordered smallest-first; the smoke run keeps the first
+        // model's purposes plus every safety purpose, so the dual fixpoint
+        // is gated too.
         let first = zoo[0].model.clone();
         zoo.into_iter()
-            .filter(|z| z.model == first)
+            .filter(|z| z.model == first || z.purpose.quantifier == PathQuantifier::Safety)
             .collect::<Vec<_>>()
     } else {
         zoo
     };
+    // The fixed fuzz seed set rides along in both modes: engine counters on
+    // generated systems are part of the baseline contract.
+    instances.extend(fuzz_matrix_instances());
 
     let mut rows = Vec::new();
     for instance in &instances {

@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use tiga_dbm::{Bound, Dbm, Federation};
 use tiga_model::System;
 use tiga_models::{coffee_machine, leader_election, smart_light};
-use tiga_solver::{solve, solve_reachability, GameSolution, SolveEngine, SolveOptions};
+use tiga_solver::{solve, solve_jacobi, GameSolution, SolveEngine, SolveOptions};
 use tiga_tctl::TestPurpose;
 use tiga_testing::{TestConfig, TestHarness};
 
@@ -57,7 +57,7 @@ pub fn lep_instance(n: usize, purpose_index: usize) -> (System, TestPurpose) {
 #[must_use]
 pub fn solve_lep(n: usize, purpose_index: usize) -> GameSolution {
     let (system, purpose) = lep_instance(n, purpose_index);
-    solve_reachability(&system, &purpose, &SolveOptions::default()).expect("solvable")
+    solve_jacobi(&system, &purpose, &SolveOptions::default()).expect("solvable")
 }
 
 /// Synthesizes the Smart Light test harness for `A<> IUT.Bright`.
@@ -105,6 +105,7 @@ pub fn model_zoo() -> Vec<ZooInstance> {
     for (name, text) in [
         ("coffee", coffee_machine::PURPOSE_COFFEE),
         ("refund", coffee_machine::PURPOSE_REFUND),
+        ("no_refund", coffee_machine::PURPOSE_NO_REFUND),
     ] {
         zoo.push(ZooInstance {
             model: "coffee_machine".to_string(),
@@ -121,6 +122,7 @@ pub fn model_zoo() -> Vec<ZooInstance> {
             "bright_and_ready",
             smart_light::PURPOSE_BRIGHT_AND_USER_READY,
         ),
+        ("never_bright", smart_light::PURPOSE_NEVER_BRIGHT),
     ] {
         zoo.push(ZooInstance {
             model: "smart_light".to_string(),
@@ -139,6 +141,81 @@ pub fn model_zoo() -> Vec<ZooInstance> {
         });
     }
     zoo
+}
+
+/// Master seed of the fixed fuzz seed set whose engine counters the bench
+/// baseline pins (see [`fuzz_matrix_instances`]).  Changing it invalidates
+/// `BENCH_solver.baseline.json`.
+pub const FUZZ_MATRIX_SEED: u64 = 0x2008_5EED;
+
+/// Number of generated games in the pinned fuzz seed set.
+pub const FUZZ_MATRIX_COUNT: usize = 4;
+
+/// A fixed set of *generated* timed games for the baseline gate, drawn
+/// from the SplitMix64 stream of [`FUZZ_MATRIX_SEED`] — exactly the
+/// per-case seed derivation `tiga fuzz` uses, so a baseline drift on these
+/// rows localizes to the solver, not the generator.  To make the pinned
+/// counters meaningful the selection skips trivial games (fewer than four
+/// discrete states under the Jacobi oracle) and reserves one slot for a
+/// safety (`A[]`) objective, so the dual fixpoint's counters are gated on
+/// a generated system too.  Deterministic across runs and machines; the
+/// engine counters (explored/subsumed/pruned) of every row are pinned by
+/// `solver_matrix --check`, extending the gate beyond the hand-written zoo.
+///
+/// # Panics
+///
+/// Panics if the stream cannot supply enough solvable, non-trivial specs
+/// (a generator regression, not a runtime condition).
+#[must_use]
+pub fn fuzz_matrix_instances() -> Vec<ZooInstance> {
+    let config = tiga_gen::GenConfig::default();
+    let budget = SolveOptions {
+        engine: SolveEngine::Jacobi,
+        explore: tiga_solver::ExploreOptions {
+            max_states: 4_000,
+            ..tiga_solver::ExploreOptions::default()
+        },
+        ..SolveOptions::default()
+    };
+    let safety_slots = 1;
+    let reach_slots = FUZZ_MATRIX_COUNT - safety_slots;
+    let mut reach = Vec::new();
+    let mut safety = Vec::new();
+    for case_seed in tiga_gen::derive_case_seeds(FUZZ_MATRIX_SEED, 512) {
+        if reach.len() == reach_slots && safety.len() == safety_slots {
+            break;
+        }
+        let spec = tiga_gen::generate_spec(case_seed, &config);
+        let Ok((system, purpose)) = spec.build() else {
+            continue;
+        };
+        let Ok(solution) = solve(&system, &purpose, &budget) else {
+            continue;
+        };
+        if solution.stats().discrete_states < 4 {
+            continue;
+        }
+        let (bucket, slots, name) = match purpose.quantifier {
+            tiga_tctl::PathQuantifier::Reachability => (&mut reach, reach_slots, "reach"),
+            tiga_tctl::PathQuantifier::Safety => (&mut safety, safety_slots, "safety"),
+        };
+        if bucket.len() < slots {
+            bucket.push(ZooInstance {
+                model: format!("fuzz_{case_seed:#018x}"),
+                purpose_name: name.to_string(),
+                system,
+                purpose,
+            });
+        }
+    }
+    let mut out = reach;
+    out.append(&mut safety);
+    assert_eq!(
+        out.len(),
+        FUZZ_MATRIX_COUNT,
+        "the fixed fuzz seed stream must supply {FUZZ_MATRIX_COUNT} solvable non-trivial games"
+    );
+    out
 }
 
 /// One row of the engine × model ablation matrix.

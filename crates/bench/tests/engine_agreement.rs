@@ -8,7 +8,7 @@
 
 use tiga_bench::{engine_matrix_rows, model_zoo};
 use tiga_models::smart_light;
-use tiga_solver::{solve, solve_reachability, SolveEngine, SolveOptions};
+use tiga_solver::{solve, solve_jacobi, SolveEngine, SolveOptions};
 use tiga_tctl::TestPurpose;
 use tiga_testing::{generate_mutants, MutationConfig};
 
@@ -44,7 +44,7 @@ fn engines_agree_across_the_model_zoo() {
 #[test]
 fn exhaustive_otfur_matches_jacobi_federations_on_zoo() {
     for instance in model_zoo() {
-        let jacobi = solve_reachability(
+        let jacobi = solve_jacobi(
             &instance.system,
             &instance.purpose,
             &SolveOptions::default(),
@@ -96,7 +96,7 @@ fn engines_agree_on_seeded_smart_light_mutants() {
             // those mutants are not games for this purpose.
             Err(_) => continue,
         };
-        let jacobi = solve_reachability(&mutant.system, &purpose, &SolveOptions::default())
+        let jacobi = solve_jacobi(&mutant.system, &purpose, &SolveOptions::default())
             .expect("jacobi solves mutant");
         let otfur =
             solve(&mutant.system, &purpose, &otfur_options(true)).expect("otfur solves mutant");
@@ -132,10 +132,24 @@ fn otfur_explores_strictly_fewer_states_on_a_winning_instance() {
         let otfur = rows.iter().find(|r| r.engine == "otfur").unwrap();
         let jacobi = rows.iter().find(|r| r.engine == "jacobi").unwrap();
         let otfur_winning = otfur.solution.winning_from_initial;
-        if otfur_winning {
+        let reachability = instance.purpose.quantifier == tiga_tctl::PathQuantifier::Reachability;
+        if otfur_winning && reachability {
+            // Winning *reachability* games are decided as soon as the
+            // initial state's winning federation covers the origin; a
+            // winning safety game is a greatest fixpoint and can only be
+            // certified by draining the waiting list (early termination
+            // there fires on *losing* verdicts instead).
             assert!(
                 otfur.solution.stats().early_terminated,
                 "winning instance {}/{} should be decided early",
+                instance.model,
+                instance.purpose_name
+            );
+        }
+        if otfur_winning && !reachability {
+            assert!(
+                !otfur.solution.stats().early_terminated,
+                "a winning safety instance {}/{} cannot terminate early",
                 instance.model,
                 instance.purpose_name
             );

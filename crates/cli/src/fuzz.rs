@@ -1,10 +1,13 @@
 //! `tiga fuzz` — differential fuzzing of the whole stack.
 //!
-//! Generates seeded random timed games and runs the three oracles of
+//! Generates seeded random timed games and runs the four oracles of
 //! [`tiga_gen`] over each of them: engine agreement (Otfur vs Jacobi vs
-//! Worklist), printer/parser roundtrip, and the zone-algebra reference
-//! model.  Failing cases are shrunk (unless `--no-shrink`) and written as
-//! self-contained `.tg` reproducers.
+//! Worklist, on reachability and safety objectives alike), printer/parser
+//! roundtrip, the zone-algebra reference model, and the `Pred_t` reference.
+//! `--jobs N` shards the cases over the deterministic work queue of
+//! `tiga-testing` with bit-identical findings for any N.  Failing cases are
+//! shrunk (unless `--no-shrink`) and written as self-contained `.tg`
+//! reproducers.
 
 use crate::{parse_num, reject_leftovers, take_flag, take_value, wants_help, EXIT_USAGE};
 use std::path::PathBuf;
@@ -18,12 +21,15 @@ OPTIONS:
     --seed N          master seed (default: 1); case i uses the i-th
                       SplitMix64 value derived from it
     --count N         number of generated systems (default: 100)
+    --jobs N          shard the cases over N worker threads (0 = all
+                      cores; default: 1); findings are bit-identical
+                      for any value
     --shrink          shrink failing cases before writing reproducers
                       (default: on)
     --no-shrink       report unshrunk failing systems
     --out DIR         directory for .tg reproducers (default: fuzz-failures)
     --max-states N    per-engine exploration budget (default: 20000)
-    --zone-rounds N   zone-algebra rounds per case (default: 2)
+    --zone-rounds N   zone-algebra / pred-t rounds per case (default: 2)
     --zone-samples N  sampled valuations per zone round (default: 24)
 
 EXIT STATUS:
@@ -54,6 +60,9 @@ pub fn parse_args(args: &[String]) -> Result<FuzzArgs, String> {
     }
     if let Some(count) = take_value(&mut args, "--count")? {
         options.count = parse_num(&count, "--count")?;
+    }
+    if let Some(jobs) = take_value(&mut args, "--jobs")? {
+        options.jobs = parse_num(&jobs, "--jobs")?;
     }
     // `--shrink` is the default; the flag is still accepted so invocations
     // can be explicit about it.
@@ -116,13 +125,14 @@ pub fn run_fuzz(args: &FuzzArgs) -> Result<(String, bool), String> {
 fn render_report(options: &FuzzOptions, report: &FuzzReport, written: &[PathBuf]) -> String {
     let mut out = format!(
         "fuzz campaign: seed {} / {} cases\n\
-         engine oracle: {} agreed ({} winning, {} losing), {} skipped\n\
+         engine oracle: {} agreed ({} winning, {} losing; {} safety purposes), {} skipped\n\
          failures: {}",
         options.seed,
         report.cases,
         report.agreed,
         report.winning,
         report.agreed - report.winning,
+        report.safety,
         report.skipped,
         report.failures.len(),
     );
@@ -177,6 +187,8 @@ mod tests {
             "7",
             "--count",
             "25",
+            "--jobs",
+            "4",
             "--no-shrink",
             "--out",
             "/tmp/repro",
@@ -186,6 +198,7 @@ mod tests {
         .unwrap();
         assert_eq!(args.options.seed, 7);
         assert_eq!(args.options.count, 25);
+        assert_eq!(args.options.jobs, 4);
         assert!(!args.options.shrink);
         assert_eq!(args.options.engines.max_states, 5000);
         assert_eq!(args.out_dir, PathBuf::from("/tmp/repro"));
@@ -195,6 +208,7 @@ mod tests {
     fn defaults_and_rejections() {
         let args = parse_args(&[]).unwrap();
         assert_eq!(args.options.seed, 1);
+        assert_eq!(args.options.jobs, 1);
         assert!(args.options.shrink);
         assert!(parse_args(&strings(&["--seed"])).is_err());
         assert!(parse_args(&strings(&["--count", "x"])).is_err());

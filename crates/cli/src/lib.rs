@@ -14,8 +14,10 @@
 //!   `--emit-tg <dir>` export every zoo model (and its plant) as `.tg` via
 //!   the [`tiga_lang::print_system`] serializer;
 //! * `tiga fuzz` — differential fuzzing: seeded random timed games through
-//!   the [`tiga_gen`] oracles (engine agreement, printer/parser roundtrip,
-//!   zone-algebra reference), with shrunk `.tg` reproducers on failure.
+//!   the [`tiga_gen`] oracles (engine agreement on reachability *and*
+//!   safety objectives, printer/parser roundtrip, zone-algebra reference,
+//!   `Pred_t` reference), sharded over worker threads with `--jobs`, with
+//!   shrunk `.tg` reproducers on failure.
 //!
 //! All diagnostics are rendered with source spans ([`tiga_lang::LangError`]).
 
@@ -49,8 +51,9 @@ USAGE:
     tiga test  <file.tg> [--spec <plant.tg>] [--threads N] [--seed N]
                [--repetitions N] [--max-mutants N] [--purpose '<control: ...>']
     tiga zoo   [--emit-tg <dir>]
-    tiga fuzz  [--seed N] [--count N] [--shrink|--no-shrink] [--out <dir>]
-               [--max-states N] [--zone-rounds N] [--zone-samples N]
+    tiga fuzz  [--seed N] [--count N] [--jobs N] [--shrink|--no-shrink]
+               [--out <dir>] [--max-states N] [--zone-rounds N]
+               [--zone-samples N]
 
 Run `tiga <command> --help` for details of one command.
 ";

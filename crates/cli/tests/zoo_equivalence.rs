@@ -142,6 +142,45 @@ fn checked_in_files_are_printer_fixpoints() {
     }
 }
 
+#[test]
+fn checked_in_safety_instances_match_the_zoo_and_are_winning() {
+    // The safety zoo: every `A[]` purpose is checked in as
+    // `<model>.<purpose>.tg`, parses back to the programmatic instance,
+    // is a printer fixpoint, and solves WINNING with a safe controller.
+    let zoo = model_zoo();
+    let safety: Vec<_> = zoo
+        .iter()
+        .filter(|i| i.purpose.quantifier == tiga_tctl::PathQuantifier::Safety)
+        .collect();
+    assert!(
+        safety.len() >= 2,
+        "expected at least two safety zoo instances, found {}",
+        safety.len()
+    );
+    for instance in safety {
+        let file = format!("{}.{}.tg", instance.model, instance.purpose_name);
+        let parsed = load(&file);
+        assert_eq!(
+            parsed.system, instance.system,
+            "{file} drifted — regenerate with `tiga zoo --emit-tg examples/tg`"
+        );
+        let purpose = parsed.purpose.expect("safety files carry a control: line");
+        assert_eq!(purpose, instance.purpose, "{file} purpose drifted");
+        let on_disk = std::fs::read_to_string(tg_dir().join(&file)).expect("readable");
+        assert_eq!(
+            on_disk,
+            print_system(&instance.system, Some(&instance.purpose)),
+            "{file} is not a printer fixpoint"
+        );
+        let solution = solve(&parsed.system, &purpose, &SolveOptions::default()).expect("solves");
+        assert!(solution.winning_from_initial, "{file} must be enforceable");
+        assert!(
+            solution.strategy.is_some(),
+            "{file}: the safe controller must be extracted"
+        );
+    }
+}
+
 /// The primary (first-listed) purpose of each zoo model.
 fn zoo_primary(model: &str) -> &'static str {
     match model {

@@ -6,7 +6,10 @@
 //! action region and the product invariant — observing outputs.  Every
 //! observation is checked against the specification through the
 //! [`SpecMonitor`] (tioco), producing `fail` on a violation and `pass` once
-//! the test purpose is reached.
+//! the test purpose is reached.  Safety purposes (`control: A[] φ`) invert
+//! the goal check: entering a `¬φ` state is a failure, and a run that
+//! exhausts its step or time budget while maintaining `φ` passes — the safe
+//! controller is allowed to be non-terminating.
 
 use crate::iut::{DelayOutcome, Iut};
 use crate::monitor::{MonitorOutcome, SpecMonitor};
@@ -14,7 +17,7 @@ use crate::trace::TimedTrace;
 use crate::verdict::{FailReason, InconclusiveReason, Verdict};
 use tiga_model::{ConcreteState, DiscreteState, Interpreter, JointEdge, ModelError, System};
 use tiga_solver::{Strategy, StrategyDecision};
-use tiga_tctl::TestPurpose;
+use tiga_tctl::{PathQuantifier, TestPurpose};
 
 /// Configuration of a test execution.
 #[derive(Clone, Debug)]
@@ -141,30 +144,60 @@ impl<'a> TestExecutor<'a> {
             iut_name: iut_name.clone(),
         };
 
+        let safety = self.purpose.quantifier == PathQuantifier::Safety;
         loop {
             steps += 1;
-            if steps > self.config.max_steps {
-                return Ok(finish(
-                    Verdict::Inconclusive(InconclusiveReason::StepBudgetExhausted),
-                    trace,
-                    steps,
-                ));
-            }
-            // Goal check (pass as soon as the purpose holds).
-            if self
-                .purpose
-                .predicate
-                .holds_concrete(self.product, &product_state)
-                .map_err(|e| ModelError::Invalid(e.to_string()))?
-            {
-                return Ok(finish(Verdict::Pass, trace, steps));
-            }
-            if now >= self.config.max_ticks {
-                return Ok(finish(
-                    Verdict::Inconclusive(InconclusiveReason::TimeBudgetExhausted),
-                    trace,
-                    steps,
-                ));
+            if safety {
+                // Safety purpose `A[] φ`: entering `¬φ` is the failure —
+                // checked before the budgets, so a violation in the final
+                // state is never masked as a pass — and a run that exhausts
+                // its budget without ever leaving `φ` passes (the
+                // controller is allowed to be non-terminating).
+                let predicate_holds = self
+                    .purpose
+                    .predicate
+                    .holds_concrete(self.product, &product_state)
+                    .map_err(|e| ModelError::Invalid(e.to_string()))?;
+                if !predicate_holds {
+                    return Ok(finish(
+                        Verdict::Fail(FailReason::SafetyViolation {
+                            state: format!(
+                                "{}",
+                                Self::discrete_of(&product_state).display(self.product)
+                            ),
+                            at_ticks: now,
+                        }),
+                        trace,
+                        steps,
+                    ));
+                }
+                if steps > self.config.max_steps || now >= self.config.max_ticks {
+                    return Ok(finish(Verdict::Pass, trace, steps));
+                }
+            } else {
+                if steps > self.config.max_steps {
+                    return Ok(finish(
+                        Verdict::Inconclusive(InconclusiveReason::StepBudgetExhausted),
+                        trace,
+                        steps,
+                    ));
+                }
+                // Goal check (pass as soon as the purpose holds).
+                if self
+                    .purpose
+                    .predicate
+                    .holds_concrete(self.product, &product_state)
+                    .map_err(|e| ModelError::Invalid(e.to_string()))?
+                {
+                    return Ok(finish(Verdict::Pass, trace, steps));
+                }
+                if now >= self.config.max_ticks {
+                    return Ok(finish(
+                        Verdict::Inconclusive(InconclusiveReason::TimeBudgetExhausted),
+                        trace,
+                        steps,
+                    ));
+                }
             }
 
             let discrete = Self::discrete_of(&product_state);

@@ -82,7 +82,10 @@ impl TestHarness {
     /// * `spec` — the plant-only specification used for conformance
     ///   monitoring (pass a clone of `product` to monitor against the whole
     ///   network instead);
-    /// * `purpose` — a `control: A<> φ` test purpose over `product`.
+    /// * `purpose` — a `control: A<> φ` (reachability) or `control: A[] φ`
+    ///   (safety) test purpose over `product`; safety test cases drive a
+    ///   safe, possibly non-terminating controller and pass when the
+    ///   observation budget ends inside `φ`.
     ///
     /// # Errors
     ///

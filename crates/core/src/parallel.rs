@@ -1,4 +1,5 @@
-//! A minimal sharded work queue used by the campaign engine.
+//! A minimal sharded work queue used by the campaign engine (and, through
+//! the public re-exports, by `tiga fuzz --jobs`).
 //!
 //! Jobs are claimed dynamically from a shared atomic cursor (work-stealing
 //! style self-scheduling: a fast worker keeps taking jobs a slow worker has
@@ -12,7 +13,8 @@ use std::sync::Mutex;
 
 /// Resolves a requested thread count: `0` means "all available parallelism",
 /// and the result never exceeds the number of jobs.
-pub(crate) fn effective_threads(requested: usize, jobs: usize) -> usize {
+#[must_use]
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
     let hardware = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -21,12 +23,12 @@ pub(crate) fn effective_threads(requested: usize, jobs: usize) -> usize {
 }
 
 /// Runs `f` over every `(index, item)` pair on `threads` workers and returns
-/// the results in item order.
+/// the results in item order — bit-identical for any thread count.
 ///
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope joins all workers first).
-pub(crate) fn run_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub fn run_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

@@ -37,6 +37,15 @@ pub enum FailReason {
         /// Absolute test time (in ticks).
         at_ticks: i64,
     },
+    /// A safety purpose (`control: A[] φ`) was violated: the run entered a
+    /// `¬φ` state.  Under a safe strategy this only happens when the
+    /// implementation deviated from the specification.
+    SafetyViolation {
+        /// Human-readable description of the offending state.
+        state: String,
+        /// Absolute test time (in ticks).
+        at_ticks: i64,
+    },
 }
 
 impl fmt::Display for FailReason {
@@ -55,6 +64,10 @@ impl fmt::Display for FailReason {
             FailReason::EnvironmentRefusedOutput { channel, at_ticks } => write!(
                 f,
                 "output `{channel}!` at t={at_ticks} ticks is not accepted by the environment model"
+            ),
+            FailReason::SafetyViolation { state, at_ticks } => write!(
+                f,
+                "safety purpose violated at t={at_ticks} ticks in state {state}"
             ),
         }
     }
@@ -97,7 +110,9 @@ impl fmt::Display for InconclusiveReason {
 /// an explicit inconclusive outcome for budget exhaustion).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
-    /// The test purpose was reached and no conformance violation was observed.
+    /// The test purpose was met with no conformance violation: a
+    /// reachability purpose was reached, or a safety purpose was maintained
+    /// for the whole observation budget.
     Pass,
     /// A tioco violation was observed.
     Fail(FailReason),

@@ -5,16 +5,24 @@
 //! derived with SplitMix64, so any failing case is reproducible from the
 //! master seed and its index alone — and a shrunk reproducer additionally
 //! gets written out as a self-contained `.tg` file.
+//!
+//! With [`FuzzOptions::jobs`] above one the campaign shards the cases over
+//! the deterministic work queue of [`tiga_testing::run_indexed`]: every
+//! case is a self-contained job keyed by its pre-derived seed, results are
+//! merged in case order, and the report — counters, failure list, shrunk
+//! reproducers — is bit-identical for any job count.
 
 use crate::gen::{generate_spec, GenConfig};
 use crate::oracle::{
-    check_engine_agreement, check_roundtrip, check_zone_algebra, EngineCheck, EngineCheckOptions,
+    check_engine_agreement, check_pred_t, check_roundtrip, check_zone_algebra, EngineCheck,
+    EngineCheckOptions,
 };
 use crate::shrink::shrink_spec;
 use crate::spec::SysSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tiga_lang::print_system;
+use tiga_testing::{effective_threads, run_indexed};
 
 /// Options of one fuzzing campaign.
 #[derive(Clone, Debug)]
@@ -23,13 +31,17 @@ pub struct FuzzOptions {
     pub seed: u64,
     /// Number of generated systems.
     pub count: usize,
+    /// Worker threads the cases are sharded over (`0` = all available
+    /// parallelism, `1` = in-place).  Findings are bit-identical for any
+    /// value.
+    pub jobs: usize,
     /// Whether failing cases are shrunk before reporting.
     pub shrink: bool,
     /// Re-check budget per shrink (oracle re-runs).
     pub shrink_budget: usize,
-    /// Zone-algebra rounds per case (each draws fresh zones).
+    /// Zone-algebra and `Pred_t` rounds per case (each draws fresh zones).
     pub zone_rounds: usize,
-    /// Sampled valuations per zone-algebra round.
+    /// Sampled valuations per zone-algebra / `Pred_t` round.
     pub zone_samples: usize,
     /// Engine budgets.
     pub engines: EngineCheckOptions,
@@ -42,6 +54,7 @@ impl Default for FuzzOptions {
         FuzzOptions {
             seed: 1,
             count: 100,
+            jobs: 1,
             shrink: true,
             shrink_budget: 400,
             zone_rounds: 2,
@@ -53,25 +66,26 @@ impl Default for FuzzOptions {
 }
 
 /// One confirmed oracle failure.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuzzFailure {
     /// Index of the case within the campaign.
     pub case_index: usize,
     /// The derived per-case seed (regenerates the unshrunk system).
     pub case_seed: u64,
-    /// Which oracle failed: `engine-agreement`, `roundtrip` or `zone-algebra`.
+    /// Which oracle failed: `engine-agreement`, `roundtrip`, `zone-algebra`
+    /// or `pred-t`.
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
     /// Self-contained `.tg` reproducer (shrunk when shrinking is enabled);
-    /// `None` for failures without a buildable system (`zone-algebra`,
-    /// which has no system at all, and `generator`, whose spec failed to
-    /// build) — those reproduce from the case seed alone.
+    /// `None` for failures without a buildable system (`zone-algebra` and
+    /// `pred-t`, which have no system at all, and `generator`, whose spec
+    /// failed to build) — those reproduce from the case seed alone.
     pub reproducer: Option<String>,
 }
 
 /// Aggregate result of a campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FuzzReport {
     /// Systems generated.
     pub cases: usize,
@@ -79,7 +93,9 @@ pub struct FuzzReport {
     pub agreed: usize,
     /// ... of which the shared verdict was "winning".
     pub winning: usize,
-    /// Cases skipped by the engine oracle (safety objective / state limit).
+    /// ... of which the objective was a safety purpose (`A[]`).
+    pub safety: usize,
+    /// Cases skipped by the engine oracle (state limit exceeded).
     pub skipped: usize,
     /// All confirmed failures.
     pub failures: Vec<FuzzFailure>,
@@ -101,6 +117,15 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The per-case seeds of a campaign: the first `count` SplitMix64 values
+/// derived from the master seed.  Shared with the bench harness, which pins
+/// engine counters on a fixed fuzz seed set.
+#[must_use]
+pub fn derive_case_seeds(master: u64, count: usize) -> Vec<u64> {
+    let mut stream = master;
+    (0..count).map(|_| splitmix64(&mut stream)).collect()
+}
+
 /// Renders a spec as a self-contained `.tg` reproducer with a header
 /// documenting its provenance.
 ///
@@ -117,93 +142,151 @@ pub fn reproducer_tg(spec: &SysSpec, case_seed: u64, oracle: &'static str) -> St
     )
 }
 
-/// Runs one fuzzing campaign.  `progress` is invoked after every case with
-/// `(cases_done, failures_so_far)`.
-pub fn fuzz_campaign(options: &FuzzOptions, progress: &mut dyn FnMut(usize, usize)) -> FuzzReport {
-    let mut report = FuzzReport::default();
-    let mut stream = options.seed;
-    for case_index in 0..options.count {
-        let case_seed = splitmix64(&mut stream);
-        report.cases += 1;
+/// The outcome of one self-contained case: every oracle's failures plus the
+/// engine tallies, merged into the report in case order.
+struct CaseOutcome {
+    failures: Vec<FuzzFailure>,
+    agreed: bool,
+    winning: bool,
+    safety: bool,
+    skipped: bool,
+}
 
-        // Oracle 3 first: it is independent of the generated system and uses
-        // its own RNG stream derived from the case seed.
-        let mut zone_rng = StdRng::seed_from_u64(case_seed ^ 0x5A5A_5A5A_5A5A_5A5A);
-        for round in 0..options.zone_rounds {
-            let dim = 2 + (round % 3);
-            if let Some(detail) = check_zone_algebra(&mut zone_rng, dim, 6, options.zone_samples) {
-                report.failures.push(FuzzFailure {
-                    case_index,
-                    case_seed,
-                    oracle: "zone-algebra",
-                    detail,
-                    reproducer: None,
-                });
-            }
-        }
+fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOutcome {
+    let mut outcome = CaseOutcome {
+        failures: Vec::new(),
+        agreed: false,
+        winning: false,
+        safety: false,
+        skipped: false,
+    };
 
-        let spec = generate_spec(case_seed, &options.gen);
-        let (system, purpose) = match spec.build() {
-            Ok(built) => built,
-            Err(e) => {
-                // The generator must only emit buildable specs.
-                report.failures.push(FuzzFailure {
-                    case_index,
-                    case_seed,
-                    oracle: "generator",
-                    detail: format!("generated spec does not build: {e}"),
-                    reproducer: None,
-                });
-                progress(case_index + 1, report.failures.len());
-                continue;
-            }
-        };
-
-        // Oracle 2: roundtrip.
-        if let Some(detail) = check_roundtrip(&system, &purpose) {
-            let shrunk = maybe_shrink(options, &spec, &mut |s| {
-                s.build()
-                    .ok()
-                    .is_some_and(|(sys, p)| check_roundtrip(&sys, &p).is_some())
-            });
-            report.failures.push(FuzzFailure {
+    // Oracles 3 and 4 first: they are independent of the generated system
+    // and use their own RNG streams derived from the case seed.
+    let mut zone_rng = StdRng::seed_from_u64(case_seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    for round in 0..options.zone_rounds {
+        let dim = 2 + (round % 3);
+        if let Some(detail) = check_zone_algebra(&mut zone_rng, dim, 6, options.zone_samples) {
+            outcome.failures.push(FuzzFailure {
                 case_index,
                 case_seed,
-                oracle: "roundtrip",
+                oracle: "zone-algebra",
                 detail,
-                reproducer: Some(reproducer_tg(&shrunk, case_seed, "roundtrip")),
+                reproducer: None,
             });
         }
-
-        // Oracle 1: engine agreement.
-        match check_engine_agreement(&system, &purpose, &options.engines) {
-            EngineCheck::Agreed { winning } => {
-                report.agreed += 1;
-                if winning {
-                    report.winning += 1;
-                }
-            }
-            EngineCheck::Skipped(_) => report.skipped += 1,
-            EngineCheck::Diverged(detail) => {
-                let engines = options.engines.clone();
-                let shrunk = maybe_shrink(options, &spec, &mut |s| {
-                    s.build().ok().is_some_and(|(sys, p)| {
-                        matches!(
-                            check_engine_agreement(&sys, &p, &engines),
-                            EngineCheck::Diverged(_)
-                        )
-                    })
-                });
-                report.failures.push(FuzzFailure {
-                    case_index,
-                    case_seed,
-                    oracle: "engine-agreement",
-                    detail,
-                    reproducer: Some(reproducer_tg(&shrunk, case_seed, "engine-agreement")),
-                });
-            }
+    }
+    let mut pred_rng = StdRng::seed_from_u64(case_seed ^ 0x9ED7_9ED7_9ED7_9ED7);
+    for round in 0..options.zone_rounds {
+        let dim = 2 + (round % 3);
+        if let Some(detail) = check_pred_t(&mut pred_rng, dim, 6, options.zone_samples) {
+            outcome.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "pred-t",
+                detail,
+                reproducer: None,
+            });
         }
-        progress(case_index + 1, report.failures.len());
+    }
+
+    let spec = generate_spec(case_seed, &options.gen);
+    let (system, purpose) = match spec.build() {
+        Ok(built) => built,
+        Err(e) => {
+            // The generator must only emit buildable specs.
+            outcome.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "generator",
+                detail: format!("generated spec does not build: {e}"),
+                reproducer: None,
+            });
+            return outcome;
+        }
+    };
+    outcome.safety = purpose.quantifier == tiga_tctl::PathQuantifier::Safety;
+
+    // Oracle 2: roundtrip.
+    if let Some(detail) = check_roundtrip(&system, &purpose) {
+        let shrunk = maybe_shrink(options, &spec, &mut |s| {
+            s.build()
+                .ok()
+                .is_some_and(|(sys, p)| check_roundtrip(&sys, &p).is_some())
+        });
+        outcome.failures.push(FuzzFailure {
+            case_index,
+            case_seed,
+            oracle: "roundtrip",
+            detail,
+            reproducer: Some(reproducer_tg(&shrunk, case_seed, "roundtrip")),
+        });
+    }
+
+    // Oracle 1: engine agreement (reachability and safety purposes alike).
+    match check_engine_agreement(&system, &purpose, &options.engines) {
+        EngineCheck::Agreed { winning } => {
+            outcome.agreed = true;
+            outcome.winning = winning;
+        }
+        EngineCheck::Skipped(_) => outcome.skipped = true,
+        EngineCheck::Diverged(detail) => {
+            let engines = options.engines.clone();
+            let shrunk = maybe_shrink(options, &spec, &mut |s| {
+                s.build().ok().is_some_and(|(sys, p)| {
+                    matches!(
+                        check_engine_agreement(&sys, &p, &engines),
+                        EngineCheck::Diverged(_)
+                    )
+                })
+            });
+            outcome.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "engine-agreement",
+                detail,
+                reproducer: Some(reproducer_tg(&shrunk, case_seed, "engine-agreement")),
+            });
+        }
+    }
+    outcome
+}
+
+/// Runs one fuzzing campaign.  `progress` is invoked after every case with
+/// `(cases_done, failures_so_far)` (for sharded runs, during the in-order
+/// merge).
+pub fn fuzz_campaign(options: &FuzzOptions, progress: &mut dyn FnMut(usize, usize)) -> FuzzReport {
+    let seeds = derive_case_seeds(options.seed, options.count);
+    // `jobs = 0` means all available parallelism — resolved by
+    // `effective_threads`, so it must see the raw value.
+    let threads = effective_threads(options.jobs, seeds.len());
+    let outcomes: Vec<CaseOutcome> = if threads <= 1 {
+        let mut out = Vec::with_capacity(seeds.len());
+        let mut failures_so_far = 0;
+        for (case_index, &case_seed) in seeds.iter().enumerate() {
+            let outcome = run_case(case_index, case_seed, options);
+            failures_so_far += outcome.failures.len();
+            out.push(outcome);
+            progress(case_index + 1, failures_so_far);
+        }
+        out
+    } else {
+        run_indexed(seeds, threads, |case_index, case_seed| {
+            run_case(case_index, case_seed, options)
+        })
+    };
+
+    let mut report = FuzzReport::default();
+    for (case_index, outcome) in outcomes.into_iter().enumerate() {
+        report.cases += 1;
+        report.agreed += usize::from(outcome.agreed);
+        report.winning += usize::from(outcome.winning);
+        report.safety += usize::from(outcome.safety);
+        report.skipped += usize::from(outcome.skipped);
+        report.failures.extend(outcome.failures);
+        if threads > 1 {
+            progress(case_index + 1, report.failures.len());
+        }
     }
     report
 }
@@ -237,10 +320,34 @@ mod tests {
         assert_eq!(ticks, 10);
         assert_eq!(a.cases, 10);
         let b = fuzz_campaign(&options, &mut |_, _| {});
-        assert_eq!(a.agreed, b.agreed);
-        assert_eq!(a.winning, b.winning);
-        assert_eq!(a.skipped, b.skipped);
-        assert_eq!(a.failures.len(), b.failures.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_campaign_is_bit_identical_for_any_job_count() {
+        let reference = FuzzOptions {
+            count: 24,
+            zone_rounds: 1,
+            zone_samples: 8,
+            jobs: 1,
+            gen: GenConfig {
+                safety_prob: 0.4,
+                ..GenConfig::default()
+            },
+            ..FuzzOptions::default()
+        };
+        let baseline = fuzz_campaign(&reference, &mut |_, _| {});
+        assert!(baseline.safety > 0, "expected safety cases in the mix");
+        for jobs in [0, 2, 3, 7] {
+            let options = FuzzOptions {
+                jobs,
+                ..reference.clone()
+            };
+            let mut ticks = 0usize;
+            let report = fuzz_campaign(&options, &mut |_, _| ticks += 1);
+            assert_eq!(ticks, 24, "jobs = {jobs}");
+            assert_eq!(report, baseline, "jobs = {jobs}");
+        }
     }
 
     #[test]
@@ -261,6 +368,27 @@ mod tests {
             "verdict mix is degenerate: {} winning of {} agreed",
             report.winning,
             report.agreed
+        );
+    }
+
+    #[test]
+    fn fixed_seed_smoke_run_has_zero_skips_and_checks_safety() {
+        // The acceptance gate of the safety work: on the CI smoke seed every
+        // generated purpose — `A<>` and `A[]` alike — is a *checked* case.
+        let options = FuzzOptions {
+            seed: 1,
+            count: 500,
+            zone_rounds: 0,
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_campaign(&options, &mut |_, _| {});
+        assert!(report.is_clean(), "failures: {:#?}", report.failures);
+        assert_eq!(report.skipped, 0, "no case may be skipped");
+        assert_eq!(report.agreed, 500, "every case must be checked");
+        assert!(
+            report.safety > 20,
+            "expected a meaningful safety share, got {}",
+            report.safety
         );
     }
 }

@@ -8,14 +8,19 @@
 //!   arrays, input/output/internal channels, urgent locations, invariants,
 //!   guarded edges with resets and updates, and a random `control:`
 //!   objective — materialized through the ordinary [`tiga_model`] builders;
-//! * three **differential oracles** ([`check_engine_agreement`],
-//!   [`check_roundtrip`], [`check_zone_algebra`]) that cross-check the
-//!   solver engines against each other, the `.tg` printer against the
-//!   parser, and the DBM/Federation layer against an exact
-//!   rational-valuation reference model ([`refmodel`]);
+//! * four **differential oracles** ([`check_engine_agreement`],
+//!   [`check_roundtrip`], [`check_zone_algebra`], [`check_pred_t`]) that
+//!   cross-check the solver engines against each other — on reachability
+//!   *and* safety objectives — the `.tg` printer against the parser, and
+//!   the DBM/Federation layer (including the game-level safe
+//!   time-predecessor `Pred_t`) against an exact rational-valuation
+//!   reference model ([`refmodel`]);
 //! * a **greedy structural shrinker** ([`shrink_spec`]) that reduces a
-//!   failing system to a minimal `.tg` reproducer; and
-//! * the **campaign driver** ([`fuzz_campaign`]) behind `tiga fuzz`.
+//!   failing system to a minimal `.tg` reproducer, bisecting guard and
+//!   invariant constants toward zero and simplifying channel kinds; and
+//! * the **campaign driver** ([`fuzz_campaign`]) behind `tiga fuzz`, which
+//!   shards cases over a deterministic work queue (`--jobs`) with
+//!   bit-identical findings for any job count.
 //!
 //! Everything is deterministic per seed: a failure report names the case
 //! seed, and `generate_spec(case_seed, &config)` regenerates the exact
@@ -45,11 +50,13 @@ pub mod refmodel;
 mod shrink;
 mod spec;
 
-pub use campaign::{fuzz_campaign, reproducer_tg, FuzzFailure, FuzzOptions, FuzzReport};
+pub use campaign::{
+    derive_case_seeds, fuzz_campaign, reproducer_tg, FuzzFailure, FuzzOptions, FuzzReport,
+};
 pub use gen::{generate_spec, GenConfig};
 pub use oracle::{
-    check_engine_agreement, check_roundtrip, check_zone_algebra, random_federation, random_zone,
-    subtract_partition_violation, EngineCheck, EngineCheckOptions,
+    check_engine_agreement, check_pred_t, check_roundtrip, check_zone_algebra, random_federation,
+    random_zone, subtract_partition_violation, EngineCheck, EngineCheckOptions,
 };
 pub use shrink::shrink_spec;
 pub use spec::{

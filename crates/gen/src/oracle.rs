@@ -1,9 +1,10 @@
 //! The three differential oracles of the fuzzing harness.
 //!
 //! 1. **Engine agreement** — every solver engine must return the same
-//!    verdict on a generated game, and (for small graphs) semantically
-//!    identical winning federations: the worklist engine must match the
-//!    Jacobi oracle exactly, and the exhaustive on-the-fly engine must match
+//!    verdict on a generated game — reachability (`A<>`) *and* safety
+//!    (`A[]`) — and (for small graphs) semantically identical winning
+//!    federations: the worklist engine must match the Jacobi oracle
+//!    exactly, and the exhaustive on-the-fly engine must match
 //!    `jacobi ∩ reach` per discrete state (its documented confinement).
 //! 2. **Roundtrip** — `parse(print(sys)) ≡ sys` and the objective survives,
 //!    on *generated* systems rather than the hand-written zoo.
@@ -19,7 +20,7 @@ use tiga_dbm::{zone_subtract, Bound, Dbm, Federation};
 use tiga_lang::{parse_model, print_system};
 use tiga_model::System;
 use tiga_solver::{solve, GameSolution, SolveEngine, SolveOptions, SolverError};
-use tiga_tctl::{PathQuantifier, TestPurpose};
+use tiga_tctl::TestPurpose;
 
 /// Outcome of the engine-agreement oracle on one generated game.
 #[derive(Clone, Debug)]
@@ -72,9 +73,6 @@ pub fn check_engine_agreement(
     purpose: &TestPurpose,
     options: &EngineCheckOptions,
 ) -> EngineCheck {
-    if purpose.quantifier != PathQuantifier::Reachability {
-        return EngineCheck::Skipped("safety objective (solver is reachability-only)".into());
-    }
     let jacobi = match solve(
         system,
         purpose,
@@ -434,10 +432,90 @@ pub fn check_zone_algebra(
     None
 }
 
+/// One round of the `Pred_t` oracle (the fourth fuzz oracle): random good
+/// and bad federations through [`tiga_dbm::Federation::pred_t`], checked
+/// against the exact rational interval-sweep reference
+/// [`refmodel::pred_t_contains`] at `samples` random valuations.
+///
+/// Returns a description of the first violation.
+#[must_use]
+pub fn check_pred_t(
+    rng: &mut StdRng,
+    dim: usize,
+    max_const: i32,
+    samples: usize,
+) -> Option<String> {
+    let scale = 2;
+    let good = random_federation(rng, dim, 3, max_const);
+    let bad = if rng.gen_bool(0.2) {
+        Federation::empty(dim)
+    } else {
+        random_federation(rng, dim, 3, max_const)
+    };
+    let result = good.pred_t(&bad);
+    let good_zones: Vec<&Dbm> = good.iter().collect();
+    let bad_zones: Vec<&Dbm> = bad.iter().collect();
+    for _ in 0..samples {
+        let vals = random_valuation(rng, dim, max_const, scale);
+        let expected = refmodel::pred_t_contains(&good_zones, &bad_zones, &vals, scale);
+        if result.contains_at(&vals, scale) != expected {
+            let point = vals
+                .iter()
+                .skip(1)
+                .map(|v| format!("{}", *v as f64 / scale as f64))
+                .collect::<Vec<_>>()
+                .join(", ");
+            return Some(format!(
+                "pred_t disagrees with the reference at ({point}): \
+                 pred_t said {}, reference said {expected}\ngood = {good:?}\nbad = {bad:?}",
+                !expected
+            ));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn pred_t_oracle_is_clean_on_seeded_rounds() {
+        let mut rng = StdRng::seed_from_u64(0x9ED7);
+        for round in 0..100 {
+            for dim in 2..=4 {
+                if let Some(detail) = check_pred_t(&mut rng, dim, 6, 24) {
+                    panic!("round {round}, dim {dim}: {detail}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_agreement_covers_safety_objectives() {
+        // With the reachability-only skip gone, generated `A[]` games are
+        // checked cases; force a safety-heavy distribution to exercise the
+        // dual fixpoint across all engines.
+        let config = crate::GenConfig {
+            safety_prob: 1.0,
+            ..crate::GenConfig::default()
+        };
+        let options = EngineCheckOptions::default();
+        let mut agreed = 0;
+        for seed in 0..30 {
+            let (system, purpose) = crate::generate_spec(seed, &config).build().unwrap();
+            assert_eq!(purpose.quantifier, tiga_tctl::PathQuantifier::Safety);
+            match check_engine_agreement(&system, &purpose, &options) {
+                EngineCheck::Agreed { .. } => agreed += 1,
+                EngineCheck::Skipped(reason) => {
+                    panic!("seed {seed}: safety case skipped ({reason})")
+                }
+                EngineCheck::Diverged(detail) => panic!("seed {seed}: {detail}"),
+            }
+        }
+        assert_eq!(agreed, 30);
+    }
 
     #[test]
     fn zone_algebra_oracle_is_clean_on_seeded_rounds() {

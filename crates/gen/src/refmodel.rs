@@ -10,6 +10,12 @@
 //! non-empty.  No grid refinement is needed — the decision is exact for
 //! every rational valuation on the grid.
 //!
+//! The same interval machinery decides the game-level safe time-predecessor
+//! `Pred_t(G, B)` ([`pred_t_contains`]): the delay witness must land in a
+//! good window while staying below the avoid threshold contributed by every
+//! bad zone's window — the operator both fuzz-found solver bugs sat next
+//! to, now covered by its own oracle.
+//!
 //! The reference deliberately reads only the raw DBM entries
 //! ([`Dbm::at`], [`Bound::constant`], [`Bound::is_strict`]); it shares no
 //! logic with the transformer implementations it is checking.
@@ -106,6 +112,87 @@ pub fn zone_contains(zone: &Dbm, vals: &[i64], scale: i64) -> bool {
         }
     }
     true
+}
+
+/// The interval of delays `δ ≥ 0` with `vals + δ·1 ∈ zone`, or `None` when
+/// no delay enters the zone (including when a delay-invariant difference
+/// constraint already fails).
+///
+/// The window is exact over the rationals: endpoints are scaled integers
+/// with strictness flags, so `Pred_t` decisions need no grid refinement.
+fn delay_window(zone: &Dbm, vals: &[i64], scale: i64) -> Option<Window> {
+    assert_eq!(vals.len(), zone.dim(), "one value per clock required");
+    if zone.is_empty() {
+        return None;
+    }
+    let n = zone.dim();
+    // Differences between real clocks are delay-invariant.
+    for i in 1..n {
+        for j in 1..n {
+            if i != j && !admits(zone.at(i, j), vals[i] - vals[j], scale) {
+                return None;
+            }
+        }
+    }
+    let mut w = Window::nonneg();
+    for (i, &v) in vals.iter().enumerate().skip(1) {
+        // (v_i + δ) - 0 ≺ m  ⟺  δ ≺ m·scale - v_i
+        if let Some(m) = zone.at(i, 0).constant() {
+            w.add_upper(i64::from(m) * scale - v, zone.at(i, 0).is_strict());
+        }
+        // 0 - (v_i + δ) ≺ m  ⟺  δ ≻ -m·scale - v_i
+        if let Some(m) = zone.at(0, i).constant() {
+            w.add_lower(-i64::from(m) * scale - v, zone.at(0, i).is_strict());
+        }
+    }
+    w.is_nonempty().then_some(w)
+}
+
+/// Reference for the safe time-predecessor `Pred_t(good, bad)`: does some
+/// delay `δ ≥ 0` exist with `vals + δ·1 ∈ good` while the whole trajectory
+/// `[0, δ]` avoids `bad`?
+///
+/// Decided by an exact rational interval sweep over the delay witness:
+/// each good zone contributes one candidate delay interval
+/// ([`delay_window`]), each bad zone an *avoid threshold* — the infimum of
+/// its delay window caps every admissible `δ` (strictly when the bad window
+/// is closed at its infimum, non-strictly when it is open there, since the
+/// trajectory endpoint itself must avoid `bad`).  The operator holds iff
+/// some good interval meets the `[0, threshold]` prefix.
+#[must_use]
+pub fn pred_t_contains(good: &[&Dbm], bad: &[&Dbm], vals: &[i64], scale: i64) -> bool {
+    // The tightest avoid threshold over all bad zones: admissible delays
+    // form the prefix `[0, cap)` (`cap_closed` = the cap itself is still
+    // admissible, which happens when the bad window opens strictly).
+    let mut cap: Option<(i64, bool)> = None;
+    for b in bad {
+        if let Some(w) = delay_window(b, vals, scale) {
+            let candidate = (w.lo, w.lo_strict);
+            cap = Some(match cap {
+                None => candidate,
+                Some(current) => {
+                    // Smaller threshold wins; at equal thresholds the open
+                    // (non-admissible) one is the stricter constraint.
+                    if candidate.0 < current.0 || (candidate.0 == current.0 && !candidate.1) {
+                        candidate
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+    }
+    for g in good {
+        if let Some(mut w) = delay_window(g, vals, scale) {
+            if let Some((threshold, closed)) = cap {
+                w.add_upper(threshold, !closed);
+            }
+            if w.is_nonempty() {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Reference for `up`: is `vals` in the delay-future of the zone, i.e. does
@@ -270,6 +357,61 @@ mod tests {
         z.constrain(1, 0, Bound::lt(3));
         assert!(down_contains(&z, &[0, 0], 1));
         assert!(up_contains(&z, &[0, 4], 1)); // x = 4 from x ∈ (2,3)
+    }
+
+    #[test]
+    fn pred_t_with_no_bad_is_down() {
+        let g = interval(4, 5);
+        for v in 0..12 {
+            assert_eq!(
+                pred_t_contains(&[&g], &[], &[0, v], 2),
+                down_contains(&g, &[0, v], 2),
+                "x = {}",
+                v as f64 / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn pred_t_is_blocked_by_earlier_bad() {
+        let g = interval(4, 5);
+        let b = interval(2, 3);
+        // From x = 0 the trajectory crosses the bad interval first.
+        assert!(!pred_t_contains(&[&g], &[&b], &[0, 0], 2));
+        // From x = 2.5 the valuation is inside bad: nothing is admissible.
+        assert!(!pred_t_contains(&[&g], &[&b], &[0, 5], 2));
+        // From x = 3.5 the bad interval is behind; good is ahead.
+        assert!(pred_t_contains(&[&g], &[&b], &[0, 7], 2));
+        // Inside good with bad behind.
+        assert!(pred_t_contains(&[&g], &[&b], &[0, 9], 2));
+    }
+
+    #[test]
+    fn pred_t_endpoint_strictness() {
+        // Good starts exactly where bad starts.  With a *strictly* open bad
+        // interval (2 < x <= 3) the trajectory may stop at x = 2 (still
+        // outside bad) and be inside good; with a closed bad ([2, 3]) it
+        // may not.
+        let g = interval(2, 5);
+        let mut open_bad = Dbm::universe(2);
+        open_bad.constrain(0, 1, Bound::lt(-2));
+        open_bad.constrain(1, 0, Bound::le(3));
+        let closed_bad = interval(2, 3);
+        assert!(pred_t_contains(&[&g], &[&open_bad], &[0, 0], 2));
+        assert!(!pred_t_contains(&[&g], &[&closed_bad], &[0, 0], 2));
+    }
+
+    #[test]
+    fn pred_t_takes_the_tightest_bad_threshold() {
+        let g = interval(6, 7);
+        let near = interval(1, 2);
+        let far = interval(4, 5);
+        assert!(!pred_t_contains(&[&g], &[&near, &far], &[0, 0], 2));
+        assert!(!pred_t_contains(&[&g], &[&far, &near], &[0, 0], 2));
+        // Past the near one, the far one still blocks.
+        assert!(!pred_t_contains(&[&g], &[&near, &far], &[0, 5], 2));
+        // Past both, good is reachable.
+        assert!(pred_t_contains(&[&g], &[&near, &far], &[0, 11], 2));
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! Given a spec on which an oracle fails and a predicate that re-runs the
 //! oracle, [`shrink_spec`] greedily applies the first structural edit that
 //! keeps the failure alive, restarting from the largest-granularity edits
-//! (drop an automaton) down to clause-level cleanups (drop one guard), until
-//! no edit preserves the failure or the re-check budget is exhausted.
+//! (drop an automaton) down to clause-level cleanups (drop one guard,
+//! bisect a guard/invariant constant toward zero, simplify an internal
+//! channel to a plain input), until no edit preserves the failure or the
+//! re-check budget is exhausted.
 //!
-//! Edits that produce a spec that no longer *builds* (e.g. dropping the
-//! automaton the objective points at) are discarded without consuming
-//! budget: [`crate::SysSpec::build`] is the validity filter.
+//! Every candidate edit strictly decreases [`crate::SysSpec::size_metric`]
+//! (pinned by a test), so greedy descent terminates and reproducers only
+//! ever get smaller.  Edits that produce a spec that no longer *builds*
+//! (e.g. dropping the automaton the objective points at) are discarded
+//! without consuming budget: [`crate::SysSpec::build`] is the validity
+//! filter.
 
-use crate::spec::SysSpec;
+use crate::spec::{ChanKind, SysSpec};
 
 /// Greedily shrinks `spec` while `still_fails` holds.
 ///
@@ -130,6 +135,37 @@ fn candidates(spec: &SysSpec) -> Vec<SysSpec> {
             }
         }
     }
+    // Constant bisection: pull guard and invariant bounds toward 0 by
+    // halving (a few greedy restarts reach the minimal failing constant).
+    for (a, aut) in spec.automata.iter().enumerate() {
+        for (l, loc) in aut.locations.iter().enumerate() {
+            for (c, constraint) in loc.invariant.iter().enumerate() {
+                if constraint.bound != 0 {
+                    let mut s = spec.clone();
+                    s.automata[a].locations[l].invariant[c].bound = constraint.bound / 2;
+                    out.push(s);
+                }
+            }
+        }
+        for (e, edge) in aut.edges.iter().enumerate() {
+            for (g, constraint) in edge.guard.iter().enumerate() {
+                if constraint.bound != 0 {
+                    let mut s = spec.clone();
+                    s.automata[a].edges[e].guard[g].bound = constraint.bound / 2;
+                    out.push(s);
+                }
+            }
+        }
+    }
+    // Channel-kind simplification: an internal channel (whose edges carry
+    // controllability overrides) becomes a plain controllable input.
+    for (ch, kind) in spec.channels.iter().enumerate() {
+        if *kind == ChanKind::Internal {
+            let mut s = spec.clone();
+            s.channels[ch] = ChanKind::Input;
+            out.push(s);
+        }
+    }
     // Objective simplifications.
     if spec.objective.or_target.is_some() {
         let mut s = spec.clone();
@@ -190,5 +226,117 @@ mod tests {
         let spec = generate_spec(6, &GenConfig::default());
         let shrunk = shrink_spec(&spec, &mut |_| true, 0);
         assert_eq!(shrunk, spec);
+    }
+
+    #[test]
+    fn every_candidate_edit_strictly_reduces_the_size_metric() {
+        // Greedy descent terminates and reproducers only ever get smaller
+        // because every one-step edit is strictly smaller by the metric —
+        // including the constant-bisection and channel-kind edits.
+        for seed in 0..40 {
+            let spec = generate_spec(seed, &GenConfig::default());
+            let size = spec.size_metric();
+            for (idx, candidate) in candidates(&spec).into_iter().enumerate() {
+                assert!(
+                    candidate.size_metric() < size,
+                    "seed {seed}: candidate #{idx} does not shrink ({} -> {})",
+                    size,
+                    candidate.size_metric()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guard_constants_are_bisected_toward_zero() {
+        // Synthetic failure: "some clock constraint has a bound >= 4".
+        // Starting from a single guard with bound 16, halving gives
+        // 16 -> 8 -> 4, where the next bisection (-> 2) no longer fails —
+        // the reproducer pins the minimal failing constant exactly.
+        let config = GenConfig {
+            guard_prob: 1.0,
+            max_clocks: 1,
+            ..GenConfig::default()
+        };
+        let mut spec = generate_spec(3, &config);
+        // Normalize: exactly one guard with a large bound.
+        for aut in &mut spec.automata {
+            for edge in &mut aut.edges {
+                edge.guard.clear();
+            }
+            for loc in &mut aut.locations {
+                loc.invariant.clear();
+            }
+        }
+        spec.automata[0].edges[0].guard.push(crate::ConstraintSpec {
+            left: 0,
+            minus: None,
+            op: tiga_model::CmpOp::Le,
+            bound: 16,
+        });
+        assert!(spec.build().is_ok());
+        let max_bound = |s: &SysSpec| {
+            s.automata
+                .iter()
+                .flat_map(|a| a.edges.iter().flat_map(|e| e.guard.iter()))
+                .chain(
+                    s.automata
+                        .iter()
+                        .flat_map(|a| a.locations.iter().flat_map(|l| l.invariant.iter())),
+                )
+                .map(|c| c.bound)
+                .max()
+                .unwrap_or(0)
+        };
+        let shrunk = shrink_spec(&spec, &mut |s| max_bound(s) >= 4, 2_000);
+        assert!(shrunk.build().is_ok());
+        assert_eq!(
+            max_bound(&shrunk),
+            4,
+            "bisection should stop at the minimal failing constant"
+        );
+        assert!(shrunk.size_metric() <= spec.size_metric());
+    }
+
+    #[test]
+    fn internal_channels_simplify_to_inputs() {
+        // Synthetic failure: "some edge synchronizes on a channel".  An
+        // internal channel can always be demoted to a plain input while the
+        // sync edge survives, so the reproducer ends with no internal kinds.
+        let config = GenConfig {
+            sync_prob: 1.0,
+            ..GenConfig::default()
+        };
+        let mut found = false;
+        for seed in 0..20 {
+            let spec = generate_spec(seed, &config);
+            if !spec.channels.contains(&crate::ChanKind::Internal) {
+                continue;
+            }
+            if spec.build().is_err() {
+                continue;
+            }
+            found = true;
+            let shrunk = shrink_spec(
+                &spec,
+                &mut |s| {
+                    s.automata
+                        .iter()
+                        .any(|a| a.edges.iter().any(|e| e.sync.is_some()))
+                },
+                2_000,
+            );
+            assert!(shrunk.build().is_ok(), "seed {seed}");
+            assert!(
+                shrunk
+                    .channels
+                    .iter()
+                    .all(|k| *k != crate::ChanKind::Internal),
+                "seed {seed}: internal channel survived: {:?}",
+                shrunk.channels
+            );
+            assert!(shrunk.size_metric() <= spec.size_metric(), "seed {seed}");
+        }
+        assert!(found, "no seed produced an internal channel");
     }
 }

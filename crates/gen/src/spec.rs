@@ -222,10 +222,15 @@ impl SysSpec {
     }
 
     /// The `control:` line of the objective, in `tiga-tctl` syntax.
+    ///
+    /// Safety objectives take the standard avoid-the-bad-states shape
+    /// `A[] not (φ)`: the target predicate names what must never hold, so
+    /// the game is non-trivial whenever the initial state is not already a
+    /// target (an `A[] φ` of the stay-inside shape is almost always decided
+    /// at the initial state and would fuzz nothing).
     #[must_use]
     pub fn control_line(&self) -> String {
         let o = &self.objective;
-        let quant = if o.reachability { "A<>" } else { "A[]" };
         let mut pred = format!("A{}.L{}", o.target.0, o.target.1);
         if let Some((a, l)) = o.or_target {
             pred = format!("({pred} || A{a}.L{l})");
@@ -233,7 +238,11 @@ impl SysSpec {
         if let Some((v, op, c)) = o.var_clause {
             pred = format!("({pred} && v{v} {op} {c})");
         }
-        format!("control: {quant} {pred}")
+        if o.reachability {
+            format!("control: A<> {pred}")
+        } else {
+            format!("control: A[] not ({pred})")
+        }
     }
 
     /// Materializes the spec into a solvable system and its parsed objective.
@@ -488,6 +497,65 @@ impl SysSpec {
             Some((var, _, _)) if *var > v => *var -= 1,
             _ => {}
         }
+    }
+
+    /// A structural size measure used to validate that every shrink edit
+    /// makes the spec strictly smaller: entity counts plus the magnitudes
+    /// of clock constants (so constant *bisection* counts as progress) plus
+    /// a channel-kind weight (internal channels carry controllability
+    /// overrides, so `internal → input` simplification counts too).
+    #[must_use]
+    pub fn size_metric(&self) -> u64 {
+        fn constraint_size(c: &ConstraintSpec) -> u64 {
+            3 + u64::from(c.minus.is_some()) + c.bound.unsigned_abs()
+        }
+        fn expr_size(e: &ExprSpec) -> u64 {
+            match e {
+                ExprSpec::Const(n) => 1 + n.unsigned_abs().min(8),
+                ExprSpec::Var(_) | ExprSpec::Elem(_, _) => 1,
+                ExprSpec::Add(a, b)
+                | ExprSpec::Sub(a, b)
+                | ExprSpec::Cmp(_, a, b)
+                | ExprSpec::And(a, b)
+                | ExprSpec::Or(a, b) => 1 + expr_size(a) + expr_size(b),
+            }
+        }
+        let mut size = 4 * self.clocks as u64 + 4 * self.vars.len() as u64;
+        for kind in &self.channels {
+            size += match kind {
+                ChanKind::Input | ChanKind::Output => 2,
+                ChanKind::Internal => 3,
+            };
+        }
+        for var in &self.vars {
+            size += u64::from(var.size.is_some());
+        }
+        for aut in &self.automata {
+            size += 10;
+            for loc in &aut.locations {
+                size += 5 + u64::from(loc.urgent);
+                size += loc.invariant.iter().map(constraint_size).sum::<u64>();
+            }
+            for edge in &aut.edges {
+                size += 5 + u64::from(edge.sync.is_some());
+                size += edge.guard.iter().map(constraint_size).sum::<u64>();
+                size += edge.when.as_ref().map_or(0, expr_size);
+                size += edge
+                    .resets
+                    .iter()
+                    .map(|&(_, value)| 2 + value.unsigned_abs())
+                    .sum::<u64>();
+                size += edge
+                    .updates
+                    .iter()
+                    .map(|u| 3 + expr_size(&u.value))
+                    .sum::<u64>();
+                size += u64::from(edge.controllable.is_some());
+            }
+        }
+        size += 2 * u64::from(self.objective.or_target.is_some());
+        size += 2 * u64::from(self.objective.var_clause.is_some());
+        size
     }
 
     /// Removes channel `ch` and every edge synchronizing on it.

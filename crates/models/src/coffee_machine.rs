@@ -30,6 +30,10 @@ pub const BREW_MAX: i64 = 5;
 pub const PURPOSE_COFFEE: &str = "control: A<> Machine.Served";
 /// Test purpose: the refund path can always be exercised.
 pub const PURPOSE_REFUND: &str = "control: A<> Machine.Refunded";
+/// Safety purpose: the tester can keep the machine from ever refunding —
+/// winning by pressing the button before the selection timeout whenever a
+/// coin is in (a safety game: the dual greatest fixpoint).
+pub const PURPOSE_NO_REFUND: &str = "control: A[] not Machine.Refunded";
 
 /// Channels of the machine, for callers that add custom environments.
 #[derive(Clone, Copy, Debug)]
@@ -150,7 +154,7 @@ pub fn product() -> Result<System, ModelError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiga_solver::{solve_reachability, SolveOptions};
+    use tiga_solver::{solve_jacobi, SolveOptions};
     use tiga_tctl::TestPurpose;
 
     #[test]
@@ -168,8 +172,20 @@ mod tests {
         let product = product().unwrap();
         for purpose in [PURPOSE_COFFEE, PURPOSE_REFUND] {
             let tp = TestPurpose::parse(purpose, &product).unwrap();
-            let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+            let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
             assert!(solution.winning_from_initial, "{purpose} must be winnable");
         }
+    }
+
+    #[test]
+    fn refunds_are_avoidable() {
+        // The safety game `A[] not Machine.Refunded` is winning: once a
+        // coin is in, pressing the button before the selection timeout
+        // forecloses the refund edge forever.
+        let product = product().unwrap();
+        let tp = TestPurpose::parse(PURPOSE_NO_REFUND, &product).unwrap();
+        let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+        assert!(solution.strategy.is_some(), "a safe controller exists");
     }
 }

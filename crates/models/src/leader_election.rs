@@ -384,7 +384,7 @@ pub fn plant(config: LepConfig) -> Result<System, ModelError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiga_solver::{solve_reachability, SolveOptions};
+    use tiga_solver::{solve_jacobi, SolveOptions};
     use tiga_tctl::TestPurpose;
 
     #[test]
@@ -421,7 +421,7 @@ mod tests {
         let config = LepConfig::new(3);
         let sys = product(config).unwrap();
         let tp = TestPurpose::parse(&config.tp1(), &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial, "TP1 must be winnable");
     }
 
@@ -430,7 +430,7 @@ mod tests {
         let config = LepConfig::new(3);
         let sys = product(config).unwrap();
         let tp = TestPurpose::parse(&config.tp2(), &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial, "TP2 must be winnable");
     }
 
@@ -439,7 +439,7 @@ mod tests {
         let config = LepConfig::new(3);
         let sys = product(config).unwrap();
         let tp = TestPurpose::parse(&config.tp3(), &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial, "TP3 must be winnable");
     }
 
@@ -450,7 +450,7 @@ mod tests {
         assert!(sys.vars().lookup("slotVal").is_some());
         for (name, text) in config.purposes() {
             let tp = TestPurpose::parse(&text, &sys).unwrap();
-            let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+            let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
             assert!(
                 solution.winning_from_initial,
                 "{name} must be winnable (detailed)"
@@ -466,7 +466,7 @@ mod tests {
         for cfg in [abstract_cfg, detailed_cfg] {
             let sys = product(cfg).unwrap();
             let tp = TestPurpose::parse(&cfg.tp2(), &sys).unwrap();
-            let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+            let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
             states.push(solution.stats().discrete_states);
         }
         assert!(
@@ -483,7 +483,7 @@ mod tests {
             let config = LepConfig::new(n);
             let sys = product(config).unwrap();
             let tp = TestPurpose::parse(&config.tp2(), &sys).unwrap();
-            let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+            let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
             sizes.push(solution.stats().discrete_states);
         }
         assert!(sizes[0] < sizes[1], "sizes: {sizes:?}");

@@ -19,13 +19,13 @@
 //!
 //! ```
 //! use tiga_models::smart_light;
-//! use tiga_solver::{solve_reachability, SolveOptions};
+//! use tiga_solver::{solve_jacobi, SolveOptions};
 //! use tiga_tctl::TestPurpose;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let product = smart_light::product()?;
 //! let purpose = TestPurpose::parse(smart_light::PURPOSE_BRIGHT, &product)?;
-//! let solution = solve_reachability(&product, &purpose, &SolveOptions::default())?;
+//! let solution = solve_jacobi(&product, &purpose, &SolveOptions::default())?;
 //! assert!(solution.winning_from_initial);
 //! # Ok(())
 //! # }

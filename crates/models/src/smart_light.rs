@@ -33,6 +33,11 @@ pub const PURPOSE_BRIGHT: &str = "control: A<> IUT.Bright";
 pub const PURPOSE_DIM: &str = "control: A<> IUT.Dim";
 /// Reaching `Bright` while the user model is back in its initial location.
 pub const PURPOSE_BRIGHT_AND_USER_READY: &str = "control: A<> IUT.Bright and User.Init";
+/// Safety purpose: the tester can keep the light from ever going `Bright` —
+/// a safety game (dual greatest fixpoint): the user must avoid the
+/// reactivation touch after a long idle period (`L5` may answer `bright!`)
+/// and must never double-touch into `L6` (where `bright!` is forced).
+pub const PURPOSE_NEVER_BRIGHT: &str = "control: A[] not IUT.Bright";
 
 /// Channel identifiers of the light, returned by [`build_light_into`] so that
 /// additional automata (the user model, custom environments) can synchronize
@@ -225,7 +230,7 @@ pub fn product() -> Result<System, ModelError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiga_solver::{solve_reachability, SolveOptions};
+    use tiga_solver::{solve_jacobi, SolveOptions};
     use tiga_tctl::TestPurpose;
 
     #[test]
@@ -247,7 +252,7 @@ mod tests {
     fn bright_purpose_is_enforceable() {
         let product = product().unwrap();
         let tp = TestPurpose::parse(PURPOSE_BRIGHT, &product).unwrap();
-        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
         assert!(
             solution.winning_from_initial,
             "A<> IUT.Bright must be winnable"
@@ -259,7 +264,7 @@ mod tests {
     fn dim_purpose_is_enforceable() {
         let product = product().unwrap();
         let tp = TestPurpose::parse(PURPOSE_DIM, &product).unwrap();
-        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
         assert!(
             solution.winning_from_initial,
             "A<> IUT.Dim must be winnable"
@@ -270,7 +275,18 @@ mod tests {
     fn combined_purpose_is_enforceable() {
         let product = product().unwrap();
         let tp = TestPurpose::parse(PURPOSE_BRIGHT_AND_USER_READY, &product).unwrap();
-        let solution = solve_reachability(&product, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial);
+    }
+
+    #[test]
+    fn bright_is_avoidable() {
+        // The safety game `A[] not IUT.Bright` is winning: the user can
+        // withhold the reactivation and escalation touches forever.
+        let product = product().unwrap();
+        let tp = TestPurpose::parse(PURPOSE_NEVER_BRIGHT, &product).unwrap();
+        let solution = solve_jacobi(&product, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+        assert!(solution.strategy.is_some(), "a safe controller exists");
     }
 }

@@ -2,10 +2,15 @@
 //!
 //! This crate is the reproduction's stand-in for UPPAAL-TIGA: given a
 //! [`tiga_model::System`] (a network of timed I/O game automata) and a
-//! [`tiga_tctl::TestPurpose`] (`control: A<> φ`), it computes the winning
-//! states of the corresponding timed reachability game with zone federations
-//! and synthesizes a state-based winning [`Strategy`] — the object the paper
-//! uses as a *test case*.
+//! [`tiga_tctl::TestPurpose`] — reachability (`control: A<> φ`) or safety
+//! (`control: A[] φ`) — it computes the winning states of the
+//! corresponding timed game with zone federations and synthesizes a
+//! state-based winning [`Strategy`] — the object the paper uses as a
+//! *test case*.  Safety games are solved through the dual fixpoint: the
+//! complement of the tester's safe set is the environment's reachability
+//! attractor into `¬φ`, computed by the very same machinery with the
+//! players' roles swapped (see [`crate::solve`] and the `winning` module
+//! docs); the extracted controller is safe and possibly non-terminating.
 //!
 //! Three engines are provided behind the [`solve`] entry point, selected by
 //! [`SolveOptions::engine`]:
@@ -18,9 +23,9 @@
 //! * [`SolveEngine::Jacobi`] — eager exploration of the full game graph
 //!   ([`GameGraph`]) followed by a round-based fixpoint with rank-annotated
 //!   strategy extraction (the differential-testing oracle, also reachable
-//!   directly via [`solve_reachability`]);
+//!   directly via [`solve_jacobi`]);
 //! * [`SolveEngine::Worklist`] — eager exploration followed by chaotic
-//!   iteration ([`solve_reachability_worklist`]); no strategy.
+//!   iteration ([`solve_worklist`]); no strategy.
 //!
 //! All engines share the controllable-predecessor update (safe
 //! time-predecessors, uncontrollable escapes and invariant-forced moves)
@@ -30,7 +35,7 @@
 //!
 //! ```
 //! use tiga_model::{AutomatonBuilder, ClockConstraint, CmpOp, EdgeBuilder, SystemBuilder};
-//! use tiga_solver::{solve_reachability, SolveOptions};
+//! use tiga_solver::{solve_jacobi, SolveOptions};
 //! use tiga_tctl::TestPurpose;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,7 +64,7 @@
 //! let system = b.build()?;
 //!
 //! let purpose = TestPurpose::parse("control: A<> Plant.Done", &system)?;
-//! let solution = solve_reachability(&system, &purpose, &SolveOptions::default())?;
+//! let solution = solve_jacobi(&system, &purpose, &SolveOptions::default())?;
 //! assert!(solution.winning_from_initial);
 //! let strategy = solution.strategy.expect("a winning strategy is synthesized");
 //! println!("{}", strategy.display(&system)); // Fig. 5 style listing
@@ -81,6 +86,4 @@ pub use error::SolverError;
 pub use graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
 pub use stats::{SolverStats, TimedStats};
 pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
-pub use winning::{
-    solve, solve_reachability, solve_reachability_worklist, GameSolution, SolveEngine, SolveOptions,
-};
+pub use winning::{solve, solve_jacobi, solve_worklist, GameSolution, SolveEngine, SolveOptions};

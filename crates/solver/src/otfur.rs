@@ -1,6 +1,6 @@
 //! On-the-fly solving of timed reachability games (OTFUR-style).
 //!
-//! The eager pipeline ([`crate::solve_reachability`]) materializes the whole
+//! The eager pipeline ([`crate::solve_jacobi`]) materializes the whole
 //! reachable game graph before any back-propagation runs.  This module
 //! instead interleaves the two directions in a single waiting/passed-list
 //! search, after the on-the-fly algorithm of Cassez, David, Fleury, Larsen
@@ -16,9 +16,17 @@
 //! * **pruning**: a non-goal state whose own winning set and all successor
 //!   winning sets are empty provably gains nothing from an update, so the
 //!   evaluation is skipped (`pruned_evaluations` counts the skips);
-//! * **early termination**: as soon as the initial state is decided winning
-//!   the search stops — the remaining waiting list is never processed, which
+//! * **early termination**: as soon as the initial state is decided the
+//!   search stops — the remaining waiting list is never processed, which
 //!   is where the on-the-fly engine beats full-graph exploration.
+//!
+//! Safety games (`control: A[] φ`) run the **dual on-the-fly rule**: the
+//! same search propagates *losing* federations forward from the `¬φ` states
+//! (whose reach zones seed the attractor as they are discovered) with the
+//! players' roles swapped in the `π` update, prunes subtrees whose losing
+//! sets are empty, and early-terminates once the initial state is decided
+//! *losing*.  The caller complements the confined losing sets within the
+//! reach federations to obtain the safe (winning) sets.
 //!
 //! A winning [`Strategy`] is extracted *during* the search: every growth of a
 //! winning federation records its wait/action regions at the current
@@ -49,7 +57,7 @@
 use crate::error::SolverError;
 use crate::graph::{GameGraph, GameNode, GraphEdge, NodeId};
 use crate::strategy::{Decision, Strategy, StrategyRule};
-use crate::winning::{invariant_boundary, pi_update, EngineOutcome, SolveOptions};
+use crate::winning::{invariant_boundary, pi_update, EngineOutcome, GameMode, SolveOptions};
 use std::collections::VecDeque;
 use tiga_dbm::{Dbm, Federation};
 use tiga_model::{Explorer, System};
@@ -76,6 +84,10 @@ struct Search<'a> {
     system: &'a System,
     goal: &'a StatePredicate,
     options: &'a SolveOptions,
+    /// Reachability (propagate winning federations backward from the goal)
+    /// or safety (the dual rule: propagate *losing* federations backward
+    /// from the `¬φ` states, with the players' roles swapped in `π`).
+    mode: GameMode,
     explorer: Explorer<'a>,
     nodes: Vec<NodeData>,
     win: Vec<Federation>,
@@ -92,15 +104,22 @@ struct Search<'a> {
 
 /// Runs the on-the-fly search and returns the partial game graph together
 /// with the engine outcome.
+///
+/// `goal` is the attractor seed: the purpose predicate for reachability,
+/// its negation (the bad states) for safety.  In safety mode the returned
+/// federations are the *losing* attractor; the caller complements them
+/// within the reach sets.
 pub(crate) fn run(
     system: &System,
     goal: &StatePredicate,
     options: &SolveOptions,
+    mode: GameMode,
 ) -> Result<(GameGraph, EngineOutcome), SolverError> {
     let mut search = Search {
         system,
         goal,
         options,
+        mode,
         explorer: Explorer::new(system),
         nodes: Vec::new(),
         win: Vec::new(),
@@ -167,9 +186,10 @@ impl Search<'_> {
         data.frontier.push(zone.clone());
         if self.nodes[node].is_goal {
             // Reach zones are delay-closed within the invariant, so the zone
-            // is already a valid goal-winning region.
+            // is already a valid attractor seed (goal-winning region for
+            // reachability, losing region of a bad state for safety).
             self.win[node].add_zone(zone.clone());
-            if self.options.extract_strategy {
+            if self.options.extract_strategy && self.mode == GameMode::Reachability {
                 self.strategy.add_rule(
                     self.explorer.state(node).discrete.clone(),
                     StrategyRule {
@@ -212,6 +232,10 @@ impl Search<'_> {
             }
             self.expand(node)?;
             if self.evaluate(node)? {
+                // Initial state decided: winning for reachability, *losing*
+                // for safety (the attractor is the losing set there) — in
+                // both cases the verdict is known and the remaining waiting
+                // list is moot.
                 if node == root
                     && self.options.early_termination
                     && self.win[root].contains_scaled(&origin)
@@ -315,6 +339,7 @@ impl Search<'_> {
             &data.edges,
             &data.boundary,
             &self.win,
+            self.mode.swap_roles(),
             |id| self.explorer.state(id).invariant.clone(),
         )?;
         // Reach confinement (see the module docs): outside the expanded
@@ -327,7 +352,7 @@ impl Search<'_> {
             return Ok(false);
         }
         self.revision = self.revision.saturating_add(1);
-        if self.options.extract_strategy {
+        if self.options.extract_strategy && self.mode == GameMode::Reachability {
             let delta = new_win.difference(&self.win[node]);
             let discrete = state.discrete.clone();
             for zone in &delta {
@@ -365,6 +390,7 @@ impl Search<'_> {
             nodes,
             win,
             strategy,
+            mode,
             pops,
             subsumed_zones,
             pruned_evaluations,
@@ -391,7 +417,10 @@ impl Search<'_> {
             graph,
             EngineOutcome {
                 winning: win,
-                strategy: Some(strategy),
+                // Safety strategies are extracted from the converged sets by
+                // the caller; the in-search strategy only exists for
+                // reachability.
+                strategy: (mode == GameMode::Reachability).then_some(strategy),
                 iterations: pops,
                 subsumed_zones,
                 pruned_evaluations,

@@ -1,7 +1,8 @@
-//! Backward fixpoint computation of the winning states of a timed
-//! reachability game, and strategy extraction.
+//! Backward fixpoint computation of the winning states of a timed game
+//! (reachability *and* safety), and strategy extraction.
 //!
-//! The winning set is the least fixpoint of
+//! For a reachability purpose (`control: A<> φ`) the winning set is the
+//! least fixpoint of
 //!
 //! ```text
 //! W = Goal ∪ π(W)
@@ -22,7 +23,22 @@
 //! * `Pred_t` is the safe time-predecessor operator
 //!   ([`tiga_dbm::Federation::pred_t`]).
 //!
-//! Three engines compute this fixpoint (see [`SolveEngine`]): the default
+//! A safety purpose (`control: A[] φ`) is solved through its dual: the safe
+//! set is the greatest fixpoint `νX. Safe ∩ CPred_t(X)`, whose complement is
+//! the **least** fixpoint of the *environment's* reachability game into the
+//! bad states `¬φ`.  The engines therefore compute the losing attractor `L`
+//! with the very same `π` transformer, with the two players' roles swapped
+//! (uncontrollable edges play the `cPred` part, controllable edges supply
+//! the avoid-set, the urgent-state `δ = 0` degeneration is preserved) and
+//! `¬φ` states seeded as absorbing targets; the winning (safe) federations
+//! are then `Inv \ L` per state (`reach \ L` for the on-the-fly engine,
+//! which confines every federation to its explored reach).  Strategy
+//! extraction for safety yields a *safe, possibly non-terminating*
+//! controller: wait where no delay can drift into `L`, take a controllable
+//! escape into the safe set where delay — or an enabled plant move — could
+//! reach `L` (see [`extract_safety_strategy`]).
+//!
+//! Three engines compute these fixpoints (see [`SolveEngine`]): the default
 //! on-the-fly engine ([`crate::otfur`]) that interleaves exploration with
 //! propagation, a Jacobi (round-based) solver that also extracts a
 //! rank-annotated [`Strategy`] and serves as the differential-testing
@@ -143,13 +159,13 @@ impl GameSolution {
     }
 }
 
-/// Solves a reachability game (`control: A<> φ`) with the engine selected by
+/// Solves a timed game — reachability (`control: A<> φ`) or safety
+/// (`control: A[] φ`) — with the engine selected by
 /// [`SolveOptions::engine`] (on-the-fly by default).
 ///
 /// # Errors
 ///
-/// Returns [`SolverError::Unsupported`] for safety purposes, or propagates
-/// exploration and evaluation errors.
+/// Propagates exploration and evaluation errors.
 pub fn solve(
     system: &System,
     purpose: &TestPurpose,
@@ -158,17 +174,16 @@ pub fn solve(
     solve_with_engine(system, purpose, options, options.engine)
 }
 
-/// Solves a reachability game with the eager Jacobi engine and optionally
-/// extracts a winning strategy.
+/// Solves a timed game (reachability or safety) with the eager Jacobi
+/// engine and optionally extracts a winning strategy.
 ///
 /// Forces [`SolveEngine::Jacobi`] regardless of [`SolveOptions::engine`];
 /// use [`solve`] to honor the selector.
 ///
 /// # Errors
 ///
-/// Returns [`SolverError::Unsupported`] for safety purposes, or propagates
-/// exploration and evaluation errors.
-pub fn solve_reachability(
+/// Propagates exploration and evaluation errors.
+pub fn solve_jacobi(
     system: &System,
     purpose: &TestPurpose,
     options: &SolveOptions,
@@ -176,17 +191,18 @@ pub fn solve_reachability(
     solve_with_engine(system, purpose, options, SolveEngine::Jacobi)
 }
 
-/// Solves a reachability game with the eager worklist (chaotic-iteration)
-/// engine.
+/// Solves a timed game (reachability or safety) with the eager worklist
+/// (chaotic-iteration) engine.
 ///
-/// This variant does not extract a strategy; it is used as a decision
-/// procedure and as an ablation point in the benchmark harness.  Forces
-/// [`SolveEngine::Worklist`] regardless of [`SolveOptions::engine`].
+/// This variant does not extract a strategy for reachability purposes; it is
+/// used as a decision procedure and as an ablation point in the benchmark
+/// harness.  Forces [`SolveEngine::Worklist`] regardless of
+/// [`SolveOptions::engine`].
 ///
 /// # Errors
 ///
-/// Same as [`solve_reachability`].
-pub fn solve_reachability_worklist(
+/// Same as [`solve_jacobi`].
+pub fn solve_worklist(
     system: &System,
     purpose: &TestPurpose,
     options: &SolveOptions,
@@ -204,35 +220,58 @@ pub(crate) struct EngineOutcome {
     pub early_terminated: bool,
 }
 
+/// How a purpose maps onto the attractor computation the engines run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum GameMode {
+    /// `A<> φ`: the attractor *is* the tester's winning set, goal = `φ`.
+    Reachability,
+    /// `A[] φ`: the attractor is the *losing* set of the dual (role-swapped)
+    /// reachability game into the bad states `¬φ`; the winning set is its
+    /// complement within the invariant (resp. the explored reach).
+    Safety,
+}
+
+impl GameMode {
+    /// Whether the `π` transformer swaps the two players' edge roles.
+    pub(crate) fn swap_roles(self) -> bool {
+        self == GameMode::Safety
+    }
+}
+
 /// The single parameterized entry point behind every public solver function:
-/// validates the purpose, runs the selected engine, and assembles the
-/// solution (timing, statistics, `winning_from_initial`, strategy gating)
-/// uniformly.
+/// derives the game mode from the purpose, runs the selected engine, and
+/// assembles the solution (safety complementation, timing, statistics,
+/// `winning_from_initial`, strategy gating) uniformly.
 fn solve_with_engine(
     system: &System,
     purpose: &TestPurpose,
     options: &SolveOptions,
     engine: SolveEngine,
 ) -> Result<GameSolution, SolverError> {
-    if purpose.quantifier != PathQuantifier::Reachability {
-        return Err(SolverError::Unsupported(
-            "the game solver only handles `control: A<>` purposes".to_string(),
-        ));
-    }
+    let mode = match purpose.quantifier {
+        PathQuantifier::Reachability => GameMode::Reachability,
+        PathQuantifier::Safety => GameMode::Safety,
+    };
+    // The predicate whose states seed the attractor: the goal itself for
+    // reachability, the *bad* states `¬φ` for safety.
+    let target = match mode {
+        GameMode::Reachability => purpose.predicate.clone(),
+        GameMode::Safety => purpose.predicate.clone().negated(),
+    };
     let (graph, outcome, exploration_time, fixpoint_time) = match engine {
         SolveEngine::Otfur => {
             // Exploration and propagation are interleaved: the whole search
             // is accounted to the fixpoint phase.
             let start = Instant::now();
-            let (graph, outcome) = crate::otfur::run(system, &purpose.predicate, options)?;
+            let (graph, outcome) = crate::otfur::run(system, &target, options, mode)?;
             (graph, outcome, Duration::ZERO, start.elapsed())
         }
         SolveEngine::Jacobi | SolveEngine::Worklist => {
             let explore_start = Instant::now();
-            let graph = GameGraph::explore(system, &purpose.predicate, &options.explore)?;
+            let graph = GameGraph::explore(system, &target, &options.explore)?;
             let exploration_time = explore_start.elapsed();
             let fixpoint_start = Instant::now();
-            let mut fixpoint = Engine::new(system, &graph);
+            let mut fixpoint = Engine::new(system, &graph, mode);
             let outcome = if engine == SolveEngine::Jacobi {
                 let jacobi = fixpoint.run_jacobi(options)?;
                 EngineOutcome {
@@ -258,23 +297,58 @@ fn solve_with_engine(
         }
     };
 
-    let winning_from_initial = initial_is_winning(system, &graph, &outcome.winning);
-    let strategy = if options.extract_strategy && winning_from_initial {
-        outcome.strategy
-    } else {
+    // For safety games the engines computed the losing attractor; the
+    // winning (safe) federations are its complement — within the invariant
+    // for the eager engines, within the explored reach for the on-the-fly
+    // engine (which confines every federation to its reach, so the two
+    // complements coincide on every reachable valuation).
+    let (winning, losing) = match mode {
+        GameMode::Reachability => (outcome.winning, None),
+        GameMode::Safety => {
+            let losing = outcome.winning;
+            let winning: Vec<Federation> = graph
+                .nodes()
+                .iter()
+                .enumerate()
+                .map(|(id, node)| {
+                    let base = if engine == SolveEngine::Otfur {
+                        node.reach.clone()
+                    } else {
+                        Federation::from_zone(node.invariant.clone())
+                    };
+                    let mut safe = base.difference(&losing[id]);
+                    safe.reduce_exact();
+                    safe
+                })
+                .collect();
+            (winning, Some(losing))
+        }
+    };
+
+    let winning_from_initial = initial_is_winning(system, &graph, &winning);
+    let strategy = if !options.extract_strategy || !winning_from_initial {
         None
+    } else {
+        match &losing {
+            // Reachability: the engines extracted the strategy in-search.
+            None => outcome.strategy,
+            // Safety: extract the safe controller from the converged sets
+            // (the worklist engine never carries a strategy).
+            Some(losing) => {
+                if engine == SolveEngine::Worklist {
+                    None
+                } else {
+                    Some(extract_safety_strategy(system, &graph, &winning, losing)?)
+                }
+            }
+        }
     };
     let stats = SolverStats {
         discrete_states: graph.len(),
         graph_edges: graph.edge_count(),
         iterations: outcome.iterations,
-        winning_zones: outcome.winning.iter().map(Federation::len).sum(),
-        peak_federation_size: outcome
-            .winning
-            .iter()
-            .map(Federation::len)
-            .max()
-            .unwrap_or(0),
+        winning_zones: winning.iter().map(Federation::len).sum(),
+        peak_federation_size: winning.iter().map(Federation::len).max().unwrap_or(0),
         reach_zones: graph.reach_zone_count(),
         subsumed_zones: outcome.subsumed_zones,
         pruned_evaluations: outcome.pruned_evaluations,
@@ -283,7 +357,7 @@ fn solve_with_engine(
     Ok(GameSolution {
         winning_from_initial,
         graph,
-        winning: outcome.winning,
+        winning,
         strategy,
         timed: TimedStats {
             stats,
@@ -291,6 +365,103 @@ fn solve_with_engine(
             fixpoint_time,
         },
     })
+}
+
+/// Extracts a safe (possibly non-terminating) controller from the converged
+/// safe/losing federations of a safety game.
+///
+/// Per discrete state with a non-empty safe set `W`:
+///
+/// * valuations from which no delay can drift into `L` and no enabled plant
+///   move leads into `L` are rank-0 *wait* regions — sitting is safe
+///   forever;
+/// * the remaining safe valuations (`W ∩ (L↓ ∪ uPred(L))`) are rank-1 wait
+///   regions paired with rank-1 *take* regions `cPred(W) ∩ W`: the executor
+///   waits until a take region is entered (its wake-up hint) and then plays
+///   the escape.  Whenever an enabled plant move threatens `L` *now*
+///   (`uPred(L)`), an escape is enabled at that very valuation — this is
+///   exactly the `δ = 0` case of the dual `Pred_t`, which put the valuation
+///   in `W` only because the escape exists.
+///
+/// Take rules are inserted in a canonical edge order (independent of the
+/// discovery order of the producing engine), so OTFUR- and Jacobi-extracted
+/// safety strategies prescribe the same moves.
+fn extract_safety_strategy(
+    system: &System,
+    graph: &GameGraph,
+    winning: &[Federation],
+    losing: &[Federation],
+) -> Result<Strategy, SolverError> {
+    let mut strategy = Strategy::new(system.dim());
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if node.is_goal || winning[id].is_empty() {
+            // `is_goal` marks *bad* states in safety mode; nothing is safe
+            // there.
+            continue;
+        }
+        // Valuations from which pure delay can reach the losing set.
+        let mut drift = losing[id].clone();
+        drift.down();
+        // Valuations where an enabled plant move leads into the losing set.
+        let mut threat = Federation::empty(system.dim());
+        // Escape regions, keyed canonically for engine-independent order.
+        let mut escapes: Vec<(String, &GraphEdge, Federation)> = Vec::new();
+        for edge in &node.edges {
+            if edge.controllable {
+                let region = system
+                    .joint_pred_federation(&node.discrete, &edge.joint, &winning[edge.target])?
+                    .intersection(&winning[id]);
+                if !region.is_empty() {
+                    let key = format!("{:?}|{:?}", edge.joint, graph.node(edge.target).discrete);
+                    escapes.push((key, edge, region));
+                }
+            } else {
+                let pred = system.joint_pred_federation(
+                    &node.discrete,
+                    &edge.joint,
+                    &losing[edge.target],
+                )?;
+                threat.union_with(&pred);
+            }
+        }
+        let danger = drift.union(&threat);
+        let calm = winning[id].difference(&danger);
+        for zone in &calm {
+            strategy.add_rule(
+                node.discrete.clone(),
+                StrategyRule {
+                    rank: 0,
+                    zone: zone.clone(),
+                    decision: Decision::Wait,
+                },
+            );
+        }
+        let alert = winning[id].intersection(&danger);
+        for zone in &alert {
+            strategy.add_rule(
+                node.discrete.clone(),
+                StrategyRule {
+                    rank: 1,
+                    zone: zone.clone(),
+                    decision: Decision::Wait,
+                },
+            );
+        }
+        escapes.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, edge, region) in &escapes {
+            for zone in region {
+                strategy.add_rule(
+                    node.discrete.clone(),
+                    StrategyRule {
+                        rank: 1,
+                        zone: zone.clone(),
+                        decision: Decision::Take(edge.joint.clone()),
+                    },
+                );
+            }
+        }
+    }
+    Ok(strategy)
 }
 
 fn initial_is_winning(system: &System, graph: &GameGraph, winning: &[Federation]) -> bool {
@@ -302,6 +473,9 @@ fn initial_is_winning(system: &System, graph: &GameGraph, winning: &[Federation]
 struct Engine<'a> {
     system: &'a System,
     graph: &'a GameGraph,
+    /// Reachability (attractor = winning) or safety (attractor = losing,
+    /// roles swapped in the `π` update).
+    mode: GameMode,
     /// Invariant-boundary federation per node (states where time cannot
     /// progress further).
     boundary: Vec<Federation>,
@@ -315,7 +489,7 @@ struct JacobiOutcome {
 }
 
 impl<'a> Engine<'a> {
-    fn new(system: &'a System, graph: &'a GameGraph) -> Self {
+    fn new(system: &'a System, graph: &'a GameGraph, mode: GameMode) -> Self {
         let boundary = graph
             .nodes()
             .iter()
@@ -324,6 +498,7 @@ impl<'a> Engine<'a> {
         Engine {
             system,
             graph,
+            mode,
             boundary,
         }
     }
@@ -360,6 +535,7 @@ impl<'a> Engine<'a> {
             &node.edges,
             &self.boundary[node_id],
             win,
+            self.mode.swap_roles(),
             |id| self.graph.node(id).invariant.clone(),
         )
     }
@@ -370,19 +546,25 @@ impl<'a> Engine<'a> {
     fn run_jacobi(&mut self, options: &SolveOptions) -> Result<JacobiOutcome, SolverError> {
         let mut win = self.initial_winning_sets();
         let mut strategy = Strategy::new(self.system.dim());
+        // In-search strategy recording only applies to reachability, where
+        // the round number is a well-founded rank; safety strategies are
+        // extracted from the converged sets by `extract_safety_strategy`.
+        let record = options.extract_strategy && self.mode == GameMode::Reachability;
         // Goal regions are rank-0 wait regions (the executor detects the goal
         // via the purpose; these rules make `rank_of` total on winning states).
-        for (id, node) in self.graph.nodes().iter().enumerate() {
-            if node.is_goal {
-                for zone in &win[id] {
-                    strategy.add_rule(
-                        node.discrete.clone(),
-                        StrategyRule {
-                            rank: 0,
-                            zone: zone.clone(),
-                            decision: Decision::Wait,
-                        },
-                    );
+        if record {
+            for (id, node) in self.graph.nodes().iter().enumerate() {
+                if node.is_goal {
+                    for zone in &win[id] {
+                        strategy.add_rule(
+                            node.discrete.clone(),
+                            StrategyRule {
+                                rank: 0,
+                                zone: zone.clone(),
+                                decision: Decision::Wait,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -401,8 +583,8 @@ impl<'a> Engine<'a> {
                 let (new_win, action_regions) = self.node_update(node_id, node, &prev)?;
                 if !prev[node_id].includes(&new_win) {
                     changed = true;
-                    let delta = new_win.difference(&prev[node_id]);
-                    if options.extract_strategy {
+                    if record {
+                        let delta = new_win.difference(&prev[node_id]);
                         for zone in &delta {
                             strategy.add_rule(
                                 node.discrete.clone(),
@@ -510,6 +692,13 @@ impl<'a> Engine<'a> {
 /// full `Pred_t` past-closure in an urgent state claimed valuations winning
 /// that can only reach the win-enabling guard by letting time pass — which
 /// urgency forbids; such states are timelocks, not wins).
+///
+/// `swap_roles` flips the two players: with it set, *uncontrollable* edges
+/// drive the attractor and *controllable* edges supply the avoid-set — this
+/// turns the update into the environment's controllable predecessor, which
+/// is how safety games are solved (the attractor is then the tester's
+/// *losing* set).  The urgent `δ = 0` case and the invariant-boundary
+/// `Forced` term apply to the swapped roles unchanged.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn pi_update<F>(
     system: &System,
@@ -521,6 +710,7 @@ pub(crate) fn pi_update<F>(
     edges: &[GraphEdge],
     boundary: &Federation,
     win: &[Federation],
+    swap_roles: bool,
     inv_of: F,
 ) -> Result<(Federation, Vec<(usize, Federation)>), SolverError>
 where
@@ -539,7 +729,7 @@ where
     for (edge_idx, edge) in edges.iter().enumerate() {
         let target_win = &win[edge.target];
         let pred_win = system.joint_pred_federation(discrete, &edge.joint, target_win)?;
-        if edge.controllable {
+        if edge.controllable ^ swap_roles {
             if !pred_win.is_empty() {
                 cpred.union_with(&pred_win);
                 action_regions.push((edge_idx, pred_win));
@@ -711,7 +901,7 @@ mod tests {
     fn forced_output_is_winnable_and_strategy_extracted() {
         let sys = forced_output_system();
         let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial);
         let strategy = solution.strategy.as_ref().expect("strategy");
         assert!(strategy.state_count() >= 2);
@@ -745,7 +935,7 @@ mod tests {
     fn silent_plant_is_not_winnable() {
         let sys = silent_plant_system();
         let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(!solution.winning_from_initial);
         assert!(solution.strategy.is_none());
     }
@@ -754,11 +944,11 @@ mod tests {
     fn dodging_plant_is_not_winnable_for_reaching_done() {
         let sys = dodging_plant_system();
         let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(!solution.winning_from_initial);
         // ... but reaching Busy is trivially winnable (one controllable step).
         let tp2 = TestPurpose::parse("control: A<> Plant.Busy", &sys).unwrap();
-        let solution2 = solve_reachability(&sys, &tp2, &SolveOptions::default()).unwrap();
+        let solution2 = solve_jacobi(&sys, &tp2, &SolveOptions::default()).unwrap();
         assert!(solution2.winning_from_initial);
     }
 
@@ -919,11 +1109,11 @@ mod tests {
         for (name, solution) in [
             (
                 "jacobi",
-                solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap(),
+                solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap(),
             ),
             (
                 "worklist",
-                solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap(),
+                solve_worklist(&sys, &tp, &SolveOptions::default()).unwrap(),
             ),
             ("otfur", solve(&sys, &tp, &otfur_options(false)).unwrap()),
         ] {
@@ -943,7 +1133,7 @@ mod tests {
     fn self_loop_frontier_zones_are_expanded_before_evaluation() {
         let sys = self_loop_pumping_system();
         let tp = TestPurpose::parse("control: A<> A0.L1", &sys).unwrap();
-        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
         assert_eq!(jacobi.winning_from_initial, otfur.winning_from_initial);
         // x = 6, y = 2: the tau escape is enabled and the plant can dodge
@@ -967,7 +1157,7 @@ mod tests {
     fn late_discovered_escape_edges_do_not_fool_otfur() {
         let sys = late_escape_system();
         let tp = TestPurpose::parse("control: A<> Plant.GoalLoc", &sys).unwrap();
-        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(!jacobi.winning_from_initial, "the game is losing");
         for early in [true, false] {
             let otfur = solve(&sys, &tp, &otfur_options(early)).unwrap();
@@ -996,7 +1186,7 @@ mod tests {
         ] {
             for goal in ["Plant.Done", "Plant.Busy"] {
                 let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
-                let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+                let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
                 let otfur = solve(&sys, &tp, &otfur_options(true)).unwrap();
                 assert_eq!(
                     jacobi.winning_from_initial,
@@ -1022,7 +1212,7 @@ mod tests {
         ] {
             for goal in ["Plant.Done", "Plant.Busy"] {
                 let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
-                let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+                let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
                 let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
                 assert!(!otfur.stats().early_terminated);
                 assert_eq!(jacobi.graph.len(), otfur.graph.len());
@@ -1044,7 +1234,7 @@ mod tests {
     fn otfur_terminates_early_and_explores_fewer_states() {
         let sys = forced_output_with_decoy_chain();
         let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
-        let jacobi = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         let otfur = solve(&sys, &tp, &otfur_options(true)).unwrap();
         assert!(otfur.winning_from_initial);
         assert!(otfur.stats().early_terminated, "initial decided early");
@@ -1114,8 +1304,8 @@ mod tests {
         ] {
             for goal in ["Plant.Done", "Plant.Busy"] {
                 let tp = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
-                let a = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
-                let b = solve_reachability_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
+                let a = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
+                let b = solve_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
                 assert_eq!(
                     a.winning_from_initial,
                     b.winning_from_initial,
@@ -1143,7 +1333,7 @@ mod tests {
         // a state with x > 3 violates the invariant and is not a state at all.
         let sys = forced_output_system();
         let tp = TestPurpose::parse("control: A<> Plant.Done", &sys).unwrap();
-        let solution = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         let mut busy = sys.initial_discrete();
         let (aut, loc) = sys.location_by_qualified_name("Plant.Busy").unwrap();
         busy.locations[aut.index()] = loc;
@@ -1151,12 +1341,221 @@ mod tests {
         assert!(!solution.is_winning_state(&busy, &[16], 4)); // x = 4: outside invariant
     }
 
+    /// A plant whose invariant forces an uncontrollable step into a bad
+    /// location: Idle (inv x <= 3) --boom!{x >= 1}--> BadLoc.  The tester
+    /// has no move at all, so `A[] not Plant.BadLoc` is losing.
+    fn forced_violation_system() -> System {
+        let mut b = SystemBuilder::new("forced-violation");
+        let x = b.clock("x").unwrap();
+        let boom = b.output_channel("boom").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let bad = plant.location("BadLoc").unwrap();
+        plant.set_invariant(idle, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        plant.add_edge(
+            EdgeBuilder::new(idle, bad)
+                .output(boom)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).input(boom));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Like [`forced_violation_system`] but with a controllable escape
+    /// `save?` guarded `x <= 2` into a safe sink, while `boom!` needs
+    /// `x >= 2`: the tester wins `A[] not Plant.BadLoc` exactly from
+    /// `x <= 2` in Idle by playing `save?` before the plant's window opens.
+    fn escapable_violation_system() -> System {
+        let mut b = SystemBuilder::new("escapable-violation");
+        let x = b.clock("x").unwrap();
+        let boom = b.output_channel("boom").unwrap();
+        let save = b.input_channel("save").unwrap();
+        let mut plant = AutomatonBuilder::new("Plant");
+        let idle = plant.location("Idle").unwrap();
+        let bad = plant.location("BadLoc").unwrap();
+        let safe = plant.location("SafeLoc").unwrap();
+        plant.set_invariant(idle, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        plant.add_edge(
+            EdgeBuilder::new(idle, bad)
+                .output(boom)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 2)),
+        );
+        plant.add_edge(
+            EdgeBuilder::new(idle, safe)
+                .input(save)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Le, 2)),
+        );
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("User");
+        let u = user.location("U").unwrap();
+        user.add_edge(EdgeBuilder::new(u, u).input(boom));
+        user.add_edge(EdgeBuilder::new(u, u).output(save));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    fn solutions_by_engine(sys: &System, tp: &TestPurpose) -> Vec<(&'static str, GameSolution)> {
+        vec![
+            (
+                "jacobi",
+                solve_jacobi(sys, tp, &SolveOptions::default()).unwrap(),
+            ),
+            (
+                "worklist",
+                solve_worklist(sys, tp, &SolveOptions::default()).unwrap(),
+            ),
+            ("otfur", solve(sys, tp, &otfur_options(false)).unwrap()),
+            ("otfur-early", solve(sys, tp, &otfur_options(true)).unwrap()),
+        ]
+    }
+
     #[test]
-    fn safety_purposes_are_rejected_by_reachability_entry_point() {
-        let sys = forced_output_system();
-        let tp = TestPurpose::parse("control: A[] not Plant.Done", &sys).unwrap();
-        let err = solve_reachability(&sys, &tp, &SolveOptions::default()).unwrap_err();
-        assert!(matches!(err, SolverError::Unsupported(_)));
+    fn forced_safety_violation_is_losing_in_all_engines() {
+        let sys = forced_violation_system();
+        let tp = TestPurpose::parse("control: A[] not Plant.BadLoc", &sys).unwrap();
+        for (name, solution) in solutions_by_engine(&sys, &tp) {
+            assert!(!solution.winning_from_initial, "{name}");
+            assert!(solution.strategy.is_none(), "{name}");
+        }
+    }
+
+    #[test]
+    fn otfur_early_terminates_on_a_losing_safety_game() {
+        let sys = forced_violation_system();
+        let tp = TestPurpose::parse("control: A[] not Plant.BadLoc", &sys).unwrap();
+        let solution = solve(&sys, &tp, &otfur_options(true)).unwrap();
+        assert!(!solution.winning_from_initial);
+        assert!(
+            solution.stats().early_terminated,
+            "initial state should be decided losing before the waiting list drains"
+        );
+    }
+
+    #[test]
+    fn escapable_safety_game_is_winning_with_a_safe_strategy() {
+        let sys = escapable_violation_system();
+        let tp = TestPurpose::parse("control: A[] not Plant.BadLoc", &sys).unwrap();
+        let idle = sys.initial_discrete();
+        for (name, solution) in solutions_by_engine(&sys, &tp) {
+            assert!(solution.winning_from_initial, "{name}");
+            // Safe exactly on x <= 2 (x = 2.5 is losing: save? is disabled
+            // and the plant may fire boom! at any moment).
+            assert!(solution.is_winning_state(&idle, &[4], 2), "{name}: x = 2");
+            assert!(
+                !solution.is_winning_state(&idle, &[5], 2),
+                "{name}: x = 2.5 must be losing"
+            );
+            if name != "worklist" {
+                let strategy = solution.strategy.as_ref().expect("safety strategy");
+                // The whole safe region can drift into the losing set, so
+                // the controller plays the escape.
+                let decision = strategy.decide(&idle, &[0], 2).expect("covered");
+                assert!(
+                    matches!(decision, crate::strategy::StrategyDecision::Take(_)),
+                    "{name}: expected the save? escape, got {decision:?}"
+                );
+            } else {
+                assert!(solution.strategy.is_none(), "worklist never extracts");
+            }
+        }
+    }
+
+    #[test]
+    fn safety_winning_sets_agree_semantically_across_engines() {
+        // worklist ≡ jacobi exactly; exhaustive otfur ≡ jacobi ∩ reach — the
+        // same confinement contract as for reachability.
+        for sys in [
+            forced_output_system(),
+            silent_plant_system(),
+            dodging_plant_system(),
+            forced_violation_system(),
+            escapable_violation_system(),
+            urgent_guarded_exit_system(),
+        ] {
+            let locations: Vec<String> = sys
+                .automata()
+                .iter()
+                .flat_map(|a| {
+                    a.locations()
+                        .iter()
+                        .map(move |l| format!("{}.{}", a.name(), l.name))
+                })
+                .collect();
+            for loc in &locations {
+                let tp = match TestPurpose::parse(&format!("control: A[] not {loc}"), &sys) {
+                    Ok(tp) => tp,
+                    Err(_) => continue,
+                };
+                let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
+                let worklist = solve_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
+                let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
+                assert_eq!(
+                    jacobi.winning_from_initial,
+                    worklist.winning_from_initial,
+                    "{} / A[] not {loc}",
+                    sys.name()
+                );
+                assert_eq!(
+                    jacobi.winning_from_initial,
+                    otfur.winning_from_initial,
+                    "{} / A[] not {loc}",
+                    sys.name()
+                );
+                for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+                    let w = worklist.graph.node_of(&node.discrete).unwrap();
+                    assert!(
+                        jacobi.winning[id].set_equals(&worklist.winning[w]),
+                        "worklist differs in {} of {} / A[] not {loc}",
+                        node.discrete.display(&sys),
+                        sys.name()
+                    );
+                    let o = otfur.graph.node_of(&node.discrete).unwrap();
+                    let expected = jacobi.winning[id].intersection(&node.reach);
+                    assert!(
+                        expected.set_equals(&otfur.winning[o]),
+                        "otfur differs in {} of {} / A[] not {loc}",
+                        node.discrete.display(&sys),
+                        sys.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn urgent_safety_games_admit_no_delay_in_the_dual_fixpoint() {
+        // In the urgent Wait state the only exit is an uncontrollable tau
+        // guarded x == 2 into GoalLoc.  For `A[] not A.GoalLoc`, Wait at
+        // x == 2 is losing (the plant fires the move), while x < 2 is a
+        // frozen timelock that never reaches the guard — safe.  An engine
+        // that applied the full `Pred_t` past-closure in the swapped game
+        // would wrongly mark all of x <= 2 losing.
+        let sys = urgent_guarded_exit_system();
+        let tp = TestPurpose::parse("control: A[] not A.GoalLoc", &sys).unwrap();
+        let wait = {
+            let mut d = sys.initial_discrete();
+            let (aut, loc) = sys.location_by_qualified_name("A.Wait").unwrap();
+            d.locations[aut.index()] = loc;
+            d
+        };
+        for (name, solution) in solutions_by_engine(&sys, &tp) {
+            assert!(solution.winning_from_initial, "{name}");
+            if name == "otfur-early" {
+                continue; // may stop before Wait is fully evaluated
+            }
+            assert!(
+                solution.is_winning_state(&wait, &[2], 2),
+                "{name}: urgent x = 1 is a timelock, hence safe"
+            );
+            assert!(
+                !solution.is_winning_state(&wait, &[4], 2),
+                "{name}: urgent x = 2 is lost to the forced move"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 use tiga::models::leader_election::{product, LepConfig};
-use tiga::solver::{solve_reachability, SolveOptions};
+use tiga::solver::{solve_jacobi, SolveOptions};
 use tiga::tctl::TestPurpose;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (_, text) = &purposes[purpose_of];
             let purpose = TestPurpose::parse(text, &system)?;
             let start = Instant::now();
-            let solution = solve_reachability(&system, &purpose, &SolveOptions::default())?;
+            let solution = solve_jacobi(&system, &purpose, &SolveOptions::default())?;
             let elapsed = start.elapsed();
             let stats = solution.stats();
             let mem_mb = stats.estimated_zone_bytes(system.dim()) as f64 / (1024.0 * 1024.0);

@@ -3,7 +3,7 @@
 //! benchmark harness (`crates/bench/benches/table1_lep.rs`).
 
 use tiga::models::leader_election::{plant, product, LepConfig};
-use tiga::solver::{solve_reachability, solve_reachability_worklist, SolveOptions};
+use tiga::solver::{solve_jacobi, solve_worklist, SolveOptions};
 use tiga::tctl::TestPurpose;
 use tiga::testing::{OutputPolicy, SimulatedIut, TestConfig, TestHarness, Verdict};
 
@@ -16,7 +16,7 @@ fn all_three_purposes_are_winnable_and_grow_with_n() {
         for (idx, (name, text)) in config.purposes().into_iter().enumerate() {
             let purpose = TestPurpose::parse(&text, &system).expect("parses");
             let solution =
-                solve_reachability(&system, &purpose, &SolveOptions::default()).expect("solves");
+                solve_jacobi(&system, &purpose, &SolveOptions::default()).expect("solves");
             assert!(
                 solution.winning_from_initial,
                 "{name} must be winnable for n = {n}"
@@ -41,8 +41,7 @@ fn tp1_is_cheaper_than_tp2_and_tp3() {
     let mut states = Vec::new();
     for (_, text) in config.purposes() {
         let purpose = TestPurpose::parse(&text, &system).expect("parses");
-        let solution =
-            solve_reachability(&system, &purpose, &SolveOptions::default()).expect("solves");
+        let solution = solve_jacobi(&system, &purpose, &SolveOptions::default()).expect("solves");
         states.push(solution.stats().discrete_states);
     }
     assert!(
@@ -57,9 +56,8 @@ fn jacobi_and_worklist_agree_on_lep() {
     let system = product(config).expect("model builds");
     for (_, text) in config.purposes() {
         let purpose = TestPurpose::parse(&text, &system).expect("parses");
-        let a = solve_reachability(&system, &purpose, &SolveOptions::default()).expect("solves");
-        let b = solve_reachability_worklist(&system, &purpose, &SolveOptions::default())
-            .expect("solves");
+        let a = solve_jacobi(&system, &purpose, &SolveOptions::default()).expect("solves");
+        let b = solve_worklist(&system, &purpose, &SolveOptions::default()).expect("solves");
         assert_eq!(a.winning_from_initial, b.winning_from_initial, "{text}");
     }
 }
