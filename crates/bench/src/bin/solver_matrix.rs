@@ -7,11 +7,11 @@
 //! (model, purpose, engine) combination to `BENCH_solver.json` (override
 //! with `--out PATH`).
 //!
-//! `--smoke` restricts the zoo sweep to the smallest model plus every
-//! safety purpose so CI can exercise the full pipeline — including the
-//! safety dual fixpoint — in seconds and archive the artifact; the fuzz
-//! seed set is always included, pinning engine counters on *generated*
-//! systems too.
+//! `--smoke` restricts the zoo sweep to the smallest model, every safety
+//! purpose and the LEP-N scaling family, so CI can exercise the full
+//! pipeline — including the safety dual fixpoint and a non-toy workload —
+//! in seconds and archive the artifact; the fuzz seed set is always
+//! included, pinning engine counters on *generated* systems too.
 //!
 //! `--check PATH` compares the run's *deterministic* counters (explored
 //! states, zone counts, verdicts — never wall time) against a previously
@@ -80,11 +80,16 @@ fn main() {
     let zoo = model_zoo();
     let mut instances = if smoke {
         // The zoo is ordered smallest-first; the smoke run keeps the first
-        // model's purposes plus every safety purpose, so the dual fixpoint
-        // is gated too.
+        // model's purposes, every safety purpose (so the dual fixpoint is
+        // gated too) and the whole LEP family (so the baseline pins the
+        // scaling rows, lep4 included).
         let first = zoo[0].model.clone();
         zoo.into_iter()
-            .filter(|z| z.model == first || z.purpose.quantifier == PathQuantifier::Safety)
+            .filter(|z| {
+                z.model == first
+                    || z.model.starts_with("lep")
+                    || z.purpose.quantifier == PathQuantifier::Safety
+            })
             .collect::<Vec<_>>()
     } else {
         zoo

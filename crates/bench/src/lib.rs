@@ -33,19 +33,64 @@ pub fn lep_max_nodes() -> usize {
 }
 
 /// Builds the LEP product system for `n` nodes together with one of the
-/// paper's test purposes (0 = TP1, 1 = TP2, 2 = TP3).
+/// purposes (0 = TP1, 1 = TP2, 2 = TP3, 3 = TP4), abstract configuration.
 ///
 /// # Panics
 ///
 /// Panics if the model cannot be built (a bug, not a runtime condition).
 #[must_use]
 pub fn lep_instance(n: usize, purpose_index: usize) -> (System, TestPurpose) {
-    let config = leader_election::LepConfig::new(n);
+    lep_instance_for(leader_election::LepConfig::new(n), purpose_index)
+}
+
+/// Builds the *detailed* (per-slot message addresses) LEP product for `n`
+/// nodes — the configuration whose state space actually grows with `n`
+/// (Table 1 trend) and therefore the one the scaling rows use.
+///
+/// # Panics
+///
+/// Panics if the model cannot be built.
+#[must_use]
+pub fn lep_detailed_instance(n: usize, purpose_index: usize) -> (System, TestPurpose) {
+    lep_instance_for(leader_election::LepConfig::detailed(n), purpose_index)
+}
+
+fn lep_instance_for(
+    config: leader_election::LepConfig,
+    purpose_index: usize,
+) -> (System, TestPurpose) {
     let system = leader_election::product(config).expect("LEP model builds");
     let purposes = config.purposes();
     let (_, text) = &purposes[purpose_index];
     let purpose = TestPurpose::parse(text, &system).expect("purpose parses");
     (system, purpose)
+}
+
+/// The LEP-N scaling family: detailed instances for every `n` from 4 up to
+/// [`lep_max_nodes`], each with the TP2 reach purpose and the TP4 avoid
+/// purpose.  This is the sweep the thread-scaling bench measures; it is
+/// intentionally *not* part of [`model_zoo`], whose contents are pinned by
+/// checked-in `.tg` files and the bench baseline and must therefore not
+/// depend on `TIGA_LEP_MAX_N`.
+///
+/// # Panics
+///
+/// Panics if a model cannot be built.
+#[must_use]
+pub fn lep_scaling_instances() -> Vec<ZooInstance> {
+    let mut out = Vec::new();
+    for n in 4..=lep_max_nodes() {
+        for idx in [1, 3] {
+            let (system, purpose) = lep_detailed_instance(n, idx);
+            out.push(ZooInstance {
+                model: format!("lep{n}"),
+                purpose_name: format!("tp{}", idx + 1),
+                system,
+                purpose,
+            });
+        }
+    }
+    out
 }
 
 /// Solves one LEP instance and returns the solution (used by the Table 1
@@ -131,10 +176,24 @@ pub fn model_zoo() -> Vec<ZooInstance> {
             purpose: TestPurpose::parse(text, &smart).expect("purpose parses"),
         });
     }
-    for idx in 0..3 {
+    for idx in 0..4 {
         let (system, purpose) = lep_instance(3, idx);
         zoo.push(ZooInstance {
             model: "lep3".to_string(),
+            purpose_name: format!("tp{}", idx + 1),
+            system,
+            purpose,
+        });
+    }
+    // The first LEP-N scaling instance (detailed, so the state space is in
+    // the thousands rather than the hundreds) is always in the zoo — one
+    // reach purpose and one avoid purpose — so the baseline gate pins a
+    // non-toy workload.  The larger N are available through
+    // [`lep_scaling_instances`].
+    for idx in [1, 3] {
+        let (system, purpose) = lep_detailed_instance(4, idx);
+        zoo.push(ZooInstance {
+            model: "lep4".to_string(),
             purpose_name: format!("tp{}", idx + 1),
             system,
             purpose,
@@ -345,11 +404,28 @@ mod tests {
 
     #[test]
     fn lep_instances_build_for_all_purposes() {
-        for idx in 0..3 {
+        for idx in 0..4 {
             let (system, purpose) = lep_instance(3, idx);
             assert_eq!(system.automata().len(), 3);
             assert!(!purpose.source.is_empty());
         }
+    }
+
+    #[test]
+    fn zoo_has_the_lep4_scaling_rows() {
+        let zoo = model_zoo();
+        let lep4: Vec<_> = zoo.iter().filter(|i| i.model == "lep4").collect();
+        assert_eq!(
+            lep4.len(),
+            2,
+            "lep4 must contribute a reach and an avoid row"
+        );
+        assert!(lep4
+            .iter()
+            .any(|i| { i.purpose.quantifier == tiga_tctl::PathQuantifier::Reachability }));
+        assert!(lep4
+            .iter()
+            .any(|i| { i.purpose.quantifier == tiga_tctl::PathQuantifier::Safety }));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! `tiga fuzz` — differential fuzzing of the whole stack.
 //!
-//! Generates seeded random timed games and runs the four oracles of
+//! Generates seeded random timed games and runs the five oracles of
 //! [`tiga_gen`] over each of them: engine agreement (Otfur vs Jacobi vs
 //! Worklist, on reachability and safety objectives alike), printer/parser
-//! roundtrip, the zone-algebra reference model, and the `Pred_t` reference.
+//! roundtrip, the zone-algebra reference model, the `Pred_t` reference, and
+//! — for every winning game — end-to-end test execution of the synthesized
+//! strategy against conformant and mutant simulated implementations with
+//! the tioco verdicts as the oracle.
 //! `--jobs N` shards the cases over the deterministic work queue of
 //! `tiga-testing` with bit-identical findings for any N.  Failing cases are
 //! shrunk (unless `--no-shrink`) and written as self-contained `.tg`
@@ -126,6 +129,7 @@ fn render_report(options: &FuzzOptions, report: &FuzzReport, written: &[PathBuf]
     let mut out = format!(
         "fuzz campaign: seed {} / {} cases\n\
          engine oracle: {} agreed ({} winning, {} losing; {} safety purposes), {} skipped\n\
+         exec oracle: {} strategies executed ({} winning games unobservable), {}/{} mutants detected\n\
          failures: {}",
         options.seed,
         report.cases,
@@ -134,6 +138,10 @@ fn render_report(options: &FuzzOptions, report: &FuzzReport, written: &[PathBuf]
         report.agreed - report.winning,
         report.safety,
         report.skipped,
+        report.executed,
+        report.unobservable,
+        report.detected,
+        report.mutants,
         report.failures.len(),
     );
     for failure in &report.failures {

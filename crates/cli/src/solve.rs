@@ -18,6 +18,9 @@ OPTIONS:
                                      state is decided)
     --no-strategy                    skip strategy extraction
     --max-rounds N                   fixpoint round / reevaluation budget
+    --jobs N                         worker threads for the intra-solve
+                                     parallel phases; 0 = all cores, default 1
+                                     (results are identical for any N)
     --purpose '<control: ...>'       override the file's control: line
     --expect winning|losing          exit non-zero unless the verdict matches
     --show-strategy                  print the synthesized strategy listing
@@ -67,6 +70,9 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
     }
     if let Some(rounds) = take_value(&mut args, "--max-rounds")? {
         options.max_rounds = parse_num(&rounds, "--max-rounds")?;
+    }
+    if let Some(jobs) = take_value(&mut args, "--jobs")? {
+        options.jobs = parse_num(&jobs, "--jobs")?;
     }
     let purpose = take_value(&mut args, "--purpose")?;
     let expect_winning = match take_value(&mut args, "--expect")?.as_deref() {
@@ -247,6 +253,16 @@ mod tests {
         assert!(!args.options.early_termination);
         assert_eq!(args.options.max_rounds, 42);
         assert_eq!(args.expect_winning, Some(true));
+        assert_eq!(args.options.jobs, 1, "jobs defaults to sequential");
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let args = parse_args(&strings(&["model.tg", "--jobs", "0"])).unwrap();
+        assert_eq!(args.options.jobs, 0, "0 = all cores, as in `tiga fuzz`");
+        let args = parse_args(&strings(&["model.tg", "--jobs", "4"])).unwrap();
+        assert_eq!(args.options.jobs, 4);
+        assert!(parse_args(&strings(&["model.tg", "--jobs", "many"])).is_err());
     }
 
     #[test]

@@ -40,14 +40,23 @@ pub fn parse_args(args: &[String]) -> Result<ZooArgs, String> {
 }
 
 /// The plant (specification-only) system behind a zoo model id.
+///
+/// `lepN` ids map to the leader-election plant for `N` nodes: the abstract
+/// configuration for `lep3` (matching the historical zoo entry), the
+/// detailed one for every larger `N` (the scaling family).
 fn plant_for(model: &str) -> Option<System> {
     match model {
         "smart_light" => Some(smart_light::plant().expect("model builds")),
         "coffee_machine" => Some(coffee_machine::plant().expect("model builds")),
-        "lep3" => {
-            Some(leader_election::plant(leader_election::LepConfig::new(3)).expect("model builds"))
+        other => {
+            let n: usize = other.strip_prefix("lep")?.parse().ok()?;
+            let config = if n <= 3 {
+                leader_election::LepConfig::new(n)
+            } else {
+                leader_election::LepConfig::detailed(n)
+            };
+            Some(leader_election::plant(config).expect("model builds"))
         }
-        _ => None,
     }
 }
 

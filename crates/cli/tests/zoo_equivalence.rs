@@ -81,6 +81,7 @@ fn checked_in_products_equal_zoo_models() {
         ("smart_light.tg", "smart_light"),
         ("coffee_machine.tg", "coffee_machine"),
         ("lep3.tg", "lep3"),
+        ("lep4.tg", "lep4"),
     ] {
         let parsed = load(file);
         let reference = zoo
@@ -110,6 +111,10 @@ fn checked_in_plants_equal_plant_builders() {
         (
             "lep3.plant.tg",
             leader_election::plant(leader_election::LepConfig::new(3)).unwrap(),
+        ),
+        (
+            "lep4.plant.tg",
+            leader_election::plant(leader_election::LepConfig::detailed(4)).unwrap(),
         ),
     ];
     for (file, reference) in &plants {
@@ -187,6 +192,7 @@ fn zoo_primary(model: &str) -> &'static str {
         "coffee_machine" => "coffee",
         "smart_light" => "bright",
         "lep3" => "tp1",
+        "lep4" => "tp2",
         other => panic!("unknown zoo model {other}"),
     }
 }

@@ -299,12 +299,53 @@ impl<'a> TestExecutor<'a> {
                                 }
                             }
                             DelayOutcome::Quiet => {
-                                // Nothing happened although the specification
-                                // requires progress: check whose deadline it is.
-                                let spec_bound = monitor.max_allowed_delay()?;
-                                if spec_bound == Some(0) {
+                                // Nothing happened although the invariant
+                                // requires progress: check whose deadline it
+                                // is.  It is the implementation's fault only
+                                // if the closed product — the world the
+                                // implementation lives in — actually offers
+                                // an output synchronization to discharge it.
+                                // A lone half-edge with no receiver is not an
+                                // output the implementation could have
+                                // produced.
+                                let output_due =
+                                    interp.enabled_syncs(&product_state)?.into_iter().any(|ch| {
+                                        self.product.channel(ch).kind()
+                                            == tiga_model::ChannelKind::Output
+                                    });
+                                if output_due {
                                     return Ok(finish(
                                         Verdict::Fail(FailReason::MissedDeadline { at_ticks: now }),
+                                        trace,
+                                        steps,
+                                    ));
+                                }
+                                // No output is due: the blocked product may
+                                // still progress through a forced internal
+                                // move (the plant changes state silently).
+                                // Advance product and specification through
+                                // the same deterministic hop — a quiet
+                                // simulated implementation made it too.
+                                if let Some(next) = interp.fire_first_internal(&product_state)? {
+                                    product_state = next;
+                                    monitor.progress_internal()?;
+                                    continue;
+                                }
+                                let spec_bound = monitor.max_allowed_delay()?;
+                                if spec_bound == Some(0) {
+                                    // Nothing can discharge the deadline and
+                                    // the strategy prescribed waiting, so the
+                                    // run is stuck for good.  A blocked safety
+                                    // run maintains its predicate forever, so
+                                    // it passes; a reachability purpose is out
+                                    // of reach.
+                                    if safety {
+                                        return Ok(finish(Verdict::Pass, trace, steps));
+                                    }
+                                    return Ok(finish(
+                                        Verdict::Inconclusive(InconclusiveReason::SpecTimelock {
+                                            at_ticks: now,
+                                        }),
                                         trace,
                                         steps,
                                     ));

@@ -87,10 +87,17 @@ pub struct SimulatedIut {
     policy: OutputPolicy,
     state: ConcreteState,
     ignored_inputs: usize,
+    /// Closed-network semantics: actions are binary syncs between distinct
+    /// automata (the view the game solver explores), not lone half-edges.
+    closed: bool,
 }
 
 impl SimulatedIut {
     /// Creates a simulated implementation from a plant model.
+    ///
+    /// The model is interpreted in the *open* view: a lone `ch!` edge emits
+    /// `ch` to the environment and a lone `ch?` edge receives it, matching a
+    /// plant whose counterpart (the tester) lives outside the model.
     ///
     /// # Panics
     ///
@@ -99,6 +106,34 @@ impl SimulatedIut {
     /// conditions).
     #[must_use]
     pub fn new(name: &str, system: System, scale: i64, policy: OutputPolicy) -> Self {
+        Self::with_view(name, system, scale, policy, false)
+    }
+
+    /// Creates a simulated implementation of a *closed network*.
+    ///
+    /// Actions follow the same semantics the game solver explores: a
+    /// channel fires only as a binary synchronization between an enabled
+    /// `ch!` edge and an enabled `ch?` edge of two distinct automata.  A
+    /// lone half-edge never fires.  Use this when the simulated model is an
+    /// entire closed product (as in the fuzzing campaign, where generated
+    /// games double as their own conformant implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's initial state violates an invariant or `scale`
+    /// is not positive.
+    #[must_use]
+    pub fn closed(name: &str, system: System, scale: i64, policy: OutputPolicy) -> Self {
+        Self::with_view(name, system, scale, policy, true)
+    }
+
+    fn with_view(
+        name: &str,
+        system: System,
+        scale: i64,
+        policy: OutputPolicy,
+        closed: bool,
+    ) -> Self {
         let state = Interpreter::new(&system, scale)
             .expect("positive tick scale")
             .initial_state()
@@ -110,6 +145,7 @@ impl SimulatedIut {
             policy,
             state,
             ignored_inputs: 0,
+            closed,
         }
     }
 
@@ -137,79 +173,100 @@ impl SimulatedIut {
         Interpreter::new(&self.system, self.scale).expect("scale validated at construction")
     }
 
-    /// For every output edge enabled (now or later, by pure delay) in the
-    /// current state: its earliest and latest firing time in ticks.
+    /// Narrows a `(lo, hi)` firing window by one edge's guard (data guard
+    /// plus clock constraints, scaled to ticks).  Returns `None` when the
+    /// guard can never hold along a pure delay from the current state.
+    fn narrow_window(
+        &self,
+        automaton: usize,
+        edge: tiga_model::EdgeId,
+        mut lo: i64,
+        mut hi: Option<i64>,
+    ) -> Option<(i64, Option<i64>)> {
+        let guard = &self.system.automata()[automaton].edge(edge).guard;
+        if !guard
+            .data_holds(self.system.vars(), &self.state.vars)
+            .unwrap_or(false)
+        {
+            return None;
+        }
+        for c in &guard.clocks {
+            let m = c.bound.eval(self.system.vars(), &self.state.vars).ok()?;
+            let m = m * self.scale;
+            let left = self.state.clocks[c.left.index()];
+            if let Some(right_clock) = c.minus {
+                // Diagonal constraints are delay-invariant.
+                let diff = left - self.state.clocks[right_clock.index()];
+                if !c.op.apply(diff, m) {
+                    return None;
+                }
+                continue;
+            }
+            match c.op {
+                CmpOp::Ge => lo = lo.max(m - left),
+                CmpOp::Gt => lo = lo.max(m - left + 1),
+                CmpOp::Le => hi = Some(hi.map_or(m - left, |h| h.min(m - left))),
+                CmpOp::Lt => hi = Some(hi.map_or(m - left - 1, |h| h.min(m - left - 1))),
+                CmpOp::Eq => {
+                    lo = lo.max(m - left);
+                    hi = Some(hi.map_or(m - left, |h| h.min(m - left)));
+                }
+                CmpOp::Ne => return None,
+            }
+        }
+        if let Some(h) = hi {
+            if h < lo {
+                return None;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// For every output *action* enabled (now or later, by pure delay) in
+    /// the current state: its earliest and latest firing time in ticks.
+    ///
+    /// Open view: one entry per enabled `ch!` edge.  Closed view: one entry
+    /// per enabled (`ch!`, `ch?`) pair of distinct automata, with the window
+    /// narrowed by both guards.
     fn output_windows(&self) -> Vec<(EdgeRef, ChannelId, i64, Option<i64>)> {
         let interp = self.interpreter();
         let deadline = interp.max_delay(&self.state).unwrap_or(None);
         let mut windows = Vec::new();
         for (ai, aut) in self.system.automata().iter().enumerate() {
             for ei in aut.edges_from(self.state.locations[ai]) {
-                let edge = aut.edge(ei);
-                let tiga_model::Sync::Output(ch) = edge.sync else {
+                let tiga_model::Sync::Output(ch) = aut.edge(ei).sync else {
                     continue;
                 };
                 if self.system.channel(ch).kind() != ChannelKind::Output {
                     continue;
                 }
-                if !edge
-                    .guard
-                    .data_holds(self.system.vars(), &self.state.vars)
-                    .unwrap_or(false)
-                {
+                let Some((lo, hi)) = self.narrow_window(ai, ei, 0, deadline) else {
+                    continue;
+                };
+                let sender = EdgeRef {
+                    automaton: tiga_model::AutomatonId::from_index(ai),
+                    edge: ei,
+                };
+                if !self.closed {
+                    windows.push((sender, ch, lo, hi));
                     continue;
                 }
-                let mut lo: i64 = 0;
-                let mut hi: Option<i64> = deadline;
-                let mut feasible = true;
-                for c in &edge.guard.clocks {
-                    let Ok(m) = c.bound.eval(self.system.vars(), &self.state.vars) else {
-                        feasible = false;
-                        break;
-                    };
-                    let m = m * self.scale;
-                    let left = self.state.clocks[c.left.index()];
-                    if let Some(right_clock) = c.minus {
-                        // Diagonal constraints are delay-invariant.
-                        let diff = left - self.state.clocks[right_clock.index()];
-                        if !c.op.apply(diff, m) {
-                            feasible = false;
-                            break;
-                        }
+                // Closed network: the output only happens as a binary sync,
+                // so some distinct automaton must take a `ch?` edge whose
+                // guard holds over a (sub)window.
+                for (bi, receiver) in self.system.automata().iter().enumerate() {
+                    if bi == ai {
                         continue;
                     }
-                    match c.op {
-                        CmpOp::Ge => lo = lo.max(m - left),
-                        CmpOp::Gt => lo = lo.max(m - left + 1),
-                        CmpOp::Le => hi = Some(hi.map_or(m - left, |h| h.min(m - left))),
-                        CmpOp::Lt => hi = Some(hi.map_or(m - left - 1, |h| h.min(m - left - 1))),
-                        CmpOp::Eq => {
-                            lo = lo.max(m - left);
-                            hi = Some(hi.map_or(m - left, |h| h.min(m - left)));
+                    for ri in receiver.edges_from(self.state.locations[bi]) {
+                        if receiver.edge(ri).sync != tiga_model::Sync::Input(ch) {
+                            continue;
                         }
-                        CmpOp::Ne => {
-                            feasible = false;
-                            break;
+                        if let Some((lo, hi)) = self.narrow_window(bi, ri, lo, hi) {
+                            windows.push((sender, ch, lo, hi));
                         }
                     }
                 }
-                if !feasible {
-                    continue;
-                }
-                if let Some(h) = hi {
-                    if h < lo {
-                        continue;
-                    }
-                }
-                windows.push((
-                    EdgeRef {
-                        automaton: tiga_model::AutomatonId::from_index(ai),
-                        edge: ei,
-                    },
-                    ch,
-                    lo,
-                    hi,
-                ));
             }
         }
         windows
@@ -307,7 +364,13 @@ impl Iut for SimulatedIut {
             self.ignored_inputs += 1;
             return;
         };
-        match self.interpreter().after_input(&self.state, ch) {
+        let interp = self.interpreter();
+        let next = if self.closed {
+            interp.fire_sync(&self.state, ch)
+        } else {
+            interp.after_input(&self.state, ch)
+        };
+        match next {
             Ok(Some(next)) => self.state = next,
             _ => self.ignored_inputs += 1,
         }
@@ -319,7 +382,14 @@ impl Iut for SimulatedIut {
             Some((after, edge, ch)) if after <= max_ticks => {
                 self.force_advance(after);
                 let interp = self.interpreter();
-                match interp.fire_edge(&self.state, edge) {
+                let next = if self.closed {
+                    // The planned window already accounts for a matching
+                    // `ch?` edge; fire the whole synchronization.
+                    interp.fire_sync(&self.state, ch)
+                } else {
+                    interp.fire_edge(&self.state, edge)
+                };
+                match next {
                     Ok(Some(next)) => {
                         self.state = next;
                         DelayOutcome::Output {
@@ -336,6 +406,20 @@ impl Iut for SimulatedIut {
                 }
             }
             _ => {
+                // At a blocked instant with no output scheduled, the model
+                // may still progress through a forced internal move: one
+                // silent, deterministic hop per zero-length grant (the same
+                // first-in-declaration-order rule the executor applies to
+                // the product, keeping conformant runs in lockstep).
+                if max_ticks == 0 {
+                    let interp = self.interpreter();
+                    if interp.max_delay(&self.state).unwrap_or(None) == Some(0) {
+                        if let Ok(Some(next)) = interp.fire_first_internal(&self.state) {
+                            self.state = next;
+                        }
+                    }
+                    return DelayOutcome::Quiet;
+                }
                 self.force_advance(max_ticks);
                 DelayOutcome::Quiet
             }
@@ -550,6 +634,81 @@ mod tests {
         assert_eq!(iut.delay(1000), DelayOutcome::Quiet);
         let _ = req;
         let _ = resp;
+    }
+
+    /// Closed network: `A` offers `out!` in `[1, 3]` (invariant `x <= 3`) and
+    /// `B` accepts `out?` only once `x >= 2`, so the sync window is `[2, 3]`.
+    fn closed_pair() -> System {
+        let mut b = SystemBuilder::new("pair");
+        let x = b.clock("x").unwrap();
+        let out = b.output_channel("out").unwrap();
+        let mut a = AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        let l1 = a.location("L1").unwrap();
+        a.set_invariant(l0, vec![ClockConstraint::new(x, CmpOp::Le, 3)]);
+        a.add_edge(
+            EdgeBuilder::new(l0, l1)
+                .output(out)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 1)),
+        );
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let mut r = AutomatonBuilder::new("B");
+        let m0 = r.location("M0").unwrap();
+        let m1 = r.location("M1").unwrap();
+        r.add_edge(
+            EdgeBuilder::new(m0, m1)
+                .input(out)
+                .guard_clock(ClockConstraint::new(x, CmpOp::Ge, 2)),
+        );
+        b.add_automaton(r.build().unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closed_view_intersects_sender_and_receiver_windows() {
+        // Eager fires at the earliest instant *both* guards hold: x = 2, not
+        // the sender-only earliest x = 1.
+        let mut iut = SimulatedIut::closed("closed", closed_pair(), 4, OutputPolicy::Eager);
+        match iut.delay(100) {
+            DelayOutcome::Output { after, channel } => {
+                assert_eq!(after, 8); // 2 time units at scale 4
+                assert_eq!(channel, "out");
+            }
+            DelayOutcome::Quiet => panic!("expected an output"),
+        }
+        // Both automata moved: the sync consumed the sender and receiver edge.
+        let moved: Vec<_> = [1, 1].map(tiga_model::LocationId::from_index).into();
+        assert_eq!(iut.state().locations, moved);
+    }
+
+    #[test]
+    fn open_view_of_the_same_network_fires_the_lone_half_edge() {
+        let mut iut = SimulatedIut::new("open", closed_pair(), 4, OutputPolicy::Eager);
+        match iut.delay(100) {
+            DelayOutcome::Output { after, channel } => {
+                assert_eq!(after, 4); // sender-only window starts at x = 1
+                assert_eq!(channel, "out");
+            }
+            DelayOutcome::Quiet => panic!("expected an output"),
+        }
+    }
+
+    #[test]
+    fn closed_view_never_fires_an_unreceived_output() {
+        // A lone `out!` self-loop with no receiver anywhere: the closed
+        // network has no enabled sync, so the implementation stays quiet
+        // (the open view would emit immediately).
+        let mut b = SystemBuilder::new("lone");
+        let out = b.output_channel("out").unwrap();
+        let mut a = AutomatonBuilder::new("A");
+        let l0 = a.location("L0").unwrap();
+        a.add_edge(EdgeBuilder::new(l0, l0).output(out));
+        b.add_automaton(a.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let mut iut = SimulatedIut::closed("lone", sys.clone(), 4, OutputPolicy::Eager);
+        assert_eq!(iut.delay(1000), DelayOutcome::Quiet);
+        let mut open = SimulatedIut::new("lone-open", sys, 4, OutputPolicy::Eager);
+        assert!(matches!(open.delay(1000), DelayOutcome::Output { .. }));
     }
 
     #[test]

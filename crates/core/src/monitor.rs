@@ -143,6 +143,28 @@ impl<'a> SpecMonitor<'a> {
             .collect())
     }
 
+    /// Advances the specification through one forced internal (`tau`) move,
+    /// if any is enabled — the deterministic first-in-declaration-order rule
+    /// of [`Interpreter::fire_first_internal`].
+    ///
+    /// The executor calls this when the closed product is time-blocked and
+    /// progresses through a silent move: the specification, when it has the
+    /// same internal structure, must follow to stay synchronized.  Returns
+    /// whether the specification moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors.
+    pub fn progress_internal(&mut self) -> Result<bool, ModelError> {
+        match self.interpreter().fire_first_internal(&self.state)? {
+            Some(next) => {
+                self.state = next;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Observes the tester sending an input.
     ///
     /// The specification is assumed input-enabled; if it has no edge for the

@@ -91,6 +91,15 @@ pub enum InconclusiveReason {
     /// The strategy prescribed waiting but neither an output nor a deadline
     /// can bound the wait (should not happen for winning strategies).
     UnboundedWait,
+    /// The specification's invariant expired with no output available to
+    /// discharge the deadline: the specification itself is timelocked, so no
+    /// implementation can be blamed and a reachability purpose can no longer
+    /// be met.  (A safety run ending in such a state passes instead — a
+    /// blocked run trivially maintains its predicate forever.)
+    SpecTimelock {
+        /// Virtual time at which the specification got stuck, in ticks.
+        at_ticks: i64,
+    },
 }
 
 impl fmt::Display for InconclusiveReason {
@@ -102,6 +111,10 @@ impl fmt::Display for InconclusiveReason {
             InconclusiveReason::StepBudgetExhausted => write!(f, "step budget exhausted"),
             InconclusiveReason::TimeBudgetExhausted => write!(f, "time budget exhausted"),
             InconclusiveReason::UnboundedWait => write!(f, "strategy wait is unbounded"),
+            InconclusiveReason::SpecTimelock { at_ticks } => write!(
+                f,
+                "specification is timelocked at t={at_ticks} ticks (deadline with no output to discharge it)"
+            ),
         }
     }
 }

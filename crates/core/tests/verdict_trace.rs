@@ -29,6 +29,7 @@ fn all_inconclusive_reasons() -> Vec<InconclusiveReason> {
         InconclusiveReason::StepBudgetExhausted,
         InconclusiveReason::TimeBudgetExhausted,
         InconclusiveReason::UnboundedWait,
+        InconclusiveReason::SpecTimelock { at_ticks: 16 },
     ]
 }
 

@@ -14,8 +14,8 @@
 
 use crate::gen::{generate_spec, GenConfig};
 use crate::oracle::{
-    check_engine_agreement, check_pred_t, check_roundtrip, check_zone_algebra, EngineCheck,
-    EngineCheckOptions,
+    check_engine_agreement, check_pred_t, check_roundtrip, check_test_execution,
+    check_zone_algebra, EngineCheck, EngineCheckOptions, ExecCheck, ExecCheckOptions,
 };
 use crate::shrink::shrink_spec;
 use crate::spec::SysSpec;
@@ -45,6 +45,8 @@ pub struct FuzzOptions {
     pub zone_samples: usize,
     /// Engine budgets.
     pub engines: EngineCheckOptions,
+    /// Test-execution oracle budgets (runs on every winning game).
+    pub exec: ExecCheckOptions,
     /// System-shape knobs.
     pub gen: GenConfig,
 }
@@ -60,6 +62,7 @@ impl Default for FuzzOptions {
             zone_rounds: 2,
             zone_samples: 24,
             engines: EngineCheckOptions::default(),
+            exec: ExecCheckOptions::default(),
             gen: GenConfig::default(),
         }
     }
@@ -72,8 +75,8 @@ pub struct FuzzFailure {
     pub case_index: usize,
     /// The derived per-case seed (regenerates the unshrunk system).
     pub case_seed: u64,
-    /// Which oracle failed: `engine-agreement`, `roundtrip`, `zone-algebra`
-    /// or `pred-t`.
+    /// Which oracle failed: `engine-agreement`, `roundtrip`, `zone-algebra`,
+    /// `pred-t` or `test-execution`.
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -97,6 +100,15 @@ pub struct FuzzReport {
     pub safety: usize,
     /// Cases skipped by the engine oracle (state limit exceeded).
     pub skipped: usize,
+    /// Winning games whose strategy was executed end-to-end (oracle 5).
+    pub executed: usize,
+    /// Winning games outside the observability test hypothesis (internal
+    /// `tau` edges), where test execution does not apply.
+    pub unobservable: usize,
+    /// Mutant implementations exercised across all executed games.
+    pub mutants: usize,
+    /// ... of which the injected fault was detected (verdict `fail`).
+    pub detected: usize,
     /// All confirmed failures.
     pub failures: Vec<FuzzFailure>,
 }
@@ -150,6 +162,10 @@ struct CaseOutcome {
     winning: bool,
     safety: bool,
     skipped: bool,
+    executed: bool,
+    unobservable: bool,
+    mutants: usize,
+    detected: usize,
 }
 
 fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOutcome {
@@ -159,6 +175,10 @@ fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOut
         winning: false,
         safety: false,
         skipped: false,
+        executed: false,
+        unobservable: false,
+        mutants: 0,
+        detected: 0,
     };
 
     // Oracles 3 and 4 first: they are independent of the generated system
@@ -249,6 +269,48 @@ fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOut
             });
         }
     }
+
+    // Oracle 5: test execution, on every game the engines proved winning.
+    if outcome.winning {
+        let exec_detail = match check_test_execution(&system, &purpose, &options.exec) {
+            ExecCheck::Executed { mutants, detected } => {
+                outcome.executed = true;
+                outcome.mutants = mutants;
+                outcome.detected = detected;
+                None
+            }
+            // The engines just proved the game winning under the same state
+            // budget, so "not enforceable" contradicts them.
+            ExecCheck::NotApplicable => {
+                Some("engines say WINNING but the harness found no strategy".to_string())
+            }
+            // Internal edges put the game outside the observability test
+            // hypothesis; the solver oracles still covered it.
+            ExecCheck::Unobservable => {
+                outcome.unobservable = true;
+                None
+            }
+            ExecCheck::Diverged(detail) => Some(detail),
+        };
+        if let Some(detail) = exec_detail {
+            let exec = options.exec.clone();
+            let shrunk = maybe_shrink(options, &spec, &mut |s| {
+                s.build().ok().is_some_and(|(sys, p)| {
+                    matches!(
+                        check_test_execution(&sys, &p, &exec),
+                        ExecCheck::Diverged(_)
+                    )
+                })
+            });
+            outcome.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "test-execution",
+                detail,
+                reproducer: Some(reproducer_tg(&shrunk, case_seed, "test-execution")),
+            });
+        }
+    }
     outcome
 }
 
@@ -283,6 +345,10 @@ pub fn fuzz_campaign(options: &FuzzOptions, progress: &mut dyn FnMut(usize, usiz
         report.winning += usize::from(outcome.winning);
         report.safety += usize::from(outcome.safety);
         report.skipped += usize::from(outcome.skipped);
+        report.executed += usize::from(outcome.executed);
+        report.unobservable += usize::from(outcome.unobservable);
+        report.mutants += outcome.mutants;
+        report.detected += outcome.detected;
         report.failures.extend(outcome.failures);
         if threads > 1 {
             progress(case_index + 1, report.failures.len());
@@ -389,6 +455,23 @@ mod tests {
             report.safety > 20,
             "expected a meaningful safety share, got {}",
             report.safety
+        );
+        assert_eq!(
+            report.executed + report.unobservable,
+            report.winning,
+            "every winning observable game must execute end-to-end"
+        );
+        assert!(
+            report.executed > report.unobservable,
+            "the executable share must dominate: {} executed, {} unobservable",
+            report.executed,
+            report.unobservable
+        );
+        assert!(
+            report.mutants > 0 && report.detected > 0,
+            "expected the mutant pool to be exercised: {} mutants, {} detected",
+            report.mutants,
+            report.detected
         );
     }
 }

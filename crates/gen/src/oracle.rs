@@ -1,4 +1,4 @@
-//! The three differential oracles of the fuzzing harness.
+//! The five differential oracles of the fuzzing harness.
 //!
 //! 1. **Engine agreement** — every solver engine must return the same
 //!    verdict on a generated game — reachability (`A<>`) *and* safety
@@ -12,6 +12,15 @@
 //!    `intersect`/`subtract` agree with the exact rational-valuation
 //!    reference model of [`crate::refmodel`], and `zone_subtract` satisfies
 //!    its partition laws.
+//! 4. **`Pred_t`** — the timed-predecessor operator against the exact
+//!    rational interval-sweep reference ([`check_pred_t`]).
+//! 5. **Test execution** — for generated *winning* games, the synthesized
+//!    strategy is executed end-to-end via [`TestHarness`] against the
+//!    conformant implementation (under every deterministic output policy)
+//!    and a pool of mutants, with the tioco verdicts as the oracle: the
+//!    soundness theorem says a conformant implementation can never fail,
+//!    and a winning strategy must actually drive every conformant run to a
+//!    `pass` ([`check_test_execution`]).
 
 use crate::refmodel;
 use rand::rngs::StdRng;
@@ -21,6 +30,10 @@ use tiga_lang::{parse_model, print_system};
 use tiga_model::System;
 use tiga_solver::{solve, GameSolution, SolveEngine, SolveOptions, SolverError};
 use tiga_tctl::TestPurpose;
+use tiga_testing::{
+    default_policies, generate_mutants, HarnessError, MutationConfig, OutputPolicy, SimulatedIut,
+    TestConfig, TestHarness,
+};
 
 /// Outcome of the engine-agreement oracle on one generated game.
 #[derive(Clone, Debug)]
@@ -222,6 +235,185 @@ pub fn check_roundtrip(system: &System, purpose: &TestPurpose) -> Option<String>
         return Some("printing is not a fixpoint after one round trip".into());
     }
     None
+}
+
+// ---- test execution -------------------------------------------------------
+
+/// Outcome of the test-execution oracle on one generated game.
+#[derive(Clone, Debug)]
+pub enum ExecCheck {
+    /// The strategy was synthesized and executed; tallies for the report.
+    Executed {
+        /// Mutant implementations exercised.
+        mutants: usize,
+        /// ... of which the injected fault was detected (verdict `fail`).
+        detected: usize,
+    },
+    /// The purpose is not enforceable, so there is no strategy to execute;
+    /// not a failure when the caller has not already established a winning
+    /// verdict.
+    NotApplicable,
+    /// The system has *controllable* internal (`tau`) edges, which violate
+    /// the paper's observability test hypothesis: the strategy may prescribe
+    /// a silent move that a black-box run cannot be told about.  Such games
+    /// still exercise the solver oracles; test execution does not apply.
+    /// (Uncontrollable internal edges are fine — they follow the shared
+    /// forced-progression rule.)
+    Unobservable,
+    /// A soundness violation — a bug in the strategy extraction, the test
+    /// executor, or the conformance monitor.
+    Diverged(String),
+}
+
+/// Budgets of the test-execution oracle.
+#[derive(Clone, Debug)]
+pub struct ExecCheckOptions {
+    /// Forward-exploration state cap for the harness synthesis (matches the
+    /// engine oracle's budget so a game the engines solved is in reach).
+    pub max_states: usize,
+    /// Upper bound on the mutant pool exercised per case.
+    pub max_mutants: usize,
+    /// Execution budgets (tick scale, step and time caps).  The default is
+    /// deliberately smaller than [`TestConfig::default`]: generated systems
+    /// have single-digit constants, so a short observation window keeps the
+    /// campaign fast while still deciding every run.
+    pub config: TestConfig,
+}
+
+impl Default for ExecCheckOptions {
+    fn default() -> Self {
+        ExecCheckOptions {
+            max_states: 20_000,
+            max_mutants: 8,
+            config: TestConfig {
+                max_steps: 600,
+                max_ticks: 4_000,
+                ..TestConfig::default()
+            },
+        }
+    }
+}
+
+/// Runs the synthesized strategy of a *winning* generated game against the
+/// conformant implementation and a mutant pool (the fifth fuzz oracle).
+///
+/// The conformant implementation — the generated closed network itself,
+/// simulated under every deterministic output policy — must `pass`: a
+/// winning reachability strategy drives any conformant implementation into
+/// the goal, and a winning safety strategy keeps it inside the safe set for
+/// the whole observation budget.  Any `fail` contradicts tioco soundness
+/// and any `inconclusive` contradicts the winning verdict, so both are
+/// reported as divergences.  Repeated runs must also be bit-identical (the
+/// executor is deterministic).  Mutants may or may not be caught — their
+/// tally is reported, not asserted.
+///
+/// Systems with *controllable* internal (`tau`) edges are
+/// [`ExecCheck::Unobservable`]: the paper's test hypothesis requires an
+/// observable specification, and a strategy-prescribed silent move would
+/// desynchronize every tracker in the harness.
+#[must_use]
+pub fn check_test_execution(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &ExecCheckOptions,
+) -> ExecCheck {
+    // Test execution assumes the paper's observability hypothesis.
+    // *Uncontrollable* internal edges are fine: they only fire when time is
+    // blocked, under the deterministic forced-progression rule that the
+    // executor, the monitor and the simulated implementation share.  A
+    // *controllable* internal edge, however, is a silent move the strategy
+    // itself may prescribe — the black box cannot be told about it, so no
+    // tracker stays synchronized with the implementation.
+    let has_controllable_tau = system.automata().iter().any(|a| {
+        a.edges()
+            .iter()
+            .any(|e| e.sync == tiga_model::Sync::Tau && e.controllable == Some(true))
+    });
+    if has_controllable_tau {
+        return ExecCheck::Unobservable;
+    }
+    let mut solve_options = SolveOptions::default();
+    solve_options.explore.max_states = options.max_states;
+    let harness = match TestHarness::synthesize_with(
+        system.clone(),
+        system.clone(),
+        &purpose.source,
+        options.config.clone(),
+        &solve_options,
+    ) {
+        Ok(harness) => harness,
+        Err(HarnessError::NotEnforceable { .. }) => return ExecCheck::NotApplicable,
+        Err(e) => return ExecCheck::Diverged(format!("harness synthesis failed: {e}")),
+    };
+
+    let scale = options.config.scale;
+    let mut first_report = None;
+    for policy in default_policies() {
+        let mut iut = SimulatedIut::closed("conformant", system.clone(), scale, policy);
+        let report = match harness.execute(&mut iut) {
+            Ok(report) => report,
+            Err(e) => {
+                return ExecCheck::Diverged(format!(
+                    "conformant execution errored under {policy:?}: {e}"
+                ));
+            }
+        };
+        if !report.verdict.is_pass() {
+            return ExecCheck::Diverged(format!(
+                "conformant implementation under {policy:?} got `{}` instead of pass",
+                report.verdict
+            ));
+        }
+        if let OutputPolicy::Eager = policy {
+            first_report = Some(report);
+        }
+    }
+    // Determinism of the executor: the same (strategy, implementation,
+    // policy) run twice must produce the same verdict, trace and step count.
+    if let Some(first) = first_report {
+        let mut iut =
+            SimulatedIut::closed("conformant", system.clone(), scale, OutputPolicy::Eager);
+        match harness.execute(&mut iut) {
+            Ok(again) if again == first => {}
+            Ok(_) => {
+                return ExecCheck::Diverged(
+                    "re-running the eager conformant implementation changed the report".into(),
+                );
+            }
+            Err(e) => return ExecCheck::Diverged(format!("re-run errored: {e}")),
+        }
+    }
+
+    let mutation = MutationConfig {
+        max_mutants: options.max_mutants,
+        ..MutationConfig::default()
+    };
+    let mutants = match generate_mutants(system, &mutation) {
+        Ok(mutants) => mutants,
+        Err(e) => return ExecCheck::Diverged(format!("mutant generation failed: {e}")),
+    };
+    let mut detected = 0;
+    for mutant in &mutants {
+        let mut iut = SimulatedIut::closed(
+            &mutant.name,
+            mutant.system.clone(),
+            scale,
+            OutputPolicy::Eager,
+        );
+        match harness.execute(&mut iut) {
+            Ok(report) => detected += usize::from(report.verdict.is_fail()),
+            Err(e) => {
+                return ExecCheck::Diverged(format!(
+                    "mutant `{}` execution errored: {e}",
+                    mutant.name
+                ));
+            }
+        }
+    }
+    ExecCheck::Executed {
+        mutants: mutants.len(),
+        detected,
+    }
 }
 
 // ---- zone algebra ---------------------------------------------------------
@@ -543,6 +735,40 @@ mod tests {
             }
         }
         assert!(agreed >= 20, "only {agreed}/30 cases were solvable");
+    }
+
+    #[test]
+    fn test_execution_oracle_on_generated_winning_games() {
+        // The full fifth-oracle loop on a slice of the default distribution:
+        // every game the engines call winning must synthesize a harness and
+        // drive the conformant implementation to `pass` under every policy.
+        let config = crate::GenConfig::default();
+        let engine_options = EngineCheckOptions::default();
+        let exec_options = ExecCheckOptions::default();
+        let mut executed = 0;
+        for seed in 0..30 {
+            let (system, purpose) = crate::generate_spec(seed, &config).build().unwrap();
+            let winning = match check_engine_agreement(&system, &purpose, &engine_options) {
+                EngineCheck::Agreed { winning } => winning,
+                EngineCheck::Skipped(_) => continue,
+                EngineCheck::Diverged(detail) => panic!("seed {seed}: {detail}"),
+            };
+            if !winning {
+                continue;
+            }
+            match check_test_execution(&system, &purpose, &exec_options) {
+                ExecCheck::Executed { .. } => executed += 1,
+                // Internal edges are outside the observability hypothesis.
+                ExecCheck::Unobservable => {}
+                // The engines proved the game winning with the same state
+                // budget, so the harness must find the strategy too.
+                ExecCheck::NotApplicable => {
+                    panic!("seed {seed}: winning game deemed not enforceable")
+                }
+                ExecCheck::Diverged(detail) => panic!("seed {seed}: {detail}"),
+            }
+        }
+        assert!(executed >= 10, "only {executed}/30 cases were executed");
     }
 
     #[test]

@@ -45,6 +45,26 @@ pub struct SuccessorStep {
     pub controllable: bool,
 }
 
+/// One symbolic successor step whose target has *not* been interned yet,
+/// returned by [`Explorer::successor_candidates`].
+///
+/// The read-only candidate computation is the expensive part of forward
+/// exploration (guard evaluation, successor zones, delay closure); keeping
+/// it free of interning lets callers run it for many `(state, zone)` pairs
+/// on worker threads and intern the targets afterwards, in a deterministic
+/// merge order.
+#[derive(Clone, Debug)]
+pub struct CandidateStep {
+    /// The joint (composed) model edge taken.
+    pub joint: JointEdge,
+    /// The target discrete state (intern it to obtain a [`StateIndex`]).
+    pub discrete: DiscreteState,
+    /// Delay-closed, extrapolated successor zone (never empty).
+    pub zone: Dbm,
+    /// Whether the step is a controllable (tester) move.
+    pub controllable: bool,
+}
+
 /// Incremental symbolic explorer over a [`System`].
 ///
 /// States are interned on first sight through a hash map keyed by the full
@@ -158,8 +178,34 @@ impl<'a> Explorer<'a> {
         source: StateIndex,
         zone: &Dbm,
     ) -> Result<Vec<SuccessorStep>, ModelError> {
-        let discrete = self.states[source].discrete.clone();
-        let joint_edges = self.system.enabled_joint_edges(&discrete)?;
+        let candidates = self.successor_candidates(source, zone)?;
+        let mut steps = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let target = self.intern(candidate.discrete)?;
+            steps.push(SuccessorStep {
+                joint: candidate.joint,
+                target,
+                zone: candidate.zone,
+                controllable: candidate.controllable,
+            });
+        }
+        Ok(steps)
+    }
+
+    /// The read-only half of [`Explorer::successors`]: enumerates the
+    /// symbolic successors of `(source, zone)` without interning the target
+    /// states, so it can run on worker threads against a shared `&Explorer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guard/update/invariant evaluation errors.
+    pub fn successor_candidates(
+        &self,
+        source: StateIndex,
+        zone: &Dbm,
+    ) -> Result<Vec<CandidateStep>, ModelError> {
+        let discrete = &self.states[source].discrete;
+        let joint_edges = self.system.enabled_joint_edges(discrete)?;
         let mut steps = Vec::with_capacity(joint_edges.len());
         for joint in joint_edges {
             let state = SymbolicState {
@@ -174,10 +220,9 @@ impl<'a> Explorer<'a> {
                 continue;
             }
             let controllable = self.system.is_controllable(&joint);
-            let target = self.intern(succ.discrete)?;
-            steps.push(SuccessorStep {
+            steps.push(CandidateStep {
                 joint,
-                target,
+                discrete: succ.discrete,
                 zone: succ.zone,
                 controllable,
             });

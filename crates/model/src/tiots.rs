@@ -413,6 +413,31 @@ impl<'a> Interpreter<'a> {
         }
     }
 
+    /// Fires the first enabled internal (`tau`) edge, in (automaton, edge)
+    /// declaration order, or returns `None` when no internal move is
+    /// possible.
+    ///
+    /// This is the deterministic *forced-progression* rule shared by the
+    /// test executor, the conformance monitor and the simulated
+    /// implementation: when time is blocked and no synchronization is due,
+    /// all three advance through the same silent move, which keeps their
+    /// tracked states in lockstep on a common model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn fire_first_internal(
+        &self,
+        state: &ConcreteState,
+    ) -> Result<Option<ConcreteState>, ModelError> {
+        for e in self.enabled_matching(state, |s| *s == Sync::Tau)? {
+            if let Some(next) = self.fire_edge(state, e)? {
+                return Ok(Some(next));
+            }
+        }
+        Ok(None)
+    }
+
     /// Open view: enabled edges receiving `channel?`.
     ///
     /// # Errors

@@ -102,13 +102,27 @@ impl LepConfig {
         "control: A<> forall (i: BufferId) (inUse[i] == 1) and IUT.idle".to_string()
     }
 
-    /// All three purposes with their names, in the order of Table 1.
+    /// An avoid (safety) purpose: keep the IUT out of the leader role.
+    ///
+    /// The tester wins by delivering a better address before the election
+    /// timeout fires: `timeout!` only leaves `waiting`, so once the IUT has
+    /// forwarded the better address and returned to `idle` it can never
+    /// become leader.  Enforceable for every node count `>= 2`, in both the
+    /// abstract and the detailed configuration.
+    #[must_use]
+    pub fn tp4(&self) -> String {
+        "control: A[] not IUT.leader".to_string()
+    }
+
+    /// All four purposes with their names: TP1–TP3 in the order of Table 1,
+    /// then the [`LepConfig::tp4`] avoid purpose.
     #[must_use]
     pub fn purposes(&self) -> Vec<(&'static str, String)> {
         vec![
             ("TP1", self.tp1()),
             ("TP2", self.tp2()),
             ("TP3", self.tp3()),
+            ("TP4", self.tp4()),
         ]
     }
 }
@@ -408,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn all_three_purposes_parse() {
+    fn all_purposes_parse() {
         let config = LepConfig::new(3);
         let sys = product(config).unwrap();
         for (_, text) in config.purposes() {
@@ -441,6 +455,18 @@ mod tests {
         let tp = TestPurpose::parse(&config.tp3(), &sys).unwrap();
         let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
         assert!(solution.winning_from_initial, "TP3 must be winnable");
+    }
+
+    #[test]
+    fn tp4_avoidance_is_enforceable_for_three_nodes() {
+        let config = LepConfig::new(3);
+        let sys = product(config).unwrap();
+        let tp = TestPurpose::parse(&config.tp4(), &sys).unwrap();
+        let solution = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(
+            solution.winning_from_initial,
+            "TP4 (avoid leadership) must be winnable"
+        );
     }
 
     #[test]

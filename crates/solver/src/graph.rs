@@ -84,6 +84,28 @@ impl GameGraph {
         goal: &StatePredicate,
         options: &ExploreOptions,
     ) -> Result<Self, SolverError> {
+        Self::explore_jobs(system, goal, options, 1)
+    }
+
+    /// Like [`GameGraph::explore`], with the symbolic successor computation
+    /// of each frontier batch sharded over `jobs` worker threads (`0` = all
+    /// cores).
+    ///
+    /// The frontier is drained in deterministic batches: candidate
+    /// successors of every `(node, zone)` pair are computed read-only in
+    /// parallel ([`Explorer::successor_candidates`]), then interned, edge-
+    /// deduplicated and subsumption-checked sequentially in batch order —
+    /// the explored graph is bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameGraph::explore`].
+    pub fn explore_jobs(
+        system: &System,
+        goal: &StatePredicate,
+        options: &ExploreOptions,
+        jobs: usize,
+    ) -> Result<Self, SolverError> {
         let mut explorer = Explorer::new(system);
         let mut graph = GameGraph {
             nodes: Vec::new(),
@@ -95,37 +117,47 @@ impl GameGraph {
         graph.initial = root_id;
         graph.nodes[root_id].reach.add_zone(root_zone.clone());
 
-        // Work list of (node, zone) pairs still to expand.
+        // Work list of (node, zone) pairs still to expand, drained batchwise.
         let mut queue: Vec<(NodeId, Dbm)> = vec![(root_id, root_zone)];
-        while let Some((node_id, zone)) = queue.pop() {
-            if options.stop_at_goal && graph.nodes[node_id].is_goal {
-                continue;
-            }
-            for step in explorer.successors(node_id, &zone)? {
-                let succ_id = graph.adopt(system, goal, &explorer, step.target)?;
-                if graph.nodes.len() > options.max_states {
-                    return Err(SolverError::StateLimitExceeded {
-                        limit: options.max_states,
-                    });
-                }
-                // Record the edge once per (joint, target).
-                let exists = graph.nodes[node_id]
-                    .edges
-                    .iter()
-                    .any(|e| e.joint == step.joint && e.target == succ_id);
-                if !exists {
-                    graph.nodes[node_id].edges.push(GraphEdge {
-                        joint: step.joint,
-                        target: succ_id,
-                        controllable: step.controllable,
-                    });
-                }
-                // Continue exploring only if the zone adds new valuations.
-                if graph.nodes[succ_id]
-                    .reach
-                    .insert_subsumed(step.zone.clone())
-                {
-                    queue.push((succ_id, step.zone));
+        while !queue.is_empty() {
+            let batch: Vec<(NodeId, Dbm)> = std::mem::take(&mut queue)
+                .into_iter()
+                .filter(|(node_id, _)| !(options.stop_at_goal && graph.nodes[*node_id].is_goal))
+                .collect();
+            let results = tiga_parallel::run_indexed(batch, jobs, |_, (node_id, zone)| {
+                explorer
+                    .successor_candidates(node_id, &zone)
+                    .map(|steps| (node_id, steps))
+            });
+            for result in results {
+                let (node_id, steps) = result?;
+                for step in steps {
+                    let target = explorer.intern(step.discrete)?;
+                    let succ_id = graph.adopt(system, goal, &explorer, target)?;
+                    if graph.nodes.len() > options.max_states {
+                        return Err(SolverError::StateLimitExceeded {
+                            limit: options.max_states,
+                        });
+                    }
+                    // Record the edge once per (joint, target).
+                    let exists = graph.nodes[node_id]
+                        .edges
+                        .iter()
+                        .any(|e| e.joint == step.joint && e.target == succ_id);
+                    if !exists {
+                        graph.nodes[node_id].edges.push(GraphEdge {
+                            joint: step.joint,
+                            target: succ_id,
+                            controllable: step.controllable,
+                        });
+                    }
+                    // Continue exploring only if the zone adds new valuations.
+                    if graph.nodes[succ_id]
+                        .reach
+                        .insert_subsumed(step.zone.clone())
+                    {
+                        queue.push((succ_id, step.zone));
+                    }
                 }
             }
         }

@@ -80,6 +80,22 @@ struct NodeData {
     is_goal: bool,
 }
 
+/// What the read-only snapshot evaluation of one batch member found.
+enum EvalOutcome {
+    /// Goal state, or the update did not grow the federation.
+    Unchanged,
+    /// Skipped by the losing-subtree prune (own and successor sets empty).
+    Pruned,
+    /// The federation grew; the merge phase applies the delta.
+    Grown {
+        /// The new (strictly larger) winning federation.
+        new_win: Federation,
+        /// Controllable action regions for strategy extraction, keyed by
+        /// edge index.
+        action_regions: Vec<(usize, Federation)>,
+    },
+}
+
 struct Search<'a> {
     system: &'a System,
     goal: &'a StatePredicate,
@@ -215,13 +231,43 @@ impl Search<'_> {
         }
     }
 
-    /// The main waiting-list loop: expansion and back-propagation interleave
-    /// on every pop.
+    /// The main waiting-list loop, drained in deterministic batches so the
+    /// evaluations inside one batch can run on any number of worker threads
+    /// ([`SolveOptions::jobs`]) without affecting the result.
+    ///
+    /// Each batch runs three phases:
+    ///
+    /// 1. **expand** (sequential, canonical node order): every batch
+    ///    member's pending reach zones are expanded, looping until *all*
+    ///    batch frontiers are empty — a member expanded early may be offered
+    ///    a new zone by a later member, and the reach-confinement soundness
+    ///    argument requires every reach zone of an evaluated state to be
+    ///    expanded first;
+    /// 2. **evaluate** (parallel): the `π` update of every batch member is
+    ///    computed against the immutable post-expansion snapshot of the
+    ///    winning federations ([`Search::evaluate_one`] is read-only);
+    /// 3. **merge** (sequential, canonical node order): growths are applied
+    ///    one by one — revision bump, strategy recording, dependent wake-ups
+    ///    and the early-termination check all happen in batch order.
+    ///
+    /// The same three phases run for every thread count (a single worker
+    /// just computes phase 2 in index order), so `SolverStats`, winning
+    /// federations and extracted strategies are bit-identical for any
+    /// `--jobs N`.  A member evaluated against a snapshot that a batch peer
+    /// outgrows during the merge is re-queued through the peer's `depend`
+    /// set, exactly like any other stale evaluation.
     fn run(&mut self, root: NodeId) -> Result<(), SolverError> {
         let origin = vec![0i64; self.system.dim()];
-        while let Some(node) = self.queue.pop_front() {
-            self.in_queue[node] = false;
-            self.pops += 1;
+        while !self.queue.is_empty() {
+            // Draw the whole waiting list as one batch, in canonical
+            // (node-id, i.e. discovery) order.  `in_queue` already
+            // deduplicates.
+            let mut batch: Vec<NodeId> = self.queue.drain(..).collect();
+            batch.sort_unstable();
+            for &node in &batch {
+                self.in_queue[node] = false;
+            }
+            self.pops += batch.len();
             if self.pops
                 > self
                     .options
@@ -230,103 +276,141 @@ impl Search<'_> {
             {
                 break;
             }
-            self.expand(node)?;
-            if self.evaluate(node)? {
-                // Initial state decided: winning for reachability, *losing*
-                // for safety (the attractor is the losing set there) — in
-                // both cases the verdict is known and the remaining waiting
-                // list is moot.
-                if node == root
-                    && self.options.early_termination
-                    && self.win[root].contains_scaled(&origin)
-                {
-                    self.early_terminated = true;
-                    return Ok(());
+            // Phase 1: expansion, to a cross-batch fixpoint — a member
+            // expanded early may be offered a new zone by a later member
+            // (self-loops included), and every reach zone of an evaluated
+            // state must be expanded first.
+            loop {
+                let mut pending: Vec<(NodeId, Dbm)> = Vec::new();
+                for &node in &batch {
+                    if self.options.explore.stop_at_goal && self.nodes[node].is_goal {
+                        self.nodes[node].frontier.clear();
+                        continue;
+                    }
+                    let zones = std::mem::take(&mut self.nodes[node].frontier);
+                    pending.extend(zones.into_iter().map(|zone| (node, zone)));
                 }
-                let dependents = std::mem::take(&mut self.nodes[node].depend);
-                for d in &dependents {
-                    self.enqueue(*d);
+                if pending.is_empty() {
+                    break;
                 }
-                self.nodes[node].depend = dependents;
+                // Candidate successors are computed read-only in parallel;
+                // interning, edge discovery and zone offers merge in batch
+                // order below.
+                let results =
+                    tiga_parallel::run_indexed(pending, self.options.jobs, |_, (node, zone)| {
+                        self.explorer
+                            .successor_candidates(node, &zone)
+                            .map(|steps| (node, steps))
+                    });
+                for result in results {
+                    let (node, steps) = result?;
+                    self.absorb_steps(node, steps)?;
+                }
+            }
+            // Phase 2: parallel snapshot evaluation (read-only on `self`).
+            let outcomes =
+                tiga_parallel::run_indexed(batch.clone(), self.options.jobs, |_, node| {
+                    self.evaluate_one(node)
+                });
+            // Phase 3: in-order merge.
+            for (&node, outcome) in batch.iter().zip(outcomes) {
+                match outcome? {
+                    EvalOutcome::Unchanged => {}
+                    EvalOutcome::Pruned => self.pruned_evaluations += 1,
+                    EvalOutcome::Grown {
+                        new_win,
+                        action_regions,
+                    } => {
+                        self.apply_growth(node, new_win, &action_regions);
+                        // Initial state decided: winning for reachability,
+                        // *losing* for safety (the attractor is the losing
+                        // set there) — in both cases the verdict is known
+                        // and the remaining work is moot.
+                        if node == root
+                            && self.options.early_termination
+                            && self.win[root].contains_scaled(&origin)
+                        {
+                            self.early_terminated = true;
+                            return Ok(());
+                        }
+                        let dependents = std::mem::take(&mut self.nodes[node].depend);
+                        for d in &dependents {
+                            self.enqueue(*d);
+                        }
+                        self.nodes[node].depend = dependents;
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Forward step: expands every pending frontier zone of `node`,
-    /// discovering edges, interning targets and scheduling them.
+    /// Merge half of the forward step: interns the candidate successors of
+    /// one expanded `(node, zone)` pair, discovering edges, registering
+    /// dependencies and offering the successor zones.
     ///
-    /// Expanding a *self-loop* edge offers its successor zone back into this
-    /// node's own frontier mid-expansion, so the drain loops until the
-    /// frontier is genuinely empty.  Stopping after one snapshot would let
-    /// [`Search::evaluate`] run against a reach federation containing a zone
-    /// whose edges are still undiscovered — the evaluation could then claim
-    /// winning valuations where an unknown uncontrollable escape is enabled,
-    /// and monotone growth would never retract them (the reach-confinement
-    /// soundness argument requires every reach zone to be expanded before
-    /// the state is evaluated).  The loop terminates because every offered
-    /// zone is extrapolated (finitely many distinct zones per state) and
-    /// [`Federation::insert_subsumed`] admits only zones that add coverage.
-    fn expand(&mut self, node: NodeId) -> Result<(), SolverError> {
-        if self.options.explore.stop_at_goal && self.nodes[node].is_goal {
-            self.nodes[node].frontier.clear();
-            return Ok(());
-        }
-        while !self.nodes[node].frontier.is_empty() {
-            self.expand_pending(node)?;
-        }
-        Ok(())
-    }
-
-    /// Expands one snapshot of the pending frontier zones.
-    fn expand_pending(&mut self, node: NodeId) -> Result<(), SolverError> {
-        let pending = std::mem::take(&mut self.nodes[node].frontier);
-        for zone in pending {
-            let steps = self.explorer.successors(node, &zone)?;
+    /// A *self-loop* candidate offers its successor zone back into this
+    /// node's own frontier, so the phase-1 loop in [`Search::run`] drains
+    /// until every batch frontier is genuinely empty.  Stopping early would
+    /// let [`Search::evaluate_one`] run against a reach federation
+    /// containing a zone whose edges are still undiscovered — the
+    /// evaluation could then claim winning valuations where an unknown
+    /// uncontrollable escape is enabled, and monotone growth would never
+    /// retract them (the reach-confinement soundness argument requires
+    /// every reach zone to be expanded before the state is evaluated).  The
+    /// loop terminates because every offered zone is extrapolated (finitely
+    /// many distinct zones per state) and [`Federation::insert_subsumed`]
+    /// admits only zones that add coverage.
+    fn absorb_steps(
+        &mut self,
+        node: NodeId,
+        steps: Vec<tiga_model::CandidateStep>,
+    ) -> Result<(), SolverError> {
+        for step in steps {
+            let target = self.explorer.intern(step.discrete)?;
             self.sync_nodes()?;
             if self.explorer.len() > self.options.explore.max_states {
                 return Err(SolverError::StateLimitExceeded {
                     limit: self.options.explore.max_states,
                 });
             }
-            for step in steps {
-                let exists = self.nodes[node]
-                    .edges
-                    .iter()
-                    .any(|e| e.joint == step.joint && e.target == step.target);
-                if !exists {
-                    self.nodes[node].edges.push(GraphEdge {
-                        joint: step.joint,
-                        target: step.target,
-                        controllable: step.controllable,
-                    });
-                }
-                // This state must be re-evaluated whenever the target's
-                // winning federation grows (the `Depend` set of OTFUR).
-                if !self.nodes[step.target].depend.contains(&node) {
-                    self.nodes[step.target].depend.push(node);
-                }
-                if self.offer_zone(step.target, step.zone) {
-                    self.enqueue(step.target);
-                }
+            let exists = self.nodes[node]
+                .edges
+                .iter()
+                .any(|e| e.joint == step.joint && e.target == target);
+            if !exists {
+                self.nodes[node].edges.push(GraphEdge {
+                    joint: step.joint,
+                    target,
+                    controllable: step.controllable,
+                });
+            }
+            // This state must be re-evaluated whenever the target's
+            // winning federation grows (the `Depend` set of OTFUR).
+            if !self.nodes[target].depend.contains(&node) {
+                self.nodes[target].depend.push(node);
+            }
+            if self.offer_zone(target, step.zone) {
+                self.enqueue(target);
             }
         }
         Ok(())
     }
 
-    /// Backward step: re-evaluates the winning federation of `node` with the
-    /// shared `π` update.  Returns `true` if the federation grew.
-    fn evaluate(&mut self, node: NodeId) -> Result<bool, SolverError> {
+    /// Backward step, read-only half: computes the `π` update of `node`
+    /// against the current snapshot of the winning federations.  Runs on the
+    /// worker threads of the batch evaluation — it must not (and cannot:
+    /// `&self`) touch any search state.
+    fn evaluate_one(&self, node: NodeId) -> Result<EvalOutcome, SolverError> {
         let data = &self.nodes[node];
         if data.is_goal {
-            return Ok(false);
+            return Ok(EvalOutcome::Unchanged);
         }
         // Losing-subtree pruning: with an empty own set and empty successor
         // sets the update is provably the identity, so skip it.  The state
         // is re-queued through `depend` if a successor ever gains wins.
         if self.win[node].is_empty() && data.edges.iter().all(|e| self.win[e.target].is_empty()) {
-            self.pruned_evaluations += 1;
-            return Ok(false);
+            return Ok(EvalOutcome::Pruned);
         }
         let state = self.explorer.state(node);
         let (unconfined, action_regions) = pi_update(
@@ -349,12 +433,31 @@ impl Search<'_> {
         let mut new_win = unconfined.intersection(&data.reach);
         new_win.reduce_exact();
         if self.win[node].includes(&new_win) {
-            return Ok(false);
+            return Ok(EvalOutcome::Unchanged);
         }
+        Ok(EvalOutcome::Grown {
+            new_win,
+            action_regions,
+        })
+    }
+
+    /// Backward step, merge half: applies a growth computed by
+    /// [`Search::evaluate_one`].  Called in canonical batch order, which
+    /// keeps the revision counter — and hence the strategy ranks — identical
+    /// for any thread count.  Ranks stay well-founded under batching: the
+    /// action regions were computed against the pre-merge snapshot, so every
+    /// region recorded at the new revision leads into regions recorded at
+    /// strictly earlier revisions.
+    fn apply_growth(
+        &mut self,
+        node: NodeId,
+        new_win: Federation,
+        action_regions: &[(usize, Federation)],
+    ) {
         self.revision = self.revision.saturating_add(1);
         if self.options.extract_strategy && self.mode == GameMode::Reachability {
             let delta = new_win.difference(&self.win[node]);
-            let discrete = state.discrete.clone();
+            let discrete = self.explorer.state(node).discrete.clone();
             for zone in &delta {
                 self.strategy.add_rule(
                     discrete.clone(),
@@ -365,7 +468,7 @@ impl Search<'_> {
                     },
                 );
             }
-            for (edge_idx, region) in &action_regions {
+            for (edge_idx, region) in action_regions {
                 let joint = self.nodes[node].edges[*edge_idx].joint.clone();
                 for zone in region {
                     self.strategy.add_rule(
@@ -380,7 +483,6 @@ impl Search<'_> {
             }
         }
         self.win[node] = new_win;
-        Ok(true)
     }
 
     /// Assembles the partial game graph and the engine outcome.

@@ -102,6 +102,12 @@ pub struct SolveOptions {
     /// Safety valve on the number of fixpoint rounds (eager engines) or a
     /// per-state reevaluation budget (on-the-fly engine).
     pub max_rounds: usize,
+    /// Worker threads for the intra-solve parallel phases (Jacobi round
+    /// updates, on-the-fly batch evaluations).  `0` means all available
+    /// cores, matching `tiga fuzz --jobs`; the default `1` is sequential.
+    /// Results are bit-identical for any value: state updates are computed
+    /// against an immutable snapshot and merged in canonical state order.
+    pub jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -112,6 +118,7 @@ impl Default for SolveOptions {
             extract_strategy: true,
             early_termination: true,
             max_rounds: 10_000,
+            jobs: 1,
         }
     }
 }
@@ -268,7 +275,7 @@ fn solve_with_engine(
         }
         SolveEngine::Jacobi | SolveEngine::Worklist => {
             let explore_start = Instant::now();
-            let graph = GameGraph::explore(system, &target, &options.explore)?;
+            let graph = GameGraph::explore_jobs(system, &target, &options.explore, options.jobs)?;
             let exploration_time = explore_start.elapsed();
             let fixpoint_start = Instant::now();
             let mut fixpoint = Engine::new(system, &graph, mode);
@@ -568,6 +575,14 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        // Non-goal nodes, the shard units of one Jacobi round.  Every round
+        // recomputes each of them from the previous round's snapshot, so the
+        // per-node updates are independent and can run on any number of
+        // worker threads; merging the results in canonical (node-id) order
+        // below makes the outcome bit-identical for any `options.jobs`.
+        let shard: Vec<NodeId> = (0..self.graph.len())
+            .filter(|&id| !self.graph.node(id).is_goal)
+            .collect();
         let mut round: u32 = 0;
         loop {
             round += 1;
@@ -576,11 +591,12 @@ impl<'a> Engine<'a> {
             }
             let prev = win.clone();
             let mut changed = false;
-            for (node_id, node) in self.graph.nodes().iter().enumerate() {
-                if node.is_goal {
-                    continue;
-                }
-                let (new_win, action_regions) = self.node_update(node_id, node, &prev)?;
+            let updates = tiga_parallel::run_indexed(shard.clone(), options.jobs, |_, node_id| {
+                self.node_update(node_id, self.graph.node(node_id), &prev)
+            });
+            for (&node_id, update) in shard.iter().zip(updates) {
+                let node = self.graph.node(node_id);
+                let (new_win, action_regions) = update?;
                 if !prev[node_id].includes(&new_win) {
                     changed = true;
                     if record {

@@ -8,8 +8,9 @@ use tiga::tctl::TestPurpose;
 use tiga::testing::{OutputPolicy, SimulatedIut, TestConfig, TestHarness, Verdict};
 
 #[test]
-fn all_three_purposes_are_winnable_and_grow_with_n() {
-    let mut prev_states = [0usize; 3];
+fn all_purposes_are_winnable_and_grow_with_n() {
+    let purpose_count = LepConfig::new(3).purposes().len();
+    let mut prev_states = vec![0usize; purpose_count];
     for n in [3usize, 4] {
         let config = LepConfig::new(n);
         let system = product(config).expect("model builds");
