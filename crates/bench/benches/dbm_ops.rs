@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tiga_bench::{bench_rng, random_federation, random_zone};
+use tiga_dbm::ZoneStore;
 
 fn bench_zone_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("dbm");
@@ -81,5 +82,50 @@ fn bench_federation_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_zone_ops, bench_federation_ops);
+fn bench_interning_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern");
+    for dim in [4usize, 8] {
+        let mut rng = bench_rng();
+        let zones: Vec<_> = (0..64).map(|_| random_zone(&mut rng, dim, 20)).collect();
+        // Re-interning a warm store is the solver's hot path: most offered
+        // zones were derived before, so a lookup is a hash probe, not a copy.
+        group.bench_with_input(BenchmarkId::new("intern_hit", dim), &dim, |b, _| {
+            let mut store = ZoneStore::new(dim);
+            for z in &zones {
+                store.intern(z);
+            }
+            let mut idx = 0;
+            b.iter(|| {
+                let z = &zones[idx % zones.len()];
+                idx += 1;
+                black_box(store.intern(z));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("minimize", dim), &dim, |b, _| {
+            let mut idx = 0;
+            b.iter(|| {
+                let z = &zones[idx % zones.len()];
+                idx += 1;
+                black_box(z.minimize());
+            });
+        });
+        let minimal: Vec<_> = zones.iter().map(|z| z.minimize()).collect();
+        group.bench_with_input(BenchmarkId::new("rehydrate", dim), &dim, |b, _| {
+            let mut idx = 0;
+            b.iter(|| {
+                let m = &minimal[idx % minimal.len()];
+                idx += 1;
+                black_box(m.rehydrate());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zone_ops,
+    bench_federation_ops,
+    bench_interning_ops
+);
 criterion_main!(benches);

@@ -332,7 +332,9 @@ pub fn matrix_rows_to_json(rows: &[MatrixRow]) -> String {
                 "\"winning\": {}, \"discrete_states\": {}, \"graph_edges\": {}, ",
                 "\"iterations\": {}, \"winning_zones\": {}, \"peak_federation_size\": {}, ",
                 "\"reach_zones\": {}, \"subsumed_zones\": {}, \"pruned_evaluations\": {}, ",
-                "\"early_terminated\": {}, \"exploration_us\": {}, \"fixpoint_us\": {}, ",
+                "\"early_terminated\": {}, \"interned_zones\": {}, \"intern_hits\": {}, ",
+                "\"dbm_clones\": {}, \"peak_live_zones\": {}, \"minimized_bytes_saved\": {}, ",
+                "\"exploration_us\": {}, \"fixpoint_us\": {}, ",
                 "\"total_us\": {}}}"
             ),
             row.model,
@@ -348,6 +350,11 @@ pub fn matrix_rows_to_json(rows: &[MatrixRow]) -> String {
             stats.subsumed_zones,
             stats.pruned_evaluations,
             stats.early_terminated,
+            stats.interned_zones,
+            stats.intern_hits,
+            stats.dbm_clones,
+            stats.peak_live_zones,
+            stats.minimized_bytes_saved,
             timed.exploration_time.as_micros(),
             timed.fixpoint_time.as_micros(),
             timed.total_time().as_micros(),

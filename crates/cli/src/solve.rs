@@ -24,6 +24,12 @@ OPTIONS:
     --purpose '<control: ...>'       override the file's control: line
     --expect winning|losing          exit non-zero unless the verdict matches
     --show-strategy                  print the synthesized strategy listing
+    --no-intern                      disable the hash-consed zone store for the
+                                     passed lists (results are identical; the
+                                     clone counters then measure the
+                                     pre-interning behavior)
+    --stats-json                     emit the full solver statistics as one
+                                     JSON object instead of the text report
 ";
 
 /// Parsed arguments of `tiga solve`.
@@ -39,6 +45,8 @@ pub struct SolveArgs {
     pub expect_winning: Option<bool>,
     /// Include the strategy listing in the report.
     pub show_strategy: bool,
+    /// Emit the statistics as a JSON object instead of the text report.
+    pub stats_json: bool,
 }
 
 /// Parses `tiga solve` arguments.
@@ -86,6 +94,10 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
         }
     };
     let show_strategy = take_flag(&mut args, "--show-strategy");
+    if take_flag(&mut args, "--no-intern") {
+        options.interning = false;
+    }
+    let stats_json = take_flag(&mut args, "--stats-json");
     let path = if args.is_empty() {
         return Err(format!("error: missing <file.tg>\n\n{USAGE}"));
     } else {
@@ -98,6 +110,7 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
         purpose,
         expect_winning,
         show_strategy,
+        stats_json,
     })
 }
 
@@ -112,6 +125,19 @@ pub fn run_solve(args: &SolveArgs) -> Result<String, String> {
     let purpose = resolve_purpose(&model, args.purpose.as_deref())?;
     let solution = solve(&model.system, &purpose, &args.options)
         .map_err(|e| format!("error: solver failed: {e}"))?;
+    if args.stats_json {
+        let report = render_stats_json(&model.system, args, &solution);
+        if let Some(expected) = args.expect_winning {
+            if solution.winning_from_initial != expected {
+                return Err(format!(
+                    "{report}\nerror: expected the initial state to be {}, but it is {}",
+                    verdict_name(expected),
+                    verdict_name(solution.winning_from_initial)
+                ));
+            }
+        }
+        return Ok(report);
+    }
     let mut report = render_report(&args.path, &model.system, &purpose, args, &solution);
     if args.show_strategy {
         if let Some(strategy) = &solution.strategy {
@@ -182,6 +208,11 @@ fn render_report(
          pruned_evaluations: {}\n\
          peak_federation_size: {}\n\
          early_terminated: {}\n\
+         interned_zones: {}\n\
+         intern_hits: {}\n\
+         dbm_clones: {}\n\
+         peak_live_zones: {}\n\
+         minimized_bytes_saved: {}\n\
          strategy_rules: {strategy_rules}\n\
          time: exploration {}us + fixpoint {}us = {}us",
         system.name(),
@@ -197,10 +228,73 @@ fn render_report(
         stats.pruned_evaluations,
         stats.peak_federation_size,
         stats.early_terminated,
+        stats.interned_zones,
+        stats.intern_hits,
+        stats.dbm_clones,
+        stats.peak_live_zones,
+        stats.minimized_bytes_saved,
         timed.exploration_time.as_micros(),
         timed.fixpoint_time.as_micros(),
         timed.total_time().as_micros(),
     )
+}
+
+/// Renders the full [`tiga_solver::SolverStats`] (plus verdict, engine and
+/// timing) as one flat JSON object, for scripted consumers of `--stats-json`.
+fn render_stats_json(
+    system: &tiga_model::System,
+    args: &SolveArgs,
+    solution: &GameSolution,
+) -> String {
+    let stats = solution.stats();
+    let timed = &solution.timed;
+    let strategy_rules = solution
+        .strategy
+        .as_ref()
+        .map_or("null".to_string(), |s| s.rule_count().to_string());
+    format!(
+        concat!(
+            "{{\"model\":\"{}\",\"engine\":\"{}\",\"winning\":{},",
+            "\"discrete_states\":{},\"graph_edges\":{},\"iterations\":{},",
+            "\"winning_zones\":{},\"peak_federation_size\":{},\"reach_zones\":{},",
+            "\"subsumed_zones\":{},\"pruned_evaluations\":{},\"early_terminated\":{},",
+            "\"interned_zones\":{},\"intern_hits\":{},\"dbm_clones\":{},",
+            "\"peak_live_zones\":{},\"minimized_bytes_saved\":{},",
+            "\"strategy_rules\":{},\"exploration_us\":{},\"fixpoint_us\":{},\"total_us\":{}}}"
+        ),
+        json_escape(system.name()),
+        args.options.engine.name(),
+        solution.winning_from_initial,
+        stats.discrete_states,
+        stats.graph_edges,
+        stats.iterations,
+        stats.winning_zones,
+        stats.peak_federation_size,
+        stats.reach_zones,
+        stats.subsumed_zones,
+        stats.pruned_evaluations,
+        stats.early_terminated,
+        stats.interned_zones,
+        stats.intern_hits,
+        stats.dbm_clones,
+        stats.peak_live_zones,
+        stats.minimized_bytes_saved,
+        strategy_rules,
+        timed.exploration_time.as_micros(),
+        timed.fixpoint_time.as_micros(),
+        timed.total_time().as_micros(),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Entry point used by [`crate::run`].
@@ -263,6 +357,69 @@ mod tests {
         let args = parse_args(&strings(&["model.tg", "--jobs", "4"])).unwrap();
         assert_eq!(args.options.jobs, 4);
         assert!(parse_args(&strings(&["model.tg", "--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_interning_and_json_flags() {
+        let args = parse_args(&strings(&["model.tg"])).unwrap();
+        assert!(args.options.interning, "interning is on by default");
+        assert!(!args.stats_json);
+        let args = parse_args(&strings(&["model.tg", "--no-intern", "--stats-json"])).unwrap();
+        assert!(!args.options.interning);
+        assert!(args.stats_json);
+    }
+
+    #[test]
+    fn stats_json_reports_the_full_stats_block() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/tg/smart_light.tg");
+        let mut args = parse_args(&strings(&[path.to_str().unwrap(), "--stats-json"])).unwrap();
+        let report = run_solve(&args).unwrap();
+        assert!(report.starts_with('{') && report.ends_with('}'), "{report}");
+        for key in [
+            "\"model\":\"smart-light\"",
+            "\"engine\":\"otfur\"",
+            "\"winning\":",
+            "\"discrete_states\":",
+            "\"graph_edges\":",
+            "\"iterations\":",
+            "\"winning_zones\":",
+            "\"peak_federation_size\":",
+            "\"reach_zones\":",
+            "\"subsumed_zones\":",
+            "\"pruned_evaluations\":",
+            "\"early_terminated\":",
+            "\"interned_zones\":",
+            "\"intern_hits\":",
+            "\"dbm_clones\":",
+            "\"peak_live_zones\":",
+            "\"minimized_bytes_saved\":",
+            "\"strategy_rules\":",
+            "\"total_us\":",
+        ] {
+            assert!(report.contains(key), "missing {key} in {report}");
+        }
+        assert!(!report.contains("\"interned_zones\":0,"), "{report}");
+        // Interning off: the interning counters report zero, clone pressure
+        // is measured instead, and the verdict-bearing fields are unchanged.
+        args.options.interning = false;
+        let off = run_solve(&args).unwrap();
+        assert!(off.contains("\"interned_zones\":0,"), "{off}");
+        assert!(off.contains("\"minimized_bytes_saved\":0,"), "{off}");
+        let field = |r: &str, key: &str| {
+            let start = r.find(key).unwrap() + key.len();
+            r[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        };
+        for key in [
+            "\"discrete_states\":",
+            "\"reach_zones\":",
+            "\"winning_zones\":",
+        ] {
+            assert_eq!(field(&report, key), field(&off, key), "{key} differs");
+        }
     }
 
     #[test]

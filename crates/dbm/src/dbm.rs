@@ -133,6 +133,14 @@ impl Dbm {
         self.data[0] = Bound::ZERO_LT;
     }
 
+    /// An empty zone of the given dimension (used to rehydrate minimized
+    /// empty zones; empty zones are only compared via [`Dbm::is_empty`]).
+    pub(crate) fn empty_of(dim: usize) -> Self {
+        let mut z = Dbm::zero(dim);
+        z.set_empty();
+        z
+    }
+
     /// Full Floyd–Warshall canonicalisation.
     ///
     /// Public operations maintain canonical form, so this is only needed after

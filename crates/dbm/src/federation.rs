@@ -191,6 +191,15 @@ impl Federation {
         out
     }
 
+    /// Unions another federation into this one, consuming it so the member
+    /// zones move instead of being cloned.
+    pub fn absorb(&mut self, other: Federation) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        for z in other.zones {
+            self.add_zone(z);
+        }
+    }
+
     /// Intersects every member zone with `zone`, dropping empty results.
     pub fn intersect_zone(&mut self, zone: &Dbm) {
         assert_eq!(zone.dim(), self.dim, "dimension mismatch");
@@ -209,6 +218,28 @@ impl Federation {
         let mut out = Federation::empty(self.dim);
         for a in &self.zones {
             for b in &other.zones {
+                if let Some(z) = a.intersection(b) {
+                    out.add_zone(z);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns the intersection with a union of borrowed zones (e.g. the
+    /// member sequence of an interned [`crate::ZoneSet`]).
+    ///
+    /// Produces exactly what [`Federation::intersection`] would for a
+    /// federation holding `members` in the same order, without materializing
+    /// that federation.
+    #[must_use]
+    pub fn intersection_with_members<'a, I>(&self, members: I) -> Federation
+    where
+        I: Iterator<Item = &'a Dbm> + Clone,
+    {
+        let mut out = Federation::empty(self.dim);
+        for a in &self.zones {
+            for b in members.clone() {
                 if let Some(z) = a.intersection(b) {
                     out.add_zone(z);
                 }
@@ -424,8 +455,16 @@ impl Federation {
 
     /// Semantic equality: mutual inclusion of the denoted sets (member zone
     /// lists may differ).
+    ///
+    /// Structurally identical member lists short-circuit without any zone
+    /// closures; interned passed lists get the same effect for free via
+    /// [`crate::ZoneSet::set_equals_interned`], and only genuinely different
+    /// member lists pay for the two `includes` sweeps.
     #[must_use]
     pub fn set_equals(&self, other: &Federation) -> bool {
+        if self.dim == other.dim && self.zones == other.zones {
+            return true;
+        }
         self.includes(other) && other.includes(self)
     }
 
@@ -457,13 +496,14 @@ impl Federation {
                 result.add_zone(d);
                 continue;
             }
+            // g↓ does not depend on the bad zone; compute it once per g.
+            let mut down_g = g.clone();
+            down_g.down();
             for b in &bad.zones {
-                let mut down_g = g.clone();
-                down_g.down();
                 let mut down_b = b.clone();
                 down_b.down();
                 // (g↓ \ b↓)
-                let mut part = Federation::from_zone(down_g);
+                let mut part = Federation::from_zone(down_g.clone());
                 part.subtract_zone(&down_b);
                 // (g ∩ (b↓ \ b))↓
                 let mut before_b = Federation::from_zone(down_b);
@@ -536,10 +576,16 @@ pub fn zone_subtract(a: &Dbm, b: &Dbm) -> Vec<Dbm> {
     let mut rest = a.clone();
     let mut out = Vec::new();
     for (i, j, bound) in constraints {
-        // Piece satisfying the *negation* of constraint (i, j).
-        let mut piece = rest.clone();
-        if piece.constrain(j, i, bound.negated_complement()) {
-            out.push(piece);
+        // Piece satisfying the *negation* of constraint (i, j).  The piece
+        // is non-empty iff tightening (j, i) by the negated bound keeps the
+        // opposite entry consistent — test on the bounds of `rest` before
+        // paying for the matrix clone.
+        let neg = bound.negated_complement();
+        if rest.at(i, j) + neg >= Bound::ZERO_LE {
+            let mut piece = rest.clone();
+            if piece.constrain(j, i, neg) {
+                out.push(piece);
+            }
         }
         // Continue inside the constraint so pieces stay disjoint.
         if !rest.constrain(i, j, bound) {

@@ -40,7 +40,11 @@
 mod bound;
 mod dbm;
 mod federation;
+mod minimal;
+mod store;
 
 pub use bound::{Bound, MAX_CONSTANT};
 pub use dbm::{Dbm, DelayWindow, DisplayZone, Relation};
 pub use federation::{zone_subtract, Federation, REDUCE_THRESHOLD};
+pub use minimal::{MinimalConstraint, MinimalZone};
+pub use store::{ZoneId, ZoneSet, ZoneStore};

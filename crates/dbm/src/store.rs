@@ -1,0 +1,414 @@
+//! Hash-consed zone interning for a single solve.
+//!
+//! The solver engines keep re-deriving the same canonical DBMs — the
+//! `subsumed_zones` counters show most offered zones were already seen. A
+//! [`ZoneStore`] interns each distinct canonical matrix once and hands out a
+//! cheap `Copy` handle ([`ZoneId`]); passed lists become id vectors
+//! ([`ZoneSet`]), zone equality becomes id equality, and pairwise
+//! subsumption checks ([`ZoneStore::relation`]) are memoized per id pair.
+//!
+//! Interned zones are stored authoritatively in minimal-constraint form
+//! ([`crate::MinimalZone`]) with a canonical-matrix cache that
+//! [`ZoneStore::compact`] can drop and [`ZoneStore::ensure_cached`] rebuilds
+//! bit-identically on demand.
+//!
+//! The store is deliberately *not* shared across threads: engines intern
+//! only in their sequential phases (offer/merge), so determinism across
+//! `--jobs N` is preserved by construction.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use crate::dbm::{Dbm, Relation};
+use crate::federation::Federation;
+use crate::minimal::MinimalZone;
+
+/// Cheap `Copy` handle to a zone interned in a [`ZoneStore`].
+///
+/// Ids are dense and allocated in interning order, so they are deterministic
+/// for a deterministic offer sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ZoneId(u32);
+
+impl ZoneId {
+    /// The dense index of this id (0-based interning order).
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+struct Entry {
+    minimal: MinimalZone,
+    canonical: Option<Dbm>,
+}
+
+/// Per-solve interning arena for canonical DBMs.
+pub struct ZoneStore {
+    dim: usize,
+    entries: Vec<Entry>,
+    /// Dbm-hash -> candidate entry indices (collisions resolved by equality).
+    index: HashMap<u64, Vec<u32>>,
+    /// Memoized `zone(a).relation(zone(b))` results.
+    relations: HashMap<(u32, u32), Relation>,
+    hits: usize,
+    bytes_saved: usize,
+}
+
+fn dbm_hash(zone: &Dbm) -> u64 {
+    let mut h = DefaultHasher::new();
+    zone.hash(&mut h);
+    h.finish()
+}
+
+impl ZoneStore {
+    /// Creates an empty store for zones of the given dimension.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        ZoneStore {
+            dim,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            relations: HashMap::new(),
+            hits: 0,
+            bytes_saved: 0,
+        }
+    }
+
+    /// Zone dimension this store interns.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct zones interned so far.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many [`ZoneStore::intern`] calls found the zone already present.
+    #[inline]
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Bytes saved by keeping interned zones in minimal-constraint form
+    /// instead of full `n²` matrices (counted once per distinct zone).
+    #[inline]
+    #[must_use]
+    pub fn bytes_saved(&self) -> usize {
+        self.bytes_saved
+    }
+
+    /// Interns a canonical zone; returns its id and whether it was new
+    /// (i.e. the store took a deep copy).
+    pub fn intern(&mut self, zone: &Dbm) -> (ZoneId, bool) {
+        debug_assert_eq!(zone.dim(), self.dim, "dimension mismatch");
+        let key = dbm_hash(zone);
+        if let Some(candidates) = self.index.get(&key) {
+            let candidates = candidates.clone();
+            for c in candidates {
+                self.ensure_cached(ZoneId(c));
+                if self.entries[c as usize].canonical.as_ref() == Some(zone) {
+                    self.hits += 1;
+                    return (ZoneId(c), false);
+                }
+            }
+        }
+        let minimal = zone.minimize();
+        let full = self.dim * self.dim * std::mem::size_of::<crate::Bound>();
+        self.bytes_saved += full.saturating_sub(minimal.byte_size());
+        let id = self.entries.len() as u32;
+        self.entries.push(Entry {
+            minimal,
+            canonical: Some(zone.clone()),
+        });
+        self.index.entry(key).or_default().push(id);
+        (ZoneId(id), true)
+    }
+
+    /// The canonical matrix for an id. Panics if the cache was dropped —
+    /// call [`ZoneStore::ensure_cached`] first after a `compact`.
+    #[inline]
+    #[must_use]
+    pub fn zone(&self, id: ZoneId) -> &Dbm {
+        self.entries[id.index()]
+            .canonical
+            .as_ref()
+            .expect("canonical cache dropped; call ensure_cached")
+    }
+
+    /// The minimal-constraint form for an id.
+    #[inline]
+    #[must_use]
+    pub fn minimal(&self, id: ZoneId) -> &MinimalZone {
+        &self.entries[id.index()].minimal
+    }
+
+    /// Rebuilds the canonical cache for an id if it was dropped.
+    pub fn ensure_cached(&mut self, id: ZoneId) {
+        let entry = &mut self.entries[id.index()];
+        if entry.canonical.is_none() {
+            entry.canonical = Some(entry.minimal.rehydrate());
+        }
+    }
+
+    /// Drops every canonical cache, keeping only the minimal forms.
+    /// Subsequent reads rehydrate (bit-identically) on demand.
+    pub fn compact(&mut self) {
+        for entry in &mut self.entries {
+            entry.canonical = None;
+        }
+    }
+
+    /// Memoized `zone(a).relation(zone(b))`.
+    pub fn relation(&mut self, a: ZoneId, b: ZoneId) -> Relation {
+        if a == b {
+            return Relation::Equal;
+        }
+        let key = (a.0, b.0);
+        if let Some(&r) = self.relations.get(&key) {
+            return r;
+        }
+        self.ensure_cached(a);
+        self.ensure_cached(b);
+        let r = self.zone(a).relation(self.zone(b));
+        let mirror = match r {
+            Relation::Subset => Relation::Superset,
+            Relation::Superset => Relation::Subset,
+            other => other,
+        };
+        self.relations.insert(key, r);
+        self.relations.insert((b.0, a.0), mirror);
+        r
+    }
+}
+
+/// A passed list held as interned ids, mirroring
+/// [`Federation::insert_subsumed`] verdict-for-verdict and member-for-member.
+///
+/// The extra `ever` set exploits monotone coverage: once a zone has been
+/// offered, the union only ever grows, so re-offering the same interned id
+/// can be rejected in O(1) without re-running the subsumption sweep.
+#[derive(Default)]
+pub struct ZoneSet {
+    ids: Vec<ZoneId>,
+    ever: HashSet<ZoneId>,
+}
+
+impl ZoneSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ZoneSet::default()
+    }
+
+    /// Current member count (non-subsumed zones).
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the set denotes the empty union.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Member ids in insertion (federation member) order.
+    #[inline]
+    #[must_use]
+    pub fn ids(&self) -> &[ZoneId] {
+        &self.ids
+    }
+
+    /// The members as borrowed canonical matrices.
+    pub fn zones<'a>(&'a self, store: &'a ZoneStore) -> impl Iterator<Item = &'a Dbm> + Clone + 'a {
+        self.ids.iter().map(move |&id| store.zone(id))
+    }
+
+    /// Offers a zone, mirroring [`Federation::insert_subsumed`] exactly:
+    /// returns `false` for empty or already-covered zones, otherwise adds
+    /// the zone, drops members it subsumes, and returns `true`.
+    pub fn insert(&mut self, store: &mut ZoneStore, zone: &Dbm) -> bool {
+        if zone.is_empty() {
+            return false;
+        }
+        let (id, _) = store.intern(zone);
+        if self.ever.contains(&id) {
+            // Monotone coverage: this exact zone was offered before, so the
+            // union already covers it — same verdict the full sweep gives.
+            return false;
+        }
+        self.ever.insert(id);
+        // includes_zone sweep, verbatim against the interned members.
+        let mut remainder = vec![zone.clone()];
+        for &m in &self.ids {
+            let covering = store.zone(m);
+            if remainder.iter().all(|piece| !piece.intersects(covering)) {
+                continue;
+            }
+            remainder = remainder
+                .iter()
+                .flat_map(|piece| crate::federation::zone_subtract(piece, covering))
+                .collect();
+            if remainder.is_empty() {
+                return false;
+            }
+        }
+        // add_zone: the early subset return cannot fire (a single member
+        // covering `zone` would have emptied the remainder above); drop
+        // members the new zone subsumes, then append.
+        self.ids
+            .retain(|&m| !matches!(store.relation(m, id), Relation::Subset | Relation::Equal));
+        self.ids.push(id);
+        true
+    }
+
+    /// Materializes the members into an owned [`Federation`] with the exact
+    /// member sequence the plain (non-interned) path would hold.
+    #[must_use]
+    pub fn to_federation(&self, store: &ZoneStore) -> Federation {
+        Federation::from_zones(
+            store.dim(),
+            self.ids.iter().map(|&id| store.zone(id).clone()),
+        )
+    }
+
+    /// Set equality against another `ZoneSet` of the same store: id-set
+    /// comparison, no zone closures.
+    #[must_use]
+    pub fn set_equals_interned(&self, other: &ZoneSet) -> bool {
+        if self.ids == other.ids {
+            return true;
+        }
+        let mut a = self.ids.clone();
+        let mut b = other.ids.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::Bound;
+
+    fn interval(dim: usize, clock: usize, lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(dim);
+        assert!(z.constrain(0, clock, Bound::le(-lo)));
+        assert!(z.constrain(clock, 0, Bound::le(hi)));
+        z
+    }
+
+    #[test]
+    fn intern_dedups_and_counts_hits() {
+        let mut store = ZoneStore::new(3);
+        let a = interval(3, 1, 0, 5);
+        let b = interval(3, 1, 2, 7);
+        let (ia, new_a) = store.intern(&a);
+        let (ib, new_b) = store.intern(&b);
+        let (ia2, again) = store.intern(&a.clone());
+        assert!(new_a && new_b && !again);
+        assert_eq!(ia, ia2);
+        assert_ne!(ia, ib);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits(), 1);
+        assert!(store.bytes_saved() > 0);
+    }
+
+    #[test]
+    fn compact_then_read_rehydrates_bit_identically() {
+        let mut store = ZoneStore::new(4);
+        let mut z = interval(4, 1, 1, 9);
+        z.constrain(2, 1, Bound::lt(3));
+        let (id, _) = store.intern(&z);
+        store.compact();
+        store.ensure_cached(id);
+        assert_eq!(store.zone(id), &z);
+        // Interning after a compact still finds the existing entry.
+        let (id2, fresh) = store.intern(&z);
+        assert_eq!(id, id2);
+        assert!(!fresh);
+    }
+
+    #[test]
+    fn relation_is_memoized_with_mirror() {
+        let mut store = ZoneStore::new(2);
+        let small = interval(2, 1, 2, 3);
+        let big = interval(2, 1, 0, 5);
+        let (s, _) = store.intern(&small);
+        let (b, _) = store.intern(&big);
+        assert_eq!(store.relation(s, b), Relation::Subset);
+        assert_eq!(store.relation(b, s), Relation::Superset);
+        assert_eq!(store.relation(s, s), Relation::Equal);
+    }
+
+    /// The ZoneSet must agree with Federation::insert_subsumed on every
+    /// verdict and keep the identical member sequence.
+    #[test]
+    fn zone_set_mirrors_insert_subsumed() {
+        let mut store = ZoneStore::new(3);
+        let mut set = ZoneSet::new();
+        let mut fed = Federation::empty(3);
+        let offers = vec![
+            interval(3, 1, 0, 5),
+            interval(3, 1, 2, 3),  // subsumed
+            interval(3, 1, 0, 5),  // duplicate
+            interval(3, 2, 1, 4),  // incomparable
+            interval(3, 1, 0, 9),  // subsumes the first
+            interval(3, 1, 2, 3),  // still subsumed
+            interval(3, 2, 0, 10), // subsumes the clock-2 member
+        ];
+        for zone in &offers {
+            let expect = fed.insert_subsumed(zone.clone());
+            let got = set.insert(&mut store, zone);
+            assert_eq!(got, expect, "verdict diverged on {zone:?}");
+            assert_eq!(set.to_federation(&store), fed, "members diverged");
+        }
+        assert_eq!(set.len(), fed.len());
+    }
+
+    #[test]
+    fn empty_zone_is_rejected_without_interning() {
+        let mut store = ZoneStore::new(2);
+        let mut set = ZoneSet::new();
+        let mut empty = Dbm::universe(2);
+        assert!(!empty.constrain(1, 0, Bound::lt(0)));
+        assert!(!set.insert(&mut store, &empty));
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn interned_set_equality_ignores_member_order() {
+        let mut store = ZoneStore::new(3);
+        let a = interval(3, 1, 0, 3);
+        let b = interval(3, 2, 5, 9);
+        let mut s1 = ZoneSet::new();
+        let mut s2 = ZoneSet::new();
+        s1.insert(&mut store, &a);
+        s1.insert(&mut store, &b);
+        s2.insert(&mut store, &b);
+        s2.insert(&mut store, &a);
+        assert!(s1.set_equals_interned(&s2));
+        let mut s3 = ZoneSet::new();
+        s3.insert(&mut store, &a);
+        assert!(!s1.set_equals_interned(&s3));
+    }
+}

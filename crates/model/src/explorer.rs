@@ -13,7 +13,7 @@
 //! [`System::delay_close`] prescribes.
 
 use crate::error::ModelError;
-use crate::symbolic::{DiscreteState, JointEdge, SymbolicState};
+use crate::symbolic::{DiscreteState, JointEdge};
 use crate::system::System;
 use std::collections::HashMap;
 use tiga_dbm::{Dbm, Federation};
@@ -208,11 +208,7 @@ impl<'a> Explorer<'a> {
         let joint_edges = self.system.enabled_joint_edges(discrete)?;
         let mut steps = Vec::with_capacity(joint_edges.len());
         for joint in joint_edges {
-            let state = SymbolicState {
-                discrete: discrete.clone(),
-                zone: zone.clone(),
-            };
-            let Some(mut succ) = self.system.joint_successor(&state, &joint)? else {
+            let Some(mut succ) = self.system.joint_successor_from(discrete, zone, &joint)? else {
                 continue;
             };
             self.system.delay_close(&mut succ, &self.max_bounds)?;

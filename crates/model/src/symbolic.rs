@@ -426,16 +426,32 @@ impl System {
         state: &SymbolicState,
         je: &JointEdge,
     ) -> Result<Option<SymbolicState>, ModelError> {
-        let Some(target) = self.apply_joint_discrete(&state.discrete, je)? else {
+        self.joint_successor_from(&state.discrete, &state.zone, je)
+    }
+
+    /// Like [`System::joint_successor`], but borrows the source discrete
+    /// state and zone separately so hot callers (the explorer's per-edge
+    /// candidate fan-out) need not assemble a [`SymbolicState`] per edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from guards, updates and invariants.
+    pub fn joint_successor_from(
+        &self,
+        discrete: &DiscreteState,
+        zone: &Dbm,
+        je: &JointEdge,
+    ) -> Result<Option<SymbolicState>, ModelError> {
+        let Some(target) = self.apply_joint_discrete(discrete, je)? else {
             return Ok(None);
         };
-        let zone = self.apply_joint_zone(&state.zone, &state.discrete, &target, je)?;
-        if zone.is_empty() {
+        let succ = self.apply_joint_zone(zone, discrete, &target, je)?;
+        if succ.is_empty() {
             return Ok(None);
         }
         Ok(Some(SymbolicState {
             discrete: target,
-            zone,
+            zone: succ,
         }))
     }
 

@@ -6,8 +6,9 @@
 //! whether it satisfies the goal predicate, and its outgoing joint edges.
 
 use crate::error::SolverError;
+use crate::stats::MemCounters;
 use std::collections::HashMap;
-use tiga_dbm::{Dbm, Federation};
+use tiga_dbm::{Dbm, Federation, ZoneSet, ZoneStore};
 use tiga_model::{DiscreteState, Explorer, JointEdge, System};
 use tiga_tctl::StatePredicate;
 
@@ -106,16 +107,53 @@ impl GameGraph {
         options: &ExploreOptions,
         jobs: usize,
     ) -> Result<Self, SolverError> {
+        Ok(Self::explore_jobs_mem(system, goal, options, jobs, true)?.0)
+    }
+
+    /// [`GameGraph::explore_jobs`] with explicit control over passed-list
+    /// interning, reporting the memory counters of the exploration.
+    ///
+    /// With `interning` the per-node passed lists are kept as [`ZoneSet`]s
+    /// over one shared [`ZoneStore`] — re-derived zones cost a hash probe,
+    /// subsumption verdicts are memoized, and at-rest zones live in
+    /// minimal-constraint form.  Without it the pre-interning clone behavior
+    /// is reproduced exactly (and counted in `dbm_clones`).  The explored
+    /// graph is bit-identical either way, and for any thread count: the
+    /// store is only touched in the sequential merge phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GameGraph::explore`].
+    pub(crate) fn explore_jobs_mem(
+        system: &System,
+        goal: &StatePredicate,
+        options: &ExploreOptions,
+        jobs: usize,
+        interning: bool,
+    ) -> Result<(Self, MemCounters), SolverError> {
         let mut explorer = Explorer::new(system);
         let mut graph = GameGraph {
             nodes: Vec::new(),
             index: HashMap::new(),
             initial: 0,
         };
+        let mut mem = MemCounters::default();
+        let mut reach_total = 0usize;
+        let mut interned: Option<(ZoneStore, Vec<ZoneSet>)> =
+            interning.then(|| (ZoneStore::new(system.dim()), Vec::new()));
         let (root_id, root_zone) = explorer.initial()?;
         graph.adopt(system, goal, &explorer, root_id)?;
         graph.initial = root_id;
-        graph.nodes[root_id].reach.add_zone(root_zone.clone());
+        if let Some((store, sets)) = &mut interned {
+            sets.resize_with(graph.nodes.len(), ZoneSet::default);
+            sets[root_id].insert(store, &root_zone);
+            reach_total += sets[root_id].len();
+        } else {
+            graph.nodes[root_id].reach.add_zone(root_zone.clone());
+            mem.dbm_clones += 1;
+            reach_total += 1;
+        }
+        mem.peak_live_zones = reach_total;
 
         // Work list of (node, zone) pairs still to expand, drained batchwise.
         let mut queue: Vec<(NodeId, Dbm)> = vec![(root_id, root_zone)];
@@ -152,16 +190,41 @@ impl GameGraph {
                         });
                     }
                     // Continue exploring only if the zone adds new valuations.
-                    if graph.nodes[succ_id]
-                        .reach
-                        .insert_subsumed(step.zone.clone())
-                    {
+                    let expand = if let Some((store, sets)) = &mut interned {
+                        sets.resize_with(graph.nodes.len(), ZoneSet::default);
+                        let before = sets[succ_id].len();
+                        let inserted = sets[succ_id].insert(store, &step.zone);
+                        reach_total = reach_total + sets[succ_id].len() - before;
+                        inserted
+                    } else {
+                        let before = graph.nodes[succ_id].reach.len();
+                        mem.dbm_clones += 1;
+                        let inserted = graph.nodes[succ_id]
+                            .reach
+                            .insert_subsumed(step.zone.clone());
+                        reach_total = reach_total + graph.nodes[succ_id].reach.len() - before;
+                        inserted
+                    };
+                    mem.peak_live_zones = mem.peak_live_zones.max(reach_total);
+                    if expand {
                         queue.push((succ_id, step.zone));
                     }
                 }
             }
         }
-        Ok(graph)
+        if let Some((store, sets)) = &interned {
+            // Materialize the interned passed lists into the per-node reach
+            // federations the fixpoint engines read.
+            for (node, set) in graph.nodes.iter_mut().zip(sets) {
+                node.reach = set.to_federation(store);
+            }
+            mem.interned_zones = store.len();
+            mem.intern_hits = store.hits();
+            // Every intern miss deep-copied the candidate into the store.
+            mem.dbm_clones += store.len();
+            mem.minimized_bytes_saved = store.bytes_saved();
+        }
+        Ok((graph, mem))
     }
 
     /// Mirrors an explorer state into the graph, creating the [`GameNode`]

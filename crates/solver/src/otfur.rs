@@ -56,17 +56,20 @@
 
 use crate::error::SolverError;
 use crate::graph::{GameGraph, GameNode, GraphEdge, NodeId};
+use crate::stats::MemCounters;
 use crate::strategy::{Decision, Strategy, StrategyRule};
 use crate::winning::{invariant_boundary, pi_update, EngineOutcome, GameMode, SolveOptions};
 use std::collections::VecDeque;
-use tiga_dbm::{Dbm, Federation};
+use tiga_dbm::{Dbm, Federation, ZoneSet, ZoneStore};
 use tiga_model::{Explorer, System};
 use tiga_tctl::StatePredicate;
 
 /// Per-state bookkeeping of the search, indexed like the explorer's states.
 struct NodeData {
     /// Passed list: union of the delay-closed zones with which the state was
-    /// reached.
+    /// reached.  Stays empty when interning is on — the authoritative passed
+    /// list is then the node's [`ZoneSet`] in [`Search::reach_sets`], and
+    /// [`Search::finish`] materializes the federation from it.
     reach: Federation,
     /// Reach zones not yet expanded forward.
     frontier: Vec<Dbm>,
@@ -116,6 +119,18 @@ struct Search<'a> {
     pruned_evaluations: usize,
     pops: usize,
     early_terminated: bool,
+    /// Hash-consing zone store for the passed lists
+    /// (`Some` iff [`SolveOptions::interning`]).  Mutated only in the
+    /// sequential phases, so results stay bit-identical for any `jobs`.
+    store: Option<ZoneStore>,
+    /// Interned passed list per node (used only when `store` is `Some`).
+    reach_sets: Vec<ZoneSet>,
+    /// Interning/clone/peak counters reported through the engine outcome.
+    mem: MemCounters,
+    /// Current total zone count across all passed lists.
+    reach_total: usize,
+    /// Current total zone count across all winning federations.
+    win_total: usize,
 }
 
 /// Runs the on-the-fly search and returns the partial game graph together
@@ -147,6 +162,11 @@ pub(crate) fn run(
         pruned_evaluations: 0,
         pops: 0,
         early_terminated: false,
+        store: options.interning.then(|| ZoneStore::new(system.dim())),
+        reach_sets: Vec::new(),
+        mem: MemCounters::default(),
+        reach_total: 0,
+        win_total: 0,
     };
     let root = search.seed()?;
     search.run(root)?;
@@ -183,6 +203,7 @@ impl Search<'_> {
             });
             self.win.push(Federation::empty(self.system.dim()));
             self.in_queue.push(false);
+            self.reach_sets.push(ZoneSet::default());
         }
         Ok(())
     }
@@ -194,23 +215,45 @@ impl Search<'_> {
     /// zone immediately extends the winning federation (recorded as a rank-0
     /// wait region) and wakes the goal's dependents.
     fn offer_zone(&mut self, node: NodeId, zone: Dbm) -> bool {
-        let data = &mut self.nodes[node];
-        if !data.reach.insert_subsumed(zone.clone()) {
+        let inserted = if let Some(store) = &mut self.store {
+            let set = &mut self.reach_sets[node];
+            let before = set.len();
+            let inserted = set.insert(store, &zone);
+            self.reach_total = self.reach_total + set.len() - before;
+            inserted
+        } else {
+            // Pre-interning representation: the passed list owns a deep copy
+            // of every offered zone, counted as clone pressure.
+            self.mem.dbm_clones += 1;
+            let data = &mut self.nodes[node];
+            let before = data.reach.len();
+            let inserted = data.reach.insert_subsumed(zone.clone());
+            self.reach_total = self.reach_total + data.reach.len() - before;
+            inserted
+        };
+        if !inserted {
             self.subsumed_zones += 1;
             return false;
         }
-        data.frontier.push(zone.clone());
+        if self.store.is_none() {
+            // The pre-interning frontier copy (with interning the frontier
+            // takes the offered zone by move, below).
+            self.mem.dbm_clones += 1;
+        }
         if self.nodes[node].is_goal {
             // Reach zones are delay-closed within the invariant, so the zone
             // is already a valid attractor seed (goal-winning region for
             // reachability, losing region of a bad state for safety).
+            let before = self.win[node].len();
+            self.mem.dbm_clones += 1;
             self.win[node].add_zone(zone.clone());
+            self.win_total = self.win_total + self.win[node].len() - before;
             if self.options.extract_strategy && self.mode == GameMode::Reachability {
                 self.strategy.add_rule(
                     self.explorer.state(node).discrete.clone(),
                     StrategyRule {
                         rank: 0,
-                        zone,
+                        zone: zone.clone(),
                         decision: Decision::Wait,
                     },
                 );
@@ -221,6 +264,11 @@ impl Search<'_> {
             }
             self.nodes[node].depend = dependents;
         }
+        self.mem.peak_live_zones = self
+            .mem
+            .peak_live_zones
+            .max(self.reach_total + self.win_total);
+        self.nodes[node].frontier.push(zone);
         true
     }
 
@@ -413,7 +461,7 @@ impl Search<'_> {
             return Ok(EvalOutcome::Pruned);
         }
         let state = self.explorer.state(node);
-        let (unconfined, action_regions) = pi_update(
+        let Some((unconfined, action_regions)) = pi_update(
             self.system,
             node,
             &state.discrete,
@@ -424,13 +472,20 @@ impl Search<'_> {
             &data.boundary,
             &self.win,
             self.mode.swap_roles(),
-            |id| self.explorer.state(id).invariant.clone(),
-        )?;
+            |id| &self.explorer.state(id).invariant,
+        )?
+        else {
+            return Ok(EvalOutcome::Unchanged);
+        };
         // Reach confinement (see the module docs): outside the expanded
         // reach zones the edge set may be incomplete, so winning valuations
         // there cannot be trusted — and are irrelevant for any reachable
         // play, because the reach set is closed under the game dynamics.
-        let mut new_win = unconfined.intersection(&data.reach);
+        let mut new_win = if let Some(store) = &self.store {
+            unconfined.intersection_with_members(self.reach_sets[node].zones(store))
+        } else {
+            unconfined.intersection(&data.reach)
+        };
         new_win.reduce_exact();
         if self.win[node].includes(&new_win) {
             return Ok(EvalOutcome::Unchanged);
@@ -482,10 +537,17 @@ impl Search<'_> {
                 }
             }
         }
+        let before = self.win[node].len();
         self.win[node] = new_win;
+        self.win_total = self.win_total + self.win[node].len() - before;
+        self.mem.peak_live_zones = self
+            .mem
+            .peak_live_zones
+            .max(self.reach_total + self.win_total);
     }
 
-    /// Assembles the partial game graph and the engine outcome.
+    /// Assembles the partial game graph and the engine outcome,
+    /// materializing the interned passed lists into reach federations.
     fn finish(self, root: NodeId) -> Result<(GameGraph, EngineOutcome), SolverError> {
         let Search {
             explorer,
@@ -497,6 +559,9 @@ impl Search<'_> {
             subsumed_zones,
             pruned_evaluations,
             early_terminated,
+            store,
+            reach_sets,
+            mut mem,
             ..
         } = self;
         let game_nodes: Vec<GameNode> = nodes
@@ -504,16 +569,27 @@ impl Search<'_> {
             .enumerate()
             .map(|(idx, data)| {
                 let state = explorer.state(idx);
+                let reach = match &store {
+                    Some(store) => reach_sets[idx].to_federation(store),
+                    None => data.reach,
+                };
                 GameNode {
                     discrete: state.discrete.clone(),
                     invariant: state.invariant.clone(),
-                    reach: data.reach,
+                    reach,
                     edges: data.edges,
                     is_goal: data.is_goal,
                     urgent: state.urgent,
                 }
             })
             .collect();
+        if let Some(store) = &store {
+            mem.interned_zones = store.len();
+            mem.intern_hits = store.hits();
+            // Every intern miss deep-copied the candidate into the store.
+            mem.dbm_clones += store.len();
+            mem.minimized_bytes_saved = store.bytes_saved();
+        }
         let graph = GameGraph::from_parts(game_nodes, root);
         Ok((
             graph,
@@ -527,6 +603,7 @@ impl Search<'_> {
                 subsumed_zones,
                 pruned_evaluations,
                 early_terminated,
+                mem,
             },
         ))
     }

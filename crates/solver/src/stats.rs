@@ -30,6 +30,41 @@ pub struct SolverStats {
     /// Whether the search stopped early because the initial state was decided
     /// before the waiting list drained (on-the-fly solver).
     pub early_terminated: bool,
+    /// Distinct canonical zones interned by the per-solve zone store
+    /// (0 when interning is disabled).
+    pub interned_zones: usize,
+    /// Intern lookups that found the zone already present — re-derived
+    /// zones that cost a hash probe instead of a deep copy (0 when interning
+    /// is disabled).
+    pub intern_hits: usize,
+    /// Deep DBM copies made at the solver's storage sites (passed lists,
+    /// expansion frontiers, goal seeds).  With interning disabled this
+    /// reproduces and counts the pre-interning clone behavior; with it
+    /// enabled only intern misses and goal seeds still copy.
+    pub dbm_clones: usize,
+    /// Largest number of zones simultaneously held by the reach and winning
+    /// federations (identical with interning on or off, and for any thread
+    /// count).
+    pub peak_live_zones: usize,
+    /// Bytes saved by keeping interned zones in minimal-constraint form
+    /// instead of full `n²` matrices (0 when interning is disabled).
+    pub minimized_bytes_saved: usize,
+}
+
+/// The interning/memory counter block threaded from the engines into
+/// [`SolverStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct MemCounters {
+    /// Distinct zones interned.
+    pub interned_zones: usize,
+    /// Intern lookups resolved without a deep copy.
+    pub intern_hits: usize,
+    /// Deep DBM copies at storage sites.
+    pub dbm_clones: usize,
+    /// Peak simultaneous reach + winning zone count.
+    pub peak_live_zones: usize,
+    /// Bytes saved by minimal-constraint storage.
+    pub minimized_bytes_saved: usize,
 }
 
 impl SolverStats {

@@ -49,7 +49,7 @@
 
 use crate::error::SolverError;
 use crate::graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
-use crate::stats::{SolverStats, TimedStats};
+use crate::stats::{MemCounters, SolverStats, TimedStats};
 use crate::strategy::{Decision, Strategy, StrategyRule};
 use std::time::{Duration, Instant};
 use tiga_dbm::{Bound, Dbm, Federation};
@@ -108,6 +108,13 @@ pub struct SolveOptions {
     /// Results are bit-identical for any value: state updates are computed
     /// against an immutable snapshot and merged in canonical state order.
     pub jobs: usize,
+    /// Whether the passed lists use the hash-consed per-solve zone store
+    /// ([`tiga_dbm::ZoneStore`]).  Interning changes no result — winning
+    /// federations, stats (modulo the interning counters) and strategies are
+    /// bit-identical either way — it only replaces deep zone copies and
+    /// subsumption closures with id lookups.  Disable to measure the
+    /// pre-interning clone pressure (`dbm_clones` then counts it).
+    pub interning: bool,
 }
 
 impl Default for SolveOptions {
@@ -119,6 +126,7 @@ impl Default for SolveOptions {
             early_termination: true,
             max_rounds: 10_000,
             jobs: 1,
+            interning: true,
         }
     }
 }
@@ -225,6 +233,7 @@ pub(crate) struct EngineOutcome {
     pub subsumed_zones: usize,
     pub pruned_evaluations: usize,
     pub early_terminated: bool,
+    pub mem: MemCounters,
 }
 
 /// How a purpose maps onto the attractor computation the engines run.
@@ -275,12 +284,19 @@ fn solve_with_engine(
         }
         SolveEngine::Jacobi | SolveEngine::Worklist => {
             let explore_start = Instant::now();
-            let graph = GameGraph::explore_jobs(system, &target, &options.explore, options.jobs)?;
+            let (graph, mut mem) = GameGraph::explore_jobs_mem(
+                system,
+                &target,
+                &options.explore,
+                options.jobs,
+                options.interning,
+            )?;
             let exploration_time = explore_start.elapsed();
             let fixpoint_start = Instant::now();
             let mut fixpoint = Engine::new(system, &graph, mode);
             let outcome = if engine == SolveEngine::Jacobi {
                 let jacobi = fixpoint.run_jacobi(options)?;
+                mem.peak_live_zones = mem.peak_live_zones.max(jacobi.peak_live_zones);
                 EngineOutcome {
                     winning: jacobi.winning,
                     strategy: Some(jacobi.strategy),
@@ -288,9 +304,11 @@ fn solve_with_engine(
                     subsumed_zones: 0,
                     pruned_evaluations: 0,
                     early_terminated: false,
+                    mem,
                 }
             } else {
-                let (winning, iterations) = fixpoint.run_worklist(options)?;
+                let (winning, iterations, peak_live_zones) = fixpoint.run_worklist(options)?;
+                mem.peak_live_zones = mem.peak_live_zones.max(peak_live_zones);
                 EngineOutcome {
                     winning,
                     strategy: None,
@@ -298,6 +316,7 @@ fn solve_with_engine(
                     subsumed_zones: 0,
                     pruned_evaluations: 0,
                     early_terminated: false,
+                    mem,
                 }
             };
             (graph, outcome, exploration_time, fixpoint_start.elapsed())
@@ -318,12 +337,12 @@ fn solve_with_engine(
                 .iter()
                 .enumerate()
                 .map(|(id, node)| {
-                    let base = if engine == SolveEngine::Otfur {
+                    let mut safe = if engine == SolveEngine::Otfur {
                         node.reach.clone()
                     } else {
                         Federation::from_zone(node.invariant.clone())
                     };
-                    let mut safe = base.difference(&losing[id]);
+                    safe.subtract(&losing[id]);
                     safe.reduce_exact();
                     safe
                 })
@@ -360,6 +379,11 @@ fn solve_with_engine(
         subsumed_zones: outcome.subsumed_zones,
         pruned_evaluations: outcome.pruned_evaluations,
         early_terminated: outcome.early_terminated,
+        interned_zones: outcome.mem.interned_zones,
+        intern_hits: outcome.mem.intern_hits,
+        dbm_clones: outcome.mem.dbm_clones,
+        peak_live_zones: outcome.mem.peak_live_zones,
+        minimized_bytes_saved: outcome.mem.minimized_bytes_saved,
     };
     Ok(GameSolution {
         winning_from_initial,
@@ -493,6 +517,7 @@ struct JacobiOutcome {
     winning: Vec<Federation>,
     strategy: Strategy,
     iterations: usize,
+    peak_live_zones: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -525,13 +550,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Computes the single-node update `Goal(q) ∪ π(W)(q)` from the winning
-    /// sets in `win` (see [`pi_update`]).
+    /// sets in `win` (see [`pi_update`]; `None` means provably unchanged).
+    #[allow(clippy::type_complexity)]
     fn node_update(
         &self,
         node_id: NodeId,
         node: &GameNode,
         win: &[Federation],
-    ) -> Result<(Federation, Vec<(usize, Federation)>), SolverError> {
+    ) -> Result<Option<(Federation, Vec<(usize, Federation)>)>, SolverError> {
         pi_update(
             self.system,
             node_id,
@@ -543,7 +569,7 @@ impl<'a> Engine<'a> {
             &self.boundary[node_id],
             win,
             self.mode.swap_roles(),
-            |id| self.graph.node(id).invariant.clone(),
+            |id| &self.graph.node(id).invariant,
         )
     }
 
@@ -583,24 +609,32 @@ impl<'a> Engine<'a> {
         let shard: Vec<NodeId> = (0..self.graph.len())
             .filter(|&id| !self.graph.node(id).is_goal)
             .collect();
+        let reach_total = self.graph.reach_zone_count();
+        let mut win_total: usize = win.iter().map(Federation::len).sum();
+        let mut peak_live_zones = reach_total + win_total;
         let mut round: u32 = 0;
         loop {
             round += 1;
             if round as usize > options.max_rounds {
                 break;
             }
-            let prev = win.clone();
             let mut changed = false;
+            // The parallel updates read `win` as the immutable round
+            // snapshot; the merge below only writes a node *after* its own
+            // pre-round value has been consumed, so no cross-node clone of
+            // the snapshot is needed.
             let updates = tiga_parallel::run_indexed(shard.clone(), options.jobs, |_, node_id| {
-                self.node_update(node_id, self.graph.node(node_id), &prev)
+                self.node_update(node_id, self.graph.node(node_id), &win)
             });
             for (&node_id, update) in shard.iter().zip(updates) {
                 let node = self.graph.node(node_id);
-                let (new_win, action_regions) = update?;
-                if !prev[node_id].includes(&new_win) {
+                let Some((new_win, action_regions)) = update? else {
+                    continue;
+                };
+                if !win[node_id].includes(&new_win) {
                     changed = true;
                     if record {
-                        let delta = new_win.difference(&prev[node_id]);
+                        let delta = new_win.difference(&win[node_id]);
                         for zone in &delta {
                             strategy.add_rule(
                                 node.discrete.clone(),
@@ -625,7 +659,9 @@ impl<'a> Engine<'a> {
                             }
                         }
                     }
+                    win_total = win_total + new_win.len() - win[node_id].len();
                     win[node_id] = new_win;
+                    peak_live_zones = peak_live_zones.max(reach_total + win_total);
                 }
             }
             if !changed {
@@ -636,6 +672,7 @@ impl<'a> Engine<'a> {
             winning: win,
             strategy,
             iterations: round as usize,
+            peak_live_zones,
         })
     }
 
@@ -644,9 +681,12 @@ impl<'a> Engine<'a> {
     fn run_worklist(
         &mut self,
         options: &SolveOptions,
-    ) -> Result<(Vec<Federation>, usize), SolverError> {
+    ) -> Result<(Vec<Federation>, usize, usize), SolverError> {
         let n = self.graph.len();
         let mut win = self.initial_winning_sets();
+        let reach_total = self.graph.reach_zone_count();
+        let mut win_total: usize = win.iter().map(Federation::len).sum();
+        let mut peak_live_zones = reach_total + win_total;
         // Predecessor lists.
         let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (id, node) in self.graph.nodes().iter().enumerate() {
@@ -676,9 +716,13 @@ impl<'a> Engine<'a> {
             if node.is_goal {
                 continue;
             }
-            let (new_win, _) = self.node_update(node_id, node, &win)?;
+            let Some((new_win, _)) = self.node_update(node_id, node, &win)? else {
+                continue;
+            };
             if !win[node_id].includes(&new_win) {
+                win_total = win_total + new_win.len() - win[node_id].len();
                 win[node_id] = new_win;
+                peak_live_zones = peak_live_zones.max(reach_total + win_total);
                 for &p in &preds[node_id] {
                     if !in_queue[p] {
                         in_queue[p] = true;
@@ -687,7 +731,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        Ok((win, pops))
+        Ok((win, pops, peak_live_zones))
     }
 }
 
@@ -695,6 +739,12 @@ impl<'a> Engine<'a> {
 /// Jacobi, worklist and on-the-fly engines: computes `Goal(q) ∪ π(W)(q)` for
 /// a single discrete state from the winning sets in `win`, together with the
 /// controllable action regions used for strategy extraction.
+///
+/// Returns `None` when the update is provably the identity — goal states
+/// (their winning set is seeded once and never grows) and states where every
+/// predecessor term came up empty.  In both cases the action regions are
+/// necessarily empty too, so callers can treat `None` as "no change, no
+/// rules" without cloning the current winning set.
 ///
 /// `win` is indexed by [`NodeId`]; `inv_of` supplies the invariant of a
 /// target node (the on-the-fly engine resolves it against its partial
@@ -716,7 +766,8 @@ impl<'a> Engine<'a> {
 /// *losing* set).  The urgent `δ = 0` case and the invariant-boundary
 /// `Forced` term apply to the swapped roles unchanged.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn pi_update<F>(
+#[allow(clippy::type_complexity)]
+pub(crate) fn pi_update<'i, F>(
     system: &System,
     node_id: NodeId,
     discrete: &DiscreteState,
@@ -728,13 +779,13 @@ pub(crate) fn pi_update<F>(
     win: &[Federation],
     swap_roles: bool,
     inv_of: F,
-) -> Result<(Federation, Vec<(usize, Federation)>), SolverError>
+) -> Result<Option<(Federation, Vec<(usize, Federation)>)>, SolverError>
 where
-    F: Fn(NodeId) -> Dbm,
+    F: Fn(NodeId) -> &'i Dbm,
 {
     let dim = system.dim();
     if is_goal {
-        return Ok((win[node_id].clone(), Vec::new()));
+        return Ok(None);
     }
     let mut cpred = Federation::empty(dim);
     let mut action_regions: Vec<(usize, Federation)> = Vec::new();
@@ -752,7 +803,7 @@ where
             }
         } else {
             // Complement of the target winning set within its invariant.
-            let target_inv = Federation::from_zone(inv_of(edge.target));
+            let target_inv = Federation::from_zone(inv_of(edge.target).clone());
             let escape = target_inv.difference(target_win);
             if !escape.is_empty() {
                 bad.union_with(&system.joint_pred_federation(discrete, &edge.joint, &escape)?);
@@ -778,10 +829,12 @@ where
             .intersection(&all_good);
     }
     let mut targets = win[node_id].clone();
-    targets.union_with(&cpred);
-    targets.union_with(&forced);
+    targets.absorb(cpred);
+    targets.absorb(forced);
     if targets.is_empty() {
-        return Ok((win[node_id].clone(), action_regions));
+        // All predecessor terms were empty, so no action regions were
+        // recorded either: the update is the identity.
+        return Ok(None);
     }
     let mut new_win = if urgent {
         // No delay is possible: the tester wins exactly where it already
@@ -795,7 +848,7 @@ where
     new_win.intersect_zone(invariant);
     new_win.union_with(&win[node_id]);
     new_win.reduce_exact();
-    Ok((new_win, action_regions))
+    Ok(Some((new_win, action_regions)))
 }
 
 /// The upper boundary of an invariant zone: the valuations from which no
