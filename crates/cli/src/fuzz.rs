@@ -30,7 +30,8 @@ OPTIONS:
     --shrink          shrink failing cases before writing reproducers
                       (default: on)
     --no-shrink       report unshrunk failing systems
-    --out DIR         directory for .tg reproducers (default: fuzz-failures)
+    --out-dir DIR     directory for .tg reproducers (default: fuzz-failures;
+                      --out is accepted as an alias)
     --max-states N    per-engine exploration budget (default: 20000)
     --zone-rounds N   zone-algebra / pred-t rounds per case (default: 2)
     --zone-samples N  sampled valuations per zone round (default: 24)
@@ -82,8 +83,16 @@ pub fn parse_args(args: &[String]) -> Result<FuzzArgs, String> {
     if let Some(n) = take_value(&mut args, "--zone-samples")? {
         options.zone_samples = parse_num(&n, "--zone-samples")?;
     }
-    let out_dir = take_value(&mut args, "--out")?
-        .map_or_else(|| PathBuf::from("fuzz-failures"), PathBuf::from);
+    let out_dir = match (
+        take_value(&mut args, "--out-dir")?,
+        take_value(&mut args, "--out")?,
+    ) {
+        (Some(dir), None) | (None, Some(dir)) => PathBuf::from(dir),
+        (None, None) => PathBuf::from("fuzz-failures"),
+        (Some(_), Some(_)) => {
+            return Err("error: `--out-dir` and `--out` are aliases; pass only one".to_string())
+        }
+    };
     reject_leftovers(&args, USAGE)?;
     Ok(FuzzArgs { options, out_dir })
 }
@@ -210,6 +219,13 @@ mod tests {
         assert!(!args.options.shrink);
         assert_eq!(args.options.engines.max_states, 5000);
         assert_eq!(args.out_dir, PathBuf::from("/tmp/repro"));
+    }
+
+    #[test]
+    fn out_dir_flag_and_alias() {
+        let args = parse_args(&strings(&["--out-dir", "/tmp/r2"])).unwrap();
+        assert_eq!(args.out_dir, PathBuf::from("/tmp/r2"));
+        assert!(parse_args(&strings(&["--out-dir", "/a", "--out", "/b"])).is_err());
     }
 
     #[test]

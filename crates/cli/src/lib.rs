@@ -17,7 +17,11 @@
 //!   the [`tiga_gen`] oracles (engine agreement on reachability *and*
 //!   safety objectives, printer/parser roundtrip, zone-algebra reference,
 //!   `Pred_t` reference), sharded over worker threads with `--jobs`, with
-//!   shrunk `.tg` reproducers on failure.
+//!   shrunk `.tg` reproducers on failure;
+//! * `tiga serve` — strategy synthesis as a service: jsonl requests on
+//!   stdin, jsonl responses (verdict, stats, `tiga-strategy v1` text) on
+//!   stdout, deduplicated through a content-hash solve cache; `batch`
+//!   requests are sharded over the deterministic work queue.
 //!
 //! All diagnostics are rendered with source spans ([`tiga_lang::LangError`]).
 
@@ -25,11 +29,13 @@
 #![warn(missing_docs)]
 
 mod fuzz;
+mod serve;
 mod solve;
 mod test;
 mod zoo;
 
 pub use fuzz::{run_fuzz, FuzzArgs};
+pub use serve::{serve_session, ServeArgs};
 pub use solve::{run_solve, SolveArgs};
 pub use test::{run_test, TestArgs};
 pub use zoo::{run_zoo, ZooArgs};
@@ -52,8 +58,9 @@ USAGE:
                [--repetitions N] [--max-mutants N] [--purpose '<control: ...>']
     tiga zoo   [--emit-tg <dir>]
     tiga fuzz  [--seed N] [--count N] [--jobs N] [--shrink|--no-shrink]
-               [--out <dir>] [--max-states N] [--zone-rounds N]
+               [--out-dir <dir>] [--max-states N] [--zone-rounds N]
                [--zone-samples N]
+    tiga serve [--jobs N]
 
 Run `tiga <command> --help` for details of one command.
 ";
@@ -69,6 +76,7 @@ pub fn run(args: &[String]) -> i32 {
         Some("test") => test::main(&args[1..]),
         Some("zoo") => zoo::main(&args[1..]),
         Some("fuzz") => fuzz::main(&args[1..]),
+        Some("serve") => serve::main(&args[1..]),
         Some("--help" | "-h" | "help") => {
             emit(USAGE.trim_end());
             0

@@ -1,0 +1,935 @@
+//! `tiga serve` — strategy synthesis as a long-running service.
+//!
+//! A persistent process that reads one JSON request per line on stdin and
+//! writes one JSON response per line on stdout (jsonl in, jsonl out).  Each
+//! request carries a `.tg` model (inline source or a file path), an optional
+//! `control:` objective override and solver knobs; the response carries the
+//! verdict, the full 14-field `SolverStats` block (as in
+//! `tiga solve --stats-json`), timing, and the strategy in the versioned
+//! `tiga-strategy v1` text format.
+//!
+//! Underneath sits a content-hash [`SolveCache`] keyed on the canonical
+//! serialized system (`print_system` output, including the `control:` line)
+//! plus the semantics-relevant options: repeated or duplicate submissions
+//! are answered from the cache with `"cache":"hit"` and a payload that is
+//! byte-identical to the original solve's.  A `batch` request fans a list
+//! of models through the work queue (`tiga_parallel::run_keyed`): distinct
+//! games are solved concurrently, duplicates are deduplicated before any
+//! solving happens, and the responses are merged in submission order — the
+//! whole output stream is bit-identical for any `--jobs`, the same
+//! discipline as `tiga fuzz`.
+//!
+//! Malformed input never kills the process: a line that is not valid JSON,
+//! a request with bad fields, or a model that fails to parse each produce a
+//! `"status":"error"` response (with the line number and, for JSON syntax
+//! errors, the byte offset) and the session continues.
+
+use crate::{parse_num, reject_leftovers, take_value, wants_help, EXIT_FAILURE, EXIT_USAGE};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+use tiga_solver::{solve, CacheEntry, SolveCache, SolveEngine, SolveOptions};
+use tiga_tctl::TestPurpose;
+
+const USAGE: &str = "\
+USAGE:
+    tiga serve [OPTIONS]
+
+Reads one JSON request per line on stdin, writes one JSON response per line
+on stdout.  Solved games are kept in a content-hash cache for the lifetime
+of the process; duplicate submissions are answered from it (\"cache\":\"hit\")
+with a payload byte-identical to the original solve's.
+
+REQUESTS:
+    {\"id\":1,\"path\":\"model.tg\"}                    solve a .tg file
+    {\"id\":2,\"model\":\"clock x; ...\"}               solve inline source
+    {\"id\":3,\"kind\":\"batch\",\"paths\":[...]}        fan a list through the
+                                                   work queue, responses
+                                                   merged in order
+    optional fields: \"purpose\" (control: line override), \"engine\"
+    (otfur|jacobi|worklist), \"exhaustive\" (bool), \"strategy\" (bool,
+    default true), \"max_rounds\", \"max_states\", \"jobs\" (solve requests:
+    intra-solve threads; default: the server's --jobs)
+
+OPTIONS:
+    --jobs N    worker threads: shards batch requests over the queue and is
+                the default intra-solve parallelism for single requests
+                (0 = all cores; default 1).  Responses are bit-identical
+                for any value.
+";
+
+/// Parsed arguments of `tiga serve`.
+#[derive(Clone, Debug)]
+pub struct ServeArgs {
+    /// Worker threads for batch sharding / default intra-solve parallelism.
+    pub jobs: usize,
+}
+
+/// Parses `tiga serve` arguments.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown or malformed flags.
+pub fn parse_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut args = args.to_vec();
+    let jobs = match take_value(&mut args, "--jobs")? {
+        Some(n) => parse_num(&n, "--jobs")?,
+        None => 1,
+    };
+    reject_leftovers(&args, USAGE)?;
+    Ok(ServeArgs { jobs })
+}
+
+/// Runs a serve session: reads jsonl requests from `input` until EOF and
+/// writes jsonl responses to `output`.
+///
+/// Request-level failures are reported as `"status":"error"` responses and
+/// never abort the session; the returned error is only for broken I/O.
+///
+/// # Errors
+///
+/// Returns the first I/O error on `input` or `output`.
+pub fn serve_session<R: BufRead, W: Write>(
+    input: R,
+    output: &mut W,
+    args: &ServeArgs,
+) -> std::io::Result<()> {
+    let mut cache = SolveCache::new();
+    for (index, line) in input.lines().enumerate() {
+        let line = line?;
+        let line_no = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for response in handle_line(&line, line_no, args, &mut cache) {
+            writeln!(output, "{response}")?;
+        }
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Handles one request line, returning the response lines it produces (one
+/// for solve requests, one per item plus a summary for batches).
+fn handle_line(
+    line: &str,
+    line_no: usize,
+    args: &ServeArgs,
+    cache: &mut SolveCache,
+) -> Vec<String> {
+    let started = Instant::now();
+    let json = match parse_json(line) {
+        Ok(json) => json,
+        Err(err) => {
+            return vec![format!(
+                "{{\"id\":{line_no},\"status\":\"error\",\"line\":{line_no},\
+                 \"byte\":{},\"error\":\"{}\"}}",
+                err.at,
+                crate::solve::json_escape(&format!("bad request JSON: {}", err.message)),
+            )]
+        }
+    };
+    match Request::from_json(&json, line_no, args.jobs) {
+        Err(message) => vec![error_response(
+            &format!("{line_no}"),
+            "request",
+            line_no,
+            &message,
+        )],
+        Ok(request) => match request.kind {
+            RequestKind::Solve => vec![handle_solve(&request, line_no, cache, started)],
+            RequestKind::Batch => handle_batch(&request, line_no, args, cache, started),
+        },
+    }
+}
+
+fn handle_solve(
+    request: &Request,
+    line_no: usize,
+    cache: &mut SolveCache,
+    started: Instant,
+) -> String {
+    let source = &request.sources[0];
+    let prepared = match prepare(source, request, line_no, 0) {
+        Ok(prepared) => prepared,
+        Err(message) => return error_response(&request.id, "solve", line_no, &message),
+    };
+    let (entry, cached) = match cache.lookup(&prepared.key) {
+        Some(entry) => (entry, true),
+        None => match solve_prepared(&prepared) {
+            Ok(entry) => {
+                cache.store(prepared.key.clone(), entry.clone());
+                (entry, false)
+            }
+            Err(message) => return error_response(&request.id, "solve", line_no, &message),
+        },
+    };
+    ok_response(
+        &request.id,
+        "solve",
+        None,
+        cached,
+        &prepared,
+        &entry,
+        cache,
+        started,
+    )
+}
+
+fn handle_batch(
+    request: &Request,
+    line_no: usize,
+    args: &ServeArgs,
+    cache: &mut SolveCache,
+    started: Instant,
+) -> Vec<String> {
+    let prepared: Vec<Result<Prepared, String>> = request
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, source)| prepare(source, request, line_no, i))
+        .collect();
+    // Plan the shard: every item whose key is not already cached goes to the
+    // work queue; `run_keyed` deduplicates within the batch so each distinct
+    // game is solved once, concurrently, while the merge below stays in
+    // submission order — deterministic output for any `--jobs`.
+    let mut planned_to_run = vec![false; prepared.len()];
+    let mut work: Vec<(String, usize)> = Vec::new();
+    for (i, item) in prepared.iter().enumerate() {
+        if let Ok(p) = item {
+            if !cache.contains(&p.key) {
+                planned_to_run[i] = true;
+                work.push((p.key.clone(), i));
+            }
+        }
+    }
+    let results = tiga_parallel::run_keyed(work, args.jobs, |_key, first_index| {
+        match &prepared[first_index] {
+            Ok(p) => solve_prepared(p),
+            Err(_) => unreachable!("only Ok items are planned into the work queue"),
+        }
+    });
+
+    let mut responses = Vec::with_capacity(prepared.len() + 1);
+    let mut errors = 0usize;
+    let mut next_result = results.into_iter();
+    for (i, item) in prepared.iter().enumerate() {
+        let kind = "batch-item";
+        match item {
+            Err(message) => {
+                errors += 1;
+                responses.push(item_error_response(&request.id, kind, i, message));
+            }
+            Ok(p) => {
+                let computed = if planned_to_run[i] {
+                    Some(next_result.next().expect("one result per planned item").0)
+                } else {
+                    None
+                };
+                // The counted lookup happens here, in submission order: the
+                // first occurrence of a key is the miss, every later
+                // duplicate — whether solved speculatively by the queue or
+                // cached in an earlier request — is a hit.
+                match cache.lookup(&p.key) {
+                    Some(entry) => responses.push(ok_response(
+                        &request.id,
+                        kind,
+                        Some(i),
+                        true,
+                        p,
+                        &entry,
+                        cache,
+                        started,
+                    )),
+                    None => match computed.expect("uncached items were planned into the queue") {
+                        Ok(entry) => {
+                            cache.store(p.key.clone(), entry.clone());
+                            responses.push(ok_response(
+                                &request.id,
+                                kind,
+                                Some(i),
+                                false,
+                                p,
+                                &entry,
+                                cache,
+                                started,
+                            ));
+                        }
+                        Err(message) => {
+                            errors += 1;
+                            responses.push(item_error_response(&request.id, kind, i, &message));
+                        }
+                    },
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    responses.push(format!(
+        "{{\"id\":{},\"kind\":\"batch\",\"status\":\"{}\",\"items\":{},\"errors\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cache_entries\":{},\"elapsed_us\":{}}}",
+        request.id,
+        if errors == 0 { "ok" } else { "error" },
+        prepared.len(),
+        errors,
+        stats.hits,
+        stats.misses,
+        cache.len(),
+        started.elapsed().as_micros(),
+    ));
+    responses
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+enum RequestKind {
+    Solve,
+    Batch,
+}
+
+enum ModelSource {
+    Inline(String),
+    Path(String),
+}
+
+struct Request {
+    /// The request's `id` re-encoded as a JSON token, echoed in responses.
+    id: String,
+    kind: RequestKind,
+    sources: Vec<ModelSource>,
+    purpose: Option<String>,
+    options: SolveOptions,
+}
+
+impl Request {
+    fn from_json(json: &Json, line_no: usize, default_jobs: usize) -> Result<Request, String> {
+        let Json::Obj(fields) = json else {
+            return Err("request must be a JSON object".to_string());
+        };
+        let mut id = format!("{line_no}");
+        let mut kind = RequestKind::Solve;
+        let mut inline: Option<String> = None;
+        let mut path: Option<String> = None;
+        let mut inlines: Option<Vec<String>> = None;
+        let mut paths: Option<Vec<String>> = None;
+        let mut purpose: Option<String> = None;
+        let mut options = SolveOptions {
+            jobs: default_jobs,
+            ..SolveOptions::default()
+        };
+        for (name, value) in fields {
+            match name.as_str() {
+                "id" => {
+                    id = match value {
+                        Json::Int(n) => n.to_string(),
+                        Json::Str(s) => format!("\"{}\"", crate::solve::json_escape(s)),
+                        _ => return Err("`id` must be a number or a string".to_string()),
+                    }
+                }
+                "kind" => match value.as_str().ok_or("`kind` must be a string")? {
+                    "solve" => kind = RequestKind::Solve,
+                    "batch" => kind = RequestKind::Batch,
+                    other => return Err(format!("unknown request kind `{other}`")),
+                },
+                "model" => {
+                    inline = Some(
+                        value
+                            .as_str()
+                            .ok_or("`model` must be a string")?
+                            .to_string(),
+                    )
+                }
+                "path" => path = Some(value.as_str().ok_or("`path` must be a string")?.to_string()),
+                "models" => inlines = Some(string_array(value, "models")?),
+                "paths" => paths = Some(string_array(value, "paths")?),
+                "purpose" => {
+                    purpose = Some(
+                        value
+                            .as_str()
+                            .ok_or("`purpose` must be a string")?
+                            .to_string(),
+                    );
+                }
+                "engine" => {
+                    options.engine = match value.as_str().ok_or("`engine` must be a string")? {
+                        "otfur" => SolveEngine::Otfur,
+                        "jacobi" => SolveEngine::Jacobi,
+                        "worklist" => SolveEngine::Worklist,
+                        other => return Err(format!("unknown engine `{other}`")),
+                    }
+                }
+                "exhaustive" => {
+                    options.early_termination =
+                        !value.as_bool().ok_or("`exhaustive` must be a bool")?;
+                }
+                "strategy" => {
+                    options.extract_strategy =
+                        value.as_bool().ok_or("`strategy` must be a bool")?;
+                }
+                "max_rounds" => {
+                    options.max_rounds = value
+                        .as_usize()
+                        .ok_or("`max_rounds` must be a non-negative number")?;
+                }
+                "max_states" => {
+                    options.explore.max_states = value
+                        .as_usize()
+                        .ok_or("`max_states` must be a non-negative number")?;
+                }
+                "jobs" => {
+                    options.jobs = value
+                        .as_usize()
+                        .ok_or("`jobs` must be a non-negative number")?;
+                }
+                other => return Err(format!("unknown request field `{other}`")),
+            }
+        }
+        let sources = match kind {
+            RequestKind::Solve => {
+                if inlines.is_some() || paths.is_some() {
+                    return Err("`models`/`paths` need `\"kind\":\"batch\"`".to_string());
+                }
+                match (inline, path) {
+                    (Some(_), Some(_)) => {
+                        return Err("pass `model` or `path`, not both".to_string())
+                    }
+                    (Some(text), None) => vec![ModelSource::Inline(text)],
+                    (None, Some(p)) => vec![ModelSource::Path(p)],
+                    (None, None) => {
+                        return Err("a solve request needs `model` or `path`".to_string())
+                    }
+                }
+            }
+            RequestKind::Batch => {
+                if inline.is_some() || path.is_some() {
+                    return Err("a batch request takes `models` or `paths` arrays".to_string());
+                }
+                // Batch items run concurrently across the queue; intra-solve
+                // parallelism would oversubscribe it.
+                options.jobs = 1;
+                let sources: Vec<ModelSource> = match (inlines, paths) {
+                    (Some(_), Some(_)) => {
+                        return Err("pass `models` or `paths`, not both".to_string())
+                    }
+                    (Some(texts), None) => texts.into_iter().map(ModelSource::Inline).collect(),
+                    (None, Some(ps)) => ps.into_iter().map(ModelSource::Path).collect(),
+                    (None, None) => {
+                        return Err("a batch request needs `models` or `paths`".to_string())
+                    }
+                };
+                if sources.is_empty() {
+                    return Err("a batch request needs at least one model".to_string());
+                }
+                sources
+            }
+        };
+        Ok(Request {
+            id,
+            kind,
+            sources,
+            purpose,
+            options,
+        })
+    }
+}
+
+fn string_array(value: &Json, name: &str) -> Result<Vec<String>, String> {
+    let Json::Arr(items) = value else {
+        return Err(format!("`{name}` must be an array of strings"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(ToString::to_string)
+                .ok_or_else(|| format!("`{name}` must be an array of strings"))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Solving
+// ---------------------------------------------------------------------------
+
+/// A request item resolved down to a solvable game plus its cache key.
+struct Prepared {
+    key: String,
+    model_name: String,
+    system: tiga_model::System,
+    purpose: TestPurpose,
+    options: SolveOptions,
+}
+
+fn prepare(
+    source: &ModelSource,
+    request: &Request,
+    line_no: usize,
+    item: usize,
+) -> Result<Prepared, String> {
+    let (text, label) = match source {
+        ModelSource::Inline(text) => (text.clone(), format!("request-{line_no}.{item}")),
+        ModelSource::Path(path) => (
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?,
+            path.clone(),
+        ),
+    };
+    let model = tiga_lang::parse_model(&text).map_err(|err| err.render(&text, &label))?;
+    let purpose = crate::solve::resolve_purpose(&model, request.purpose.as_deref())?;
+    // The canonical exact-inverse serialization of the lowered system (with
+    // its objective) is the content-hash identity of the game: a file and an
+    // inline copy of it, or two formattings of the same model, share a key.
+    let canonical = tiga_lang::print_system(&model.system, Some(&purpose));
+    let key = SolveCache::key(&canonical, &request.options);
+    Ok(Prepared {
+        key,
+        model_name: model.system.name().to_string(),
+        system: model.system,
+        purpose,
+        options: request.options.clone(),
+    })
+}
+
+fn solve_prepared(prepared: &Prepared) -> Result<CacheEntry, String> {
+    let solution = solve(&prepared.system, &prepared.purpose, &prepared.options)
+        .map_err(|e| format!("solver failed: {e}"))?;
+    Ok(CacheEntry {
+        winning: solution.winning_from_initial,
+        stats: solution.stats().clone(),
+        strategy: solution.strategy,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Renders an ok response: a volatile envelope (cache status, counters,
+/// timing) followed by the stable `payload` object.  The payload is built
+/// purely from the cache entry, so a hit is byte-identical to its miss.
+#[allow(clippy::too_many_arguments)]
+fn ok_response(
+    id: &str,
+    kind: &str,
+    index: Option<usize>,
+    cached: bool,
+    prepared: &Prepared,
+    entry: &CacheEntry,
+    cache: &SolveCache,
+    started: Instant,
+) -> String {
+    let stats = cache.stats();
+    let index_field = index.map_or(String::new(), |i| format!("\"index\":{i},"));
+    let strategy_text =
+        tiga_solver::print_strategy(&prepared.model_name, entry.winning, entry.strategy.as_ref());
+    let strategy_rules = entry
+        .strategy
+        .as_ref()
+        .map_or("null".to_string(), |s| s.rule_count().to_string());
+    format!(
+        "{{\"id\":{id},\"kind\":\"{kind}\",{index_field}\"status\":\"ok\",\
+         \"cache\":\"{cache_status}\",\"key\":\"{key}\",\
+         \"cache_hits\":{hits},\"cache_misses\":{misses},\"cache_entries\":{entries},\
+         \"elapsed_us\":{elapsed},\
+         \"payload\":{{\"model\":\"{model}\",\"engine\":\"{engine}\",\"verdict\":\"{verdict}\",\
+         {stats_fields},\"strategy_rules\":{strategy_rules},\"strategy\":\"{strategy}\"}}}}",
+        cache_status = if cached { "hit" } else { "miss" },
+        key = SolveCache::fingerprint(&prepared.key),
+        hits = stats.hits,
+        misses = stats.misses,
+        entries = cache.len(),
+        elapsed = started.elapsed().as_micros(),
+        model = crate::solve::json_escape(&prepared.model_name),
+        engine = prepared.options.engine.name(),
+        verdict = if entry.winning { "winning" } else { "losing" },
+        stats_fields = crate::solve::stats_json_fields(&entry.stats),
+        strategy = crate::solve::json_escape(&strategy_text),
+    )
+}
+
+fn error_response(id: &str, kind: &str, line_no: usize, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"kind\":\"{kind}\",\"status\":\"error\",\"line\":{line_no},\
+         \"error\":\"{}\"}}",
+        crate::solve::json_escape(message)
+    )
+}
+
+fn item_error_response(id: &str, kind: &str, index: usize, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"kind\":\"{kind}\",\"index\":{index},\"status\":\"error\",\
+         \"error\":\"{}\"}}",
+        crate::solve::json_escape(message)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader (crates.io/serde is unreachable; hand-rolled in the
+// baseline.rs spirit).  Supports objects, arrays, strings with escapes,
+// integers, booleans and null — everything the request protocol needs.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Int(n) => usize::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON syntax error with the byte offset it occurred at.
+#[derive(Debug)]
+struct JsonError {
+    at: usize,
+    message: String,
+}
+
+fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", char::from(byte))))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.error("expected a JSON value")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((name, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.error("only integers are supported"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Int)
+            .ok_or_else(|| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so bytes
+                    // form valid sequences).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("bad UTF-8 in string"))?
+                        .chars()
+                        .next()
+                        .expect("peeked a byte");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Decodes `XXXX` after `\u`, including surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&second) {
+                    return Err(self.error("bad low surrogate"));
+                }
+                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                return char::from_u32(code).ok_or_else(|| self.error("bad surrogate pair"));
+            }
+            return Err(self.error("lone high surrogate"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("bad unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+}
+
+/// Entry point used by [`crate::run`].
+pub(crate) fn main(args: &[String]) -> i32 {
+    if wants_help(args) {
+        crate::emit(USAGE.trim_end());
+        return 0;
+    }
+    match parse_args(args) {
+        Err(usage) => {
+            eprintln!("{usage}");
+            EXIT_USAGE
+        }
+        Ok(parsed) => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            match serve_session(stdin.lock(), &mut out, &parsed) {
+                Ok(()) => 0,
+                // A consumer hanging up mid-session (e.g. `| head`) is a
+                // normal way for a pipe server to stop.
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+                Err(e) => {
+                    eprintln!("error: serve I/O failed: {e}");
+                    EXIT_FAILURE
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_the_protocol_surface() {
+        let json = parse_json(
+            r#"{"id":7,"kind":"batch","paths":["a.tg","b.tg"],"exhaustive":true,"jobs":0,"note":null,"neg":-3}"#,
+        )
+        .unwrap();
+        let Json::Obj(fields) = &json else {
+            panic!("not an object")
+        };
+        assert_eq!(fields[0], ("id".to_string(), Json::Int(7)));
+        assert_eq!(fields[1].1.as_str(), Some("batch"));
+        assert_eq!(
+            fields[2].1,
+            Json::Arr(vec![
+                Json::Str("a.tg".to_string()),
+                Json::Str("b.tg".to_string())
+            ])
+        );
+        assert_eq!(fields[3].1.as_bool(), Some(true));
+        assert_eq!(fields[4].1.as_usize(), Some(0));
+        assert_eq!(fields[5].1, Json::Null);
+        assert_eq!(fields[6].1, Json::Int(-3));
+    }
+
+    #[test]
+    fn json_string_escapes_roundtrip() {
+        let json = parse_json(r#"{"s":"a\nb\t\"q\"\\\u0041\u00e9\ud83d\ude00"}"#).unwrap();
+        let Json::Obj(fields) = &json else {
+            panic!("not an object")
+        };
+        assert_eq!(fields[0].1.as_str(), Some("a\nb\t\"q\"\\Aé😀"));
+    }
+
+    #[test]
+    fn json_errors_carry_byte_offsets() {
+        let err = parse_json("{\"a\" 1}").unwrap_err();
+        assert_eq!(err.at, 5);
+        assert!(parse_json("not json at all").is_err());
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":1.5}").is_err(), "floats are rejected");
+        assert!(parse_json("\"lone \\ud800\"").is_err());
+        // Truncations never panic.
+        let good = r#"{"id":1,"path":"x.tg","models":["a"],"purpose":"control: A<> true"}"#;
+        for cut in 0..good.len() {
+            let _ = parse_json(&good[..cut]);
+        }
+    }
+
+    #[test]
+    fn requests_reject_malformed_shapes() {
+        let args_jobs = 1;
+        let parse = |text: &str| Request::from_json(&parse_json(text).unwrap(), 1, args_jobs);
+        assert!(parse(r#"{"path":"a.tg","model":"x"}"#).is_err());
+        assert!(parse(r#"{}"#).is_err());
+        assert!(parse(r#"{"kind":"batch","paths":[]}"#).is_err());
+        assert!(parse(r#"{"kind":"batch","path":"a.tg"}"#).is_err());
+        assert!(parse(r#"{"kind":"frobnicate","path":"a.tg"}"#).is_err());
+        assert!(
+            parse(r#"{"path":"a.tg","wat":1}"#).is_err(),
+            "unknown fields"
+        );
+        assert!(parse(r#"{"path":"a.tg","engine":"magic"}"#).is_err());
+        assert!(
+            parse(r#"{"paths":["a.tg"]}"#).is_err(),
+            "batch arrays need kind=batch"
+        );
+        let ok = parse(r#"{"id":"x","path":"a.tg","engine":"jacobi","exhaustive":true}"#).unwrap();
+        assert_eq!(ok.id, "\"x\"");
+        assert_eq!(ok.options.engine, SolveEngine::Jacobi);
+        assert!(!ok.options.early_termination);
+    }
+}

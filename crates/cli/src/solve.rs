@@ -30,6 +30,9 @@ OPTIONS:
                                      pre-interning behavior)
     --stats-json                     emit the full solver statistics as one
                                      JSON object instead of the text report
+    --emit-strategy <path>           write the verdict and synthesized
+                                     strategy to <path> in the versioned
+                                     `tiga-strategy v1` text format
 ";
 
 /// Parsed arguments of `tiga solve`.
@@ -47,6 +50,8 @@ pub struct SolveArgs {
     pub show_strategy: bool,
     /// Emit the statistics as a JSON object instead of the text report.
     pub stats_json: bool,
+    /// Write the verdict + strategy in the `tiga-strategy v1` format here.
+    pub emit_strategy: Option<String>,
 }
 
 /// Parses `tiga solve` arguments.
@@ -98,6 +103,7 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
         options.interning = false;
     }
     let stats_json = take_flag(&mut args, "--stats-json");
+    let emit_strategy = take_value(&mut args, "--emit-strategy")?;
     let path = if args.is_empty() {
         return Err(format!("error: missing <file.tg>\n\n{USAGE}"));
     } else {
@@ -111,6 +117,7 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
         expect_winning,
         show_strategy,
         stats_json,
+        emit_strategy,
     })
 }
 
@@ -125,6 +132,15 @@ pub fn run_solve(args: &SolveArgs) -> Result<String, String> {
     let purpose = resolve_purpose(&model, args.purpose.as_deref())?;
     let solution = solve(&model.system, &purpose, &args.options)
         .map_err(|e| format!("error: solver failed: {e}"))?;
+    if let Some(path) = &args.emit_strategy {
+        let text = tiga_solver::print_strategy(
+            model.system.name(),
+            solution.winning_from_initial,
+            solution.strategy.as_ref(),
+        );
+        std::fs::write(path, text)
+            .map_err(|e| format!("error: cannot write strategy to `{path}`: {e}"))?;
+    }
     if args.stats_json {
         let report = render_stats_json(&model.system, args, &solution);
         if let Some(expected) = args.expect_winning {
@@ -165,7 +181,9 @@ fn verdict_name(winning: bool) -> &'static str {
     }
 }
 
-fn resolve_purpose(
+/// Resolves the objective: an explicit `control:` override wins, otherwise
+/// the model file's own `control:` line.  Shared with `tiga serve`.
+pub(crate) fn resolve_purpose(
     model: &tiga_lang::TgModel,
     override_text: Option<&str>,
 ) -> Result<TestPurpose, String> {
@@ -253,18 +271,31 @@ fn render_stats_json(
         .as_ref()
         .map_or("null".to_string(), |s| s.rule_count().to_string());
     format!(
+        "{{\"model\":\"{}\",\"engine\":\"{}\",\"winning\":{},{},\
+         \"strategy_rules\":{},\"exploration_us\":{},\"fixpoint_us\":{},\"total_us\":{}}}",
+        json_escape(system.name()),
+        args.options.engine.name(),
+        solution.winning_from_initial,
+        stats_json_fields(stats),
+        strategy_rules,
+        timed.exploration_time.as_micros(),
+        timed.fixpoint_time.as_micros(),
+        timed.total_time().as_micros(),
+    )
+}
+
+/// The full 14-field [`tiga_solver::SolverStats`] block as JSON fields (no
+/// braces), in the order established by `--stats-json`.  Shared with the
+/// `tiga serve` response payloads so both surfaces report the same block.
+pub(crate) fn stats_json_fields(stats: &tiga_solver::SolverStats) -> String {
+    format!(
         concat!(
-            "{{\"model\":\"{}\",\"engine\":\"{}\",\"winning\":{},",
             "\"discrete_states\":{},\"graph_edges\":{},\"iterations\":{},",
             "\"winning_zones\":{},\"peak_federation_size\":{},\"reach_zones\":{},",
             "\"subsumed_zones\":{},\"pruned_evaluations\":{},\"early_terminated\":{},",
             "\"interned_zones\":{},\"intern_hits\":{},\"dbm_clones\":{},",
-            "\"peak_live_zones\":{},\"minimized_bytes_saved\":{},",
-            "\"strategy_rules\":{},\"exploration_us\":{},\"fixpoint_us\":{},\"total_us\":{}}}"
+            "\"peak_live_zones\":{},\"minimized_bytes_saved\":{}"
         ),
-        json_escape(system.name()),
-        args.options.engine.name(),
-        solution.winning_from_initial,
         stats.discrete_states,
         stats.graph_edges,
         stats.iterations,
@@ -279,14 +310,10 @@ fn render_stats_json(
         stats.dbm_clones,
         stats.peak_live_zones,
         stats.minimized_bytes_saved,
-        strategy_rules,
-        timed.exploration_time.as_micros(),
-        timed.fixpoint_time.as_micros(),
-        timed.total_time().as_micros(),
     )
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -420,6 +447,36 @@ mod tests {
         ] {
             assert_eq!(field(&report, key), field(&off, key), "{key} differs");
         }
+    }
+
+    #[test]
+    fn emit_strategy_writes_a_roundtrippable_file() {
+        let model = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/tg/smart_light.tg");
+        let out = std::env::temp_dir().join(format!(
+            "tiga-emit-strategy-test-{}.strategy",
+            std::process::id()
+        ));
+        let args = parse_args(&strings(&[
+            model.to_str().unwrap(),
+            "--emit-strategy",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(args.emit_strategy.as_deref(), out.to_str());
+        run_solve(&args).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let file = tiga_solver::parse_strategy(&text).unwrap();
+        assert_eq!(file.model, "smart-light");
+        assert!(file.winning);
+        let strategy = file.strategy.expect("winning game has a strategy");
+        assert!(strategy.rule_count() > 0);
+        // The file is a serializer fixpoint.
+        assert_eq!(
+            tiga_solver::print_strategy(&file.model, file.winning, Some(&strategy)),
+            text
+        );
+        std::fs::remove_file(&out).unwrap();
     }
 
     #[test]

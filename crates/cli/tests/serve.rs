@@ -1,0 +1,324 @@
+//! In-process pins for the `tiga serve` jsonl protocol.
+//!
+//! The invariants CI's serve-smoke job later checks from the outside are
+//! asserted here at the source: duplicate submissions are answered from the
+//! solve cache with a payload byte-identical to the original solve's, batch
+//! responses merge in submission order and are bit-identical for any
+//! `--jobs`, and malformed input produces spanned error responses without
+//! ending the session.
+
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use tiga_cli::{serve_session, ServeArgs};
+
+fn tg_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/tg")
+}
+
+fn tg(name: &str) -> String {
+    tg_dir().join(name).to_string_lossy().into_owned()
+}
+
+/// Feeds `requests` through one serve session and returns the response lines.
+fn session(requests: &[String], jobs: usize) -> Vec<String> {
+    let input = requests.join("\n");
+    let mut output = Vec::new();
+    serve_session(Cursor::new(input), &mut output, &ServeArgs { jobs })
+        .expect("in-memory I/O cannot fail");
+    let text = String::from_utf8(output).expect("responses are UTF-8");
+    text.lines().map(ToString::to_string).collect()
+}
+
+/// Extracts the stable `payload` object from an ok response line.  The
+/// payload is the envelope's last field, so it spans from the marker to the
+/// envelope's closing brace.
+fn payload(line: &str) -> &str {
+    let start = line
+        .find("\"payload\":")
+        .unwrap_or_else(|| panic!("no payload in {line}"))
+        + "\"payload\":".len();
+    &line[start..line.len() - 1]
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::from("\"");
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[test]
+fn duplicate_submissions_hit_the_cache_with_byte_identical_payloads() {
+    let requests = vec![
+        format!(
+            "{{\"id\":1,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        format!(
+            "{{\"id\":2,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+    ];
+    let mut payloads_by_jobs = Vec::new();
+    for jobs in [1, 4] {
+        let lines = session(&requests, jobs);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("\"id\":1,"), "{}", lines[0]);
+        assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"cache_misses\":1"), "{}", lines[0]);
+        assert!(lines[1].contains("\"id\":2,"), "{}", lines[1]);
+        assert!(lines[1].contains("\"cache\":\"hit\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"cache_hits\":1"), "{}", lines[1]);
+        assert!(lines[0].contains("\"verdict\":\"winning\""), "{}", lines[0]);
+        assert_eq!(
+            payload(&lines[0]),
+            payload(&lines[1]),
+            "hit payload must be byte-identical to the miss"
+        );
+        assert!(
+            payload(&lines[0]).contains("\"strategy\":\"tiga-strategy v1\\u000a"),
+            "payload embeds the versioned strategy text"
+        );
+        payloads_by_jobs.push(payload(&lines[0]).to_string());
+    }
+    assert_eq!(
+        payloads_by_jobs[0], payloads_by_jobs[1],
+        "payloads are bit-identical for any --jobs"
+    );
+}
+
+#[test]
+fn inline_source_shares_the_cache_key_with_its_file() {
+    let source = std::fs::read_to_string(tg("smart_light.tg")).unwrap();
+    let requests = vec![
+        format!("{{\"path\":{}}}", json_string(&tg("smart_light.tg"))),
+        format!("{{\"model\":{}}}", json_string(&source)),
+    ];
+    let lines = session(&requests, 1);
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"cache\":\"hit\""),
+        "an inline copy of the same model is the same game: {}",
+        lines[1]
+    );
+    assert_eq!(payload(&lines[0]), payload(&lines[1]));
+}
+
+#[test]
+fn malformed_lines_are_spanned_errors_and_the_session_survives() {
+    let requests = vec![
+        "{\"id\":1,\"path\" \"oops\"}".to_string(),
+        "{\"id\":2,\"path\":\"/nonexistent/missing.tg\"}".to_string(),
+        format!(
+            "{{\"id\":3,\"path\":{},\"wat\":true}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        format!(
+            "{{\"id\":4,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+    ];
+    let lines = session(&requests, 1);
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    // JSON syntax error: spanned with line and byte offset, id falls back to
+    // the line number.
+    assert!(
+        lines[0].contains("\"id\":1,\"status\":\"error\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"line\":1,\"byte\":15"), "{}", lines[0]);
+    // Missing file: a request-level error.
+    assert!(lines[1].contains("\"id\":2,"), "{}", lines[1]);
+    assert!(lines[1].contains("\"status\":\"error\""), "{}", lines[1]);
+    assert!(lines[1].contains("cannot read"), "{}", lines[1]);
+    // Unknown field: rejected, not ignored.
+    assert!(lines[2].contains("\"status\":\"error\""), "{}", lines[2]);
+    assert!(
+        lines[2].contains("unknown request field `wat`"),
+        "{}",
+        lines[2]
+    );
+    // The session is still alive and solves the good request.
+    assert!(lines[3].contains("\"id\":4,"), "{}", lines[3]);
+    assert!(lines[3].contains("\"status\":\"ok\""), "{}", lines[3]);
+}
+
+#[test]
+fn batch_responses_merge_in_order_and_deduplicate() {
+    let paths = [
+        tg("smart_light.tg"),
+        tg("coffee_machine.tg"),
+        tg("smart_light.tg"), // duplicate of item 0
+        "/nonexistent/missing.tg".to_string(),
+    ];
+    let request = format!(
+        "{{\"id\":9,\"kind\":\"batch\",\"paths\":[{}]}}",
+        paths
+            .iter()
+            .map(|p| json_string(p))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut outputs_by_jobs = Vec::new();
+    for jobs in [1, 4] {
+        let lines = session(std::slice::from_ref(&request), jobs);
+        assert_eq!(lines.len(), 5, "4 items + summary: {lines:?}");
+        for (i, line) in lines[..4].iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"index\":{i},")),
+                "responses merge in submission order: {line}"
+            );
+            assert!(line.contains("\"id\":9,\"kind\":\"batch-item\""), "{line}");
+        }
+        assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"cache\":\"miss\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"cache\":\"hit\""), "{}", lines[2]);
+        assert_eq!(
+            payload(&lines[0]),
+            payload(&lines[2]),
+            "the duplicate's payload is byte-identical"
+        );
+        assert!(lines[3].contains("\"status\":\"error\""), "{}", lines[3]);
+        let summary = &lines[4];
+        assert!(summary.contains("\"id\":9,\"kind\":\"batch\""), "{summary}");
+        assert!(summary.contains("\"items\":4,\"errors\":1"), "{summary}");
+        assert!(
+            summary.contains("\"cache_hits\":1,\"cache_misses\":2"),
+            "{summary}"
+        );
+        // Everything except the envelope timing is --jobs-invariant; strip
+        // elapsed_us and compare the whole session byte-for-byte.
+        let stripped: Vec<String> = lines.iter().map(|l| strip_field(l, "elapsed_us")).collect();
+        outputs_by_jobs.push(stripped);
+    }
+    assert_eq!(
+        outputs_by_jobs[0], outputs_by_jobs[1],
+        "batch output is bit-identical for any --jobs"
+    );
+}
+
+/// Removes a `"name":<digits>` field (with its preceding or trailing comma)
+/// from a response line, for timing-insensitive comparisons.
+fn strip_field(line: &str, name: &str) -> String {
+    let marker = format!("\"{name}\":");
+    let Some(start) = line.find(&marker) else {
+        return line.to_string();
+    };
+    let mut end = start + marker.len();
+    let bytes = line.as_bytes();
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end < bytes.len() && bytes[end] == b',' {
+        end += 1; // also swallow the trailing comma
+    } else if start > 0 && bytes[start - 1] == b',' {
+        return format!("{}{}", &line[..start - 1], &line[end..]);
+    }
+    format!("{}{}", &line[..start], &line[end..])
+}
+
+#[test]
+fn purpose_override_changes_the_game_and_the_cache_key() {
+    let requests = vec![
+        format!(
+            "{{\"id\":1,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        format!(
+            "{{\"id\":2,\"path\":{},\"purpose\":\"control: A[] not IUT.Bright\"}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // The plant file has no control: line, so it needs an override...
+        format!(
+            "{{\"id\":3,\"path\":{}}}",
+            json_string(&tg("smart_light.plant.tg"))
+        ),
+        // ...and solves fine with one.
+        format!(
+            "{{\"id\":4,\"path\":{},\"purpose\":\"control: A<> IUT.Bright\"}}",
+            json_string(&tg("smart_light.plant.tg"))
+        ),
+    ];
+    let lines = session(&requests, 1);
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"cache\":\"miss\""),
+        "a different objective is a different game: {}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"status\":\"ok\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"status\":\"error\""), "{}", lines[2]);
+    assert!(lines[3].contains("\"status\":\"ok\""), "{}", lines[3]);
+}
+
+#[test]
+fn solver_options_reach_the_solve_and_the_key() {
+    let requests = vec![
+        format!(
+            "{{\"id\":1,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // Different semantics-relevant options → different cache entry.
+        format!(
+            "{{\"id\":2,\"path\":{},\"engine\":\"jacobi\",\"exhaustive\":true}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // jobs is NOT part of the key: same game, different parallelism.
+        format!(
+            "{{\"id\":3,\"path\":{},\"jobs\":4}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // no_strategy variant: payload carries a verdict-only strategy file.
+        format!(
+            "{{\"id\":4,\"path\":{},\"strategy\":false}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+    ];
+    let lines = session(&requests, 1);
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"cache\":\"miss\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"engine\":\"jacobi\""), "{}", lines[1]);
+    assert!(
+        lines[2].contains("\"cache\":\"hit\""),
+        "jobs must not change the cache key: {}",
+        lines[2]
+    );
+    assert_eq!(payload(&lines[0]), payload(&lines[2]));
+    assert!(lines[3].contains("\"cache\":\"miss\""), "{}", lines[3]);
+    assert!(lines[3].contains("\"strategy_rules\":null"), "{}", lines[3]);
+    assert!(
+        payload(&lines[3]).contains("strategy none"),
+        "verdict-only files still serialize: {}",
+        lines[3]
+    );
+}
+
+#[test]
+fn blank_lines_are_skipped_and_ids_echo_strings() {
+    let requests = vec![
+        String::new(),
+        format!(
+            "{{\"id\":\"job-a\",\"path\":{}}}",
+            json_string(&tg("coffee_machine.tg"))
+        ),
+        "   ".to_string(),
+    ];
+    let lines = session(&requests, 1);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].contains("\"id\":\"job-a\","), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"model\":\"coffee-machine\""),
+        "{}",
+        lines[0]
+    );
+}

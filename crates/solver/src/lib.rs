@@ -75,15 +75,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod error;
 mod graph;
 mod otfur;
+mod serialize;
 mod stats;
 mod strategy;
 mod winning;
 
+pub use cache::{CacheEntry, CacheStats, SolveCache};
 pub use error::SolverError;
 pub use graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
+pub use serialize::{parse_strategy, print_strategy, StrategyFile, STRATEGY_FORMAT_HEADER};
 pub use stats::{SolverStats, TimedStats};
 pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
 pub use winning::{solve, solve_jacobi, solve_worklist, GameSolution, SolveEngine, SolveOptions};

@@ -1,0 +1,542 @@
+//! Stable textual serialization of verdicts and strategies.
+//!
+//! `tiga serve` answers from a content-hash cache and CI pins golden
+//! strategies byte-for-byte, so strategies need a serialization format that
+//! is *stable* (the same strategy always prints to the same bytes,
+//! regardless of hash-map iteration order, `--jobs` or interning) and
+//! *exact* (`parse(print(s)) ≡ s` on rules, ranks, zones and decisions).
+//! crates.io is unreachable, so the format is hand-rolled in the same
+//! spirit as `tiga_lang::print_system` and `crates/bench/src/baseline.rs`:
+//! a versioned line-oriented text format.
+//!
+//! # Format (`tiga-strategy v1`)
+//!
+//! ```text
+//! tiga-strategy v1
+//! model <system name, verbatim to end of line>
+//! verdict winning|losing
+//! strategy none                      # when no strategy was extracted
+//! dim <n>                            # otherwise: DBM dimension, then states
+//! state <loc> <loc> ... / <var> ...  # location ids, `/`, variable values
+//! rule <rank> wait <n·n bounds>
+//! rule <rank> take tau <aut> <edge> <n·n bounds>
+//! rule <rank> take sync <chan> <out-aut> <out-edge> <in-aut> <in-edge> <n·n bounds>
+//! end
+//! ```
+//!
+//! Zones are printed as the full row-major DBM matrix, one token per bound:
+//! `<inf` (unconstrained), `<=m` or `<m` — exactly the [`tiga_dbm::Bound`]
+//! display forms, so every canonical DBM round-trips bit-exactly.  States
+//! are sorted by (locations, variables); rules keep their extraction order,
+//! which the solver already guarantees is identical for any thread count.
+//! Ids are raw indices (`LocationId::index` etc.); a strategy file is only
+//! meaningful against the system it was extracted from.
+
+use crate::strategy::{Decision, Strategy, StrategyRule};
+use std::fmt::Write as _;
+use tiga_dbm::{Bound, Dbm};
+use tiga_model::{AutomatonId, ChannelId, DiscreteState, EdgeId, JointEdge, LocationId};
+
+/// The header line every serialized strategy starts with.
+pub const STRATEGY_FORMAT_HEADER: &str = "tiga-strategy v1";
+
+/// A parsed strategy file: the verdict plus the strategy it justifies (absent
+/// for losing games or `--no-strategy` solves).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StrategyFile {
+    /// Name of the system the strategy was extracted from.
+    pub model: String,
+    /// Whether the initial state is winning.
+    pub winning: bool,
+    /// The strategy, when one was extracted.
+    pub strategy: Option<Strategy>,
+}
+
+/// Prints a verdict and optional strategy in the versioned `tiga-strategy`
+/// format.
+///
+/// The output is byte-stable: states are emitted in sorted order and every
+/// zone as its full canonical bound matrix, so the same solution always
+/// serializes to the same bytes.
+#[must_use]
+pub fn print_strategy(model: &str, winning: bool, strategy: Option<&Strategy>) -> String {
+    let mut out = String::new();
+    out.push_str(STRATEGY_FORMAT_HEADER);
+    out.push('\n');
+    let _ = writeln!(out, "model {model}");
+    let _ = writeln!(
+        out,
+        "verdict {}",
+        if winning { "winning" } else { "losing" }
+    );
+    match strategy {
+        None => out.push_str("strategy none\n"),
+        Some(strategy) => {
+            let _ = writeln!(out, "dim {}", strategy.dim());
+            let mut states: Vec<(&DiscreteState, &[StrategyRule])> = strategy.iter().collect();
+            states.sort_by(|(a, _), (b, _)| {
+                a.locations
+                    .cmp(&b.locations)
+                    .then_with(|| a.vars.cmp(&b.vars))
+            });
+            for (discrete, rules) in states {
+                out.push_str("state");
+                for loc in &discrete.locations {
+                    let _ = write!(out, " {}", loc.index());
+                }
+                out.push_str(" /");
+                for var in &discrete.vars {
+                    let _ = write!(out, " {var}");
+                }
+                out.push('\n');
+                for rule in rules {
+                    let _ = write!(out, "rule {} ", rule.rank);
+                    match &rule.decision {
+                        Decision::Wait => out.push_str("wait"),
+                        Decision::Take(JointEdge::Internal { automaton, edge }) => {
+                            let _ = write!(out, "take tau {} {}", automaton.index(), edge.index());
+                        }
+                        Decision::Take(JointEdge::Sync {
+                            channel,
+                            output,
+                            input,
+                        }) => {
+                            let _ = write!(
+                                out,
+                                "take sync {} {} {} {} {}",
+                                channel.index(),
+                                output.0.index(),
+                                output.1.index(),
+                                input.0.index(),
+                                input.1.index()
+                            );
+                        }
+                    }
+                    for i in 0..rule.zone.dim() {
+                        for j in 0..rule.zone.dim() {
+                            let _ = write!(out, " {}", rule.zone.at(i, j));
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a `tiga-strategy v1` file back into a [`StrategyFile`].
+///
+/// The parse is exact: zones are checked to be canonical (re-closing the
+/// printed bounds must reproduce them), so `parse(print(s)) ≡ s` and any
+/// hand-edited non-canonical zone is rejected instead of silently changed.
+///
+/// # Errors
+///
+/// Returns a `line N: ...` message on the first malformed line.
+pub fn parse_strategy(text: &str) -> Result<StrategyFile, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty strategy file")?;
+    if header.trim_end() != STRATEGY_FORMAT_HEADER {
+        return Err(format!(
+            "line 1: expected header `{STRATEGY_FORMAT_HEADER}`, got `{header}`"
+        ));
+    }
+    let (n, model_line) = lines.next().ok_or("missing `model` line")?;
+    let model = model_line
+        .strip_prefix("model ")
+        .ok_or_else(|| format!("line {}: expected `model <name>`", n + 1))?
+        .to_string();
+    let (n, verdict_line) = lines.next().ok_or("missing `verdict` line")?;
+    let winning = match verdict_line.trim_end() {
+        "verdict winning" => true,
+        "verdict losing" => false,
+        other => {
+            return Err(format!(
+                "line {}: expected `verdict winning|losing`, got `{other}`",
+                n + 1
+            ))
+        }
+    };
+
+    let (n, body_first) = lines.next().ok_or("missing strategy body")?;
+    if body_first.trim_end() == "strategy none" {
+        let (n, last) = lines.next().ok_or("missing `end` line")?;
+        if last.trim_end() != "end" {
+            return Err(format!("line {}: expected `end`, got `{last}`", n + 1));
+        }
+        finish(lines)?;
+        return Ok(StrategyFile {
+            model,
+            winning,
+            strategy: None,
+        });
+    }
+
+    let dim: usize = body_first
+        .strip_prefix("dim ")
+        .and_then(|d| d.trim_end().parse().ok())
+        .filter(|d| *d >= 1)
+        .ok_or_else(|| format!("line {}: expected `dim <n>` or `strategy none`", n + 1))?;
+    let mut strategy = Strategy::new(dim);
+    let mut current: Option<DiscreteState> = None;
+    while let Some((n, line)) = lines.next() {
+        let line_no = n + 1;
+        let line = line.trim_end();
+        if line == "end" {
+            finish(lines)?;
+            return Ok(StrategyFile {
+                model,
+                winning,
+                strategy: Some(strategy),
+            });
+        }
+        if let Some(rest) = line.strip_prefix("state ") {
+            current = Some(parse_state(line_no, rest)?);
+        } else if let Some(rest) = line.strip_prefix("rule ") {
+            let discrete = current
+                .clone()
+                .ok_or_else(|| format!("line {line_no}: `rule` before any `state`"))?;
+            let rule = parse_rule(line_no, rest, dim)?;
+            strategy.add_rule(discrete, rule);
+        } else {
+            return Err(format!(
+                "line {line_no}: expected `state`, `rule` or `end`, got `{line}`"
+            ));
+        }
+    }
+    Err("missing `end` line".to_string())
+}
+
+/// After `end`, only blank lines may follow.
+fn finish<'a>(lines: impl Iterator<Item = (usize, &'a str)>) -> Result<(), String> {
+    for (n, line) in lines {
+        if !line.trim().is_empty() {
+            return Err(format!("line {}: trailing content `{line}`", n + 1));
+        }
+    }
+    Ok(())
+}
+
+fn parse_state(line_no: usize, rest: &str) -> Result<DiscreteState, String> {
+    let (locs, vars) = rest
+        .split_once('/')
+        .ok_or_else(|| format!("line {line_no}: `state` line needs a `/` separator"))?;
+    let locations = locs
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map(LocationId::from_index)
+                .map_err(|_| format!("line {line_no}: bad location id `{t}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if locations.is_empty() {
+        return Err(format!("line {line_no}: `state` line has no locations"));
+    }
+    let vars = vars
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<i64>()
+                .map_err(|_| format!("line {line_no}: bad variable value `{t}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DiscreteState { locations, vars })
+}
+
+fn parse_rule(line_no: usize, rest: &str, dim: usize) -> Result<StrategyRule, String> {
+    let mut tokens = rest.split_whitespace();
+    let rank: u32 = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {line_no}: `rule` needs a numeric rank"))?;
+    let decision = match tokens.next() {
+        Some("wait") => Decision::Wait,
+        Some("take") => match tokens.next() {
+            Some("tau") => {
+                let automaton = parse_index(line_no, tokens.next(), "automaton id")?;
+                let edge = parse_index(line_no, tokens.next(), "edge id")?;
+                Decision::Take(JointEdge::Internal {
+                    automaton: AutomatonId::from_index(automaton),
+                    edge: EdgeId::from_index(edge),
+                })
+            }
+            Some("sync") => {
+                let channel = parse_index(line_no, tokens.next(), "channel id")?;
+                let oa = parse_index(line_no, tokens.next(), "output automaton id")?;
+                let oe = parse_index(line_no, tokens.next(), "output edge id")?;
+                let ia = parse_index(line_no, tokens.next(), "input automaton id")?;
+                let ie = parse_index(line_no, tokens.next(), "input edge id")?;
+                Decision::Take(JointEdge::Sync {
+                    channel: ChannelId::from_index(channel),
+                    output: (AutomatonId::from_index(oa), EdgeId::from_index(oe)),
+                    input: (AutomatonId::from_index(ia), EdgeId::from_index(ie)),
+                })
+            }
+            other => {
+                return Err(format!(
+                    "line {line_no}: expected `take tau|sync`, got `{}`",
+                    other.unwrap_or("<eol>")
+                ))
+            }
+        },
+        other => {
+            return Err(format!(
+                "line {line_no}: expected `wait` or `take`, got `{}`",
+                other.unwrap_or("<eol>")
+            ))
+        }
+    };
+    let mut bounds = Vec::with_capacity(dim * dim);
+    for _ in 0..dim * dim {
+        let token = tokens
+            .next()
+            .ok_or_else(|| format!("line {line_no}: zone needs {} bounds", dim * dim))?;
+        bounds.push(parse_bound(line_no, token)?);
+    }
+    if let Some(extra) = tokens.next() {
+        return Err(format!("line {line_no}: trailing token `{extra}`"));
+    }
+    let zone = rebuild_zone(line_no, dim, &bounds)?;
+    Ok(StrategyRule {
+        rank,
+        zone,
+        decision,
+    })
+}
+
+fn parse_index(line_no: usize, token: Option<&str>, what: &str) -> Result<usize, String> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("line {line_no}: bad {what} `{}`", token.unwrap_or("<eol>")))
+}
+
+fn parse_bound(line_no: usize, token: &str) -> Result<Bound, String> {
+    if token == "<inf" {
+        return Ok(Bound::INF);
+    }
+    let (m, strict) = if let Some(m) = token.strip_prefix("<=") {
+        (m, false)
+    } else if let Some(m) = token.strip_prefix('<') {
+        (m, true)
+    } else {
+        return Err(format!("line {line_no}: bad bound `{token}`"));
+    };
+    let m: i32 = m
+        .parse()
+        .map_err(|_| format!("line {line_no}: bad bound `{token}`"))?;
+    if !(-tiga_dbm::MAX_CONSTANT..=tiga_dbm::MAX_CONSTANT).contains(&m) {
+        return Err(format!(
+            "line {line_no}: bound constant out of range `{token}`"
+        ));
+    }
+    Ok(Bound::new(m, strict))
+}
+
+/// Re-closes the printed bounds and checks the result reproduces them: a
+/// serialized zone is canonical by construction, so any deviation means the
+/// file was corrupted or hand-edited into a non-canonical matrix.
+fn rebuild_zone(line_no: usize, dim: usize, bounds: &[Bound]) -> Result<Dbm, String> {
+    let mut constraints = Vec::new();
+    for i in 0..dim {
+        for j in 0..dim {
+            let b = bounds[i * dim + j];
+            if i != j && !b.is_inf() {
+                constraints.push((i, j, b));
+            }
+        }
+    }
+    let zone = Dbm::from_constraints(dim, &constraints);
+    for i in 0..dim {
+        for j in 0..dim {
+            if zone.at(i, j) != bounds[i * dim + j] {
+                return Err(format!(
+                    "line {line_no}: zone is not canonical at ({i},{j}): \
+                     stored {} but closure gives {}",
+                    bounds[i * dim + j],
+                    zone.at(i, j)
+                ));
+            }
+        }
+    }
+    if zone.is_empty() {
+        return Err(format!("line {line_no}: zone is empty"));
+    }
+    Ok(zone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_model::{AutomatonBuilder, EdgeBuilder, SystemBuilder};
+
+    fn tiny_system() -> (tiga_model::System, DiscreteState, JointEdge) {
+        let mut b = SystemBuilder::new("t");
+        let _x = b.clock("x").unwrap();
+        let go = b.input_channel("go").unwrap();
+        let mut plant = AutomatonBuilder::new("P");
+        let l0 = plant.location("L0").unwrap();
+        let l1 = plant.location("L1").unwrap();
+        plant.add_edge(EdgeBuilder::new(l0, l1).input(go));
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("U");
+        let u0 = user.location("U0").unwrap();
+        user.add_edge(EdgeBuilder::new(u0, u0).output(go));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let d = sys.initial_discrete();
+        let je = sys.enabled_joint_edges(&d).unwrap().remove(0);
+        (sys, d, je)
+    }
+
+    fn zone_between(lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(2);
+        z.constrain(0, 1, Bound::le(-lo));
+        z.constrain(1, 0, Bound::lt(hi));
+        z
+    }
+
+    fn sample_strategy() -> Strategy {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 2,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(2, 5),
+                decision: Decision::Take(je),
+            },
+        );
+        let mut other = d;
+        other.locations[0] = LocationId::from_index(1);
+        strat.add_rule(
+            other,
+            StrategyRule {
+                rank: 0,
+                zone: zone_between(0, 3),
+                decision: Decision::Wait,
+            },
+        );
+        strat
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let strat = sample_strategy();
+        let text = print_strategy("tiny", true, Some(&strat));
+        let file = parse_strategy(&text).unwrap();
+        assert_eq!(file.model, "tiny");
+        assert!(file.winning);
+        assert_eq!(file.strategy.as_ref(), Some(&strat));
+        // The printer is a fixpoint: print(parse(print(s))) == print(s).
+        let again = print_strategy("tiny", true, file.strategy.as_ref());
+        assert_eq!(again, text);
+    }
+
+    #[test]
+    fn printing_is_independent_of_insertion_order() {
+        let (sys, d, je) = tiny_system();
+        let mut other = d.clone();
+        other.locations[0] = LocationId::from_index(1);
+        let wait = StrategyRule {
+            rank: 1,
+            zone: Dbm::universe(2),
+            decision: Decision::Wait,
+        };
+        let take = StrategyRule {
+            rank: 1,
+            zone: zone_between(1, 4),
+            decision: Decision::Take(je),
+        };
+        let mut a = Strategy::new(sys.dim());
+        a.add_rule(d.clone(), wait.clone());
+        a.add_rule(other.clone(), take.clone());
+        let mut b = Strategy::new(sys.dim());
+        b.add_rule(other, take);
+        b.add_rule(d, wait);
+        assert_eq!(
+            print_strategy("t", true, Some(&a)),
+            print_strategy("t", true, Some(&b)),
+            "state order is canonicalized, not insertion-dependent"
+        );
+    }
+
+    #[test]
+    fn verdict_only_files_roundtrip() {
+        let text = print_strategy("loser", false, None);
+        assert!(text.contains("verdict losing"));
+        assert!(text.contains("strategy none"));
+        let file = parse_strategy(&text).unwrap();
+        assert_eq!(file.model, "loser");
+        assert!(!file.winning);
+        assert!(file.strategy.is_none());
+    }
+
+    #[test]
+    fn sync_decisions_roundtrip() {
+        let strat = sample_strategy();
+        let text = print_strategy("t", true, Some(&strat));
+        // The `go` channel produces a sync joint edge in the sample.
+        assert!(text.contains("take sync"), "{text}");
+        let file = parse_strategy(&text).unwrap();
+        assert_eq!(file.strategy.unwrap(), strat);
+    }
+
+    #[test]
+    fn bound_tokens_roundtrip() {
+        for b in [Bound::INF, Bound::le(3), Bound::lt(-2), Bound::ZERO_LE] {
+            assert_eq!(parse_bound(1, &b.to_string()).unwrap(), b);
+        }
+        assert!(parse_bound(1, ">=3").is_err());
+        assert!(parse_bound(1, "<=x").is_err());
+        assert!(parse_bound(1, "<=999999999999").is_err());
+    }
+
+    #[test]
+    fn malformed_files_are_rejected_with_line_numbers() {
+        let strat = sample_strategy();
+        let good = print_strategy("t", true, Some(&strat));
+        // Corrupt the header.
+        let bad = good.replacen("v1", "v9", 1);
+        assert!(parse_strategy(&bad).unwrap_err().contains("line 1"));
+        // Drop the `end` line.
+        let bad = good.replace("end\n", "");
+        assert!(parse_strategy(&bad).unwrap_err().contains("end"));
+        // A rule before any state.
+        let bad = "tiga-strategy v1\nmodel t\nverdict winning\ndim 2\nrule 1 wait <=0 <=0 <inf <=0\nend\n";
+        assert!(parse_strategy(bad)
+            .unwrap_err()
+            .contains("before any `state`"));
+        // Wrong bound count.
+        let bad = "tiga-strategy v1\nmodel t\nverdict winning\ndim 2\nstate 0 0 /\nrule 1 wait <=0\nend\n";
+        assert!(parse_strategy(bad).unwrap_err().contains("4 bounds"));
+        // Non-canonical zone: closure tightens the stored `(0,1)` bound.
+        let bad = "tiga-strategy v1\nmodel t\nverdict winning\ndim 2\nstate 0 0 /\n\
+                   rule 1 wait <=0 <inf <=5 <=0\nend\n";
+        assert!(parse_strategy(bad).unwrap_err().contains("not canonical"));
+        // An empty zone.
+        let bad = "tiga-strategy v1\nmodel t\nverdict winning\ndim 2\nstate 0 0 /\n\
+                   rule 1 wait <=0 <-1 <=0 <=0\nend\n";
+        assert!(parse_strategy(bad).is_err());
+        // Truncations never panic (baseline.rs discipline).
+        for cut in 0..good.len() {
+            let _ = parse_strategy(&good[..cut]);
+        }
+    }
+
+    #[test]
+    fn prefix_truncation_of_none_files_never_panics() {
+        let good = print_strategy("t", false, None);
+        for cut in 0..good.len() {
+            let _ = parse_strategy(&good[..cut]);
+        }
+    }
+}

@@ -50,7 +50,11 @@ pub enum StrategyDecision<'a> {
 
 /// A state-based winning strategy (the paper's Definition 6, restricted to
 /// the winning states).
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is structural — same dimension, same states, same rules in the
+/// same order — which is what the serialization roundtrip
+/// (`parse_strategy(print_strategy(s)) == s`) pins.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Strategy {
     dim: usize,
     entries: HashMap<DiscreteState, Vec<StrategyRule>>,
