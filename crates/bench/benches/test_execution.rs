@@ -1,10 +1,12 @@
 //! Benchmarks of the test-execution machinery (experiment E4 in DESIGN.md):
-//! the per-run cost of Algorithm 3.1 and of the online tioco monitor.
+//! the per-run cost of Algorithm 3.1, the online tioco monitor, and the
+//! decision throughput of interpreted strategies vs compiled controllers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tiga_bench::smart_light_harness;
+use tiga_bench::{lep_instance, smart_light_harness};
 use tiga_models::{coffee_machine, smart_light};
+use tiga_solver::{solve, CompiledController, Controller, SolveEngine, SolveOptions};
 use tiga_testing::{OutputPolicy, SimulatedIut, SpecMonitor, TestConfig, TestHarness};
 
 fn bench_algorithm_31(c: &mut Criterion) {
@@ -64,5 +66,54 @@ fn bench_monitor(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_algorithm_31, bench_monitor);
+/// Decision throughput on the lep4 avoid-purpose strategy (the Table 1
+/// safety workload): the executor's per-step query —
+/// [`Controller::decide_with_wakeup`], i.e. `decide` plus the wake-up hint
+/// on a wait — over every strategy state at a spread of clock valuations.
+///
+/// `interpreted` drives the extracted [`tiga_solver::Strategy`] (the
+/// pre-compilation decide path: full-matrix rule scans per query);
+/// `compiled` drives the minimized, compiled controller.  The compiled
+/// path answers the same queries identically (pinned by
+/// `tests/controller_differential.rs`) at ≥5× the throughput.
+fn bench_decision_throughput(c: &mut Criterion) {
+    let (system, purpose) = lep_instance(4, 3);
+    let options = SolveOptions {
+        engine: SolveEngine::Otfur,
+        ..SolveOptions::default()
+    };
+    let solution = solve(&system, &purpose, &options).expect("lep4 tp4 solves");
+    let strategy = solution.strategy.as_ref().expect("tp4 is enforceable");
+    let compiled = CompiledController::compile(strategy);
+    let scale = 4;
+    let clocks = strategy.dim() - 1;
+    let queries: Vec<(tiga_model::DiscreteState, Vec<i64>)> = strategy
+        .iter()
+        .flat_map(|(d, _)| (0..6i64).map(move |u| (d.clone(), vec![u * 7 + 1; clocks])))
+        .collect();
+
+    let mut group = c.benchmark_group("decision_throughput");
+    group.bench_function("interpreted", |b| {
+        b.iter(|| {
+            for (d, ticks) in &queries {
+                black_box(strategy.decide_with_wakeup(d, ticks, scale));
+            }
+        });
+    });
+    group.bench_function("compiled", |b| {
+        b.iter(|| {
+            for (d, ticks) in &queries {
+                black_box(compiled.decide_with_wakeup(d, ticks, scale));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm_31,
+    bench_monitor,
+    bench_decision_throughput
+);
 criterion_main!(benches);

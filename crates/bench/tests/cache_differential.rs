@@ -19,10 +19,15 @@ use tiga_solver::{print_strategy, solve, CacheEntry, SolveCache, SolveEngine, So
 
 fn entry_for(instance: &tiga_bench::ZooInstance, opts: &SolveOptions) -> CacheEntry {
     let solution = solve(&instance.system, &instance.purpose, opts).expect("solves");
+    let controller = solution
+        .strategy
+        .as_ref()
+        .map(tiga_solver::CompiledController::compile);
     CacheEntry {
         winning: solution.winning_from_initial,
         stats: solution.stats().clone(),
         strategy: solution.strategy,
+        controller,
     }
 }
 

@@ -5,8 +5,13 @@
 //! request carries a `.tg` model (inline source or a file path), an optional
 //! `control:` objective override and solver knobs; the response carries the
 //! verdict, the full 14-field `SolverStats` block (as in
-//! `tiga solve --stats-json`), timing, and the strategy in the versioned
-//! `tiga-strategy v1` text format.
+//! `tiga solve --stats-json`), timing, the strategy in the versioned
+//! `tiga-strategy v1` text format, and the minimized/compiled controller
+//! summary (`minimized_rules`/`controller_states`).  A request with
+//! `"controller":true` additionally receives the compiled controller itself
+//! in the `tiga-controller v1` text format; the controller is compiled once
+//! when the game is first solved and stored in the cache entry, so the flag
+//! never changes what is cached, only what is serialized into the response.
 //!
 //! Underneath sits a content-hash [`SolveCache`] keyed on the canonical
 //! serialized system (`print_system` output, including the `control:` line)
@@ -47,8 +52,10 @@ REQUESTS:
                                                    merged in order
     optional fields: \"purpose\" (control: line override), \"engine\"
     (otfur|jacobi|worklist), \"exhaustive\" (bool), \"strategy\" (bool,
-    default true), \"max_rounds\", \"max_states\", \"jobs\" (solve requests:
-    intra-solve threads; default: the server's --jobs)
+    default true), \"controller\" (bool, default false: include the compiled
+    controller in the `tiga-controller v1` text format in the payload),
+    \"max_rounds\", \"max_states\", \"jobs\" (solve requests: intra-solve
+    threads; default: the server's --jobs)
 
 OPTIONS:
     --jobs N    worker threads: shards batch requests over the queue and is
@@ -168,6 +175,7 @@ fn handle_solve(
         "solve",
         None,
         cached,
+        request.controller,
         &prepared,
         &entry,
         cache,
@@ -235,6 +243,7 @@ fn handle_batch(
                         kind,
                         Some(i),
                         true,
+                        request.controller,
                         p,
                         &entry,
                         cache,
@@ -248,6 +257,7 @@ fn handle_batch(
                                 kind,
                                 Some(i),
                                 false,
+                                request.controller,
                                 p,
                                 &entry,
                                 cache,
@@ -300,6 +310,10 @@ struct Request {
     sources: Vec<ModelSource>,
     purpose: Option<String>,
     options: SolveOptions,
+    /// Include the serialized compiled controller in response payloads.
+    /// Not part of the cache key: the controller is compiled and cached
+    /// unconditionally, the flag only selects what the response carries.
+    controller: bool,
 }
 
 impl Request {
@@ -314,6 +328,7 @@ impl Request {
         let mut inlines: Option<Vec<String>> = None;
         let mut paths: Option<Vec<String>> = None;
         let mut purpose: Option<String> = None;
+        let mut controller = false;
         let mut options = SolveOptions {
             jobs: default_jobs,
             ..SolveOptions::default()
@@ -366,6 +381,9 @@ impl Request {
                 "strategy" => {
                     options.extract_strategy =
                         value.as_bool().ok_or("`strategy` must be a bool")?;
+                }
+                "controller" => {
+                    controller = value.as_bool().ok_or("`controller` must be a bool")?;
                 }
                 "max_rounds" => {
                     options.max_rounds = value
@@ -430,6 +448,7 @@ impl Request {
             sources,
             purpose,
             options,
+            controller,
         })
     }
 }
@@ -493,10 +512,17 @@ fn prepare(
 fn solve_prepared(prepared: &Prepared) -> Result<CacheEntry, String> {
     let solution = solve(&prepared.system, &prepared.purpose, &prepared.options)
         .map_err(|e| format!("solver failed: {e}"))?;
+    // Minimize + compile at store time: every later hit answers the
+    // controller fields (and a `"controller":true` download) for free.
+    let controller = solution
+        .strategy
+        .as_ref()
+        .map(tiga_solver::CompiledController::compile);
     Ok(CacheEntry {
         winning: solution.winning_from_initial,
         stats: solution.stats().clone(),
         strategy: solution.strategy,
+        controller,
     })
 }
 
@@ -513,6 +539,7 @@ fn ok_response(
     kind: &str,
     index: Option<usize>,
     cached: bool,
+    include_controller: bool,
     prepared: &Prepared,
     entry: &CacheEntry,
     cache: &SolveCache,
@@ -526,13 +553,27 @@ fn ok_response(
         .strategy
         .as_ref()
         .map_or("null".to_string(), |s| s.rule_count().to_string());
+    // The serialized controller is included only on request: it is built
+    // from the cached entry, so the payload stays a pure function of
+    // (entry, request flag) — hits remain byte-identical to their miss.
+    let controller_field = if include_controller {
+        let text = tiga_solver::print_controller(
+            &prepared.model_name,
+            entry.winning,
+            entry.controller.as_ref(),
+        );
+        format!(",\"controller\":\"{}\"", crate::solve::json_escape(&text))
+    } else {
+        String::new()
+    };
     format!(
         "{{\"id\":{id},\"kind\":\"{kind}\",{index_field}\"status\":\"ok\",\
          \"cache\":\"{cache_status}\",\"key\":\"{key}\",\
          \"cache_hits\":{hits},\"cache_misses\":{misses},\"cache_entries\":{entries},\
          \"elapsed_us\":{elapsed},\
          \"payload\":{{\"model\":\"{model}\",\"engine\":\"{engine}\",\"verdict\":\"{verdict}\",\
-         {stats_fields},\"strategy_rules\":{strategy_rules},\"strategy\":\"{strategy}\"}}}}",
+         {stats_fields},\"strategy_rules\":{strategy_rules},{controller_fields},\
+         \"strategy\":\"{strategy}\"{controller_field}}}}}",
         cache_status = if cached { "hit" } else { "miss" },
         key = SolveCache::fingerprint(&prepared.key),
         hits = stats.hits,
@@ -543,6 +584,7 @@ fn ok_response(
         engine = prepared.options.engine.name(),
         verdict = if entry.winning { "winning" } else { "losing" },
         stats_fields = crate::solve::stats_json_fields(&entry.stats),
+        controller_fields = crate::solve::controller_json_fields(entry.controller.as_ref()),
         strategy = crate::solve::json_escape(&strategy_text),
     )
 }
@@ -931,5 +973,9 @@ mod tests {
         assert_eq!(ok.id, "\"x\"");
         assert_eq!(ok.options.engine, SolveEngine::Jacobi);
         assert!(!ok.options.early_termination);
+        assert!(!ok.controller, "controller defaults to false");
+        let ok = parse(r#"{"path":"a.tg","controller":true}"#).unwrap();
+        assert!(ok.controller);
+        assert!(parse(r#"{"path":"a.tg","controller":1}"#).is_err());
     }
 }

@@ -33,6 +33,9 @@ OPTIONS:
     --emit-strategy <path>           write the verdict and synthesized
                                      strategy to <path> in the versioned
                                      `tiga-strategy v1` text format
+    --emit-controller <path>         minimize the strategy, compile it, and
+                                     write the result to <path> in the
+                                     versioned `tiga-controller v1` format
 ";
 
 /// Parsed arguments of `tiga solve`.
@@ -52,6 +55,9 @@ pub struct SolveArgs {
     pub stats_json: bool,
     /// Write the verdict + strategy in the `tiga-strategy v1` format here.
     pub emit_strategy: Option<String>,
+    /// Write the minimized, compiled controller in the `tiga-controller v1`
+    /// format here.
+    pub emit_controller: Option<String>,
 }
 
 /// Parses `tiga solve` arguments.
@@ -104,6 +110,7 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
     }
     let stats_json = take_flag(&mut args, "--stats-json");
     let emit_strategy = take_value(&mut args, "--emit-strategy")?;
+    let emit_controller = take_value(&mut args, "--emit-controller")?;
     let path = if args.is_empty() {
         return Err(format!("error: missing <file.tg>\n\n{USAGE}"));
     } else {
@@ -118,6 +125,7 @@ pub fn parse_args(args: &[String]) -> Result<SolveArgs, String> {
         show_strategy,
         stats_json,
         emit_strategy,
+        emit_controller,
     })
 }
 
@@ -141,8 +149,27 @@ pub fn run_solve(args: &SolveArgs) -> Result<String, String> {
         std::fs::write(path, text)
             .map_err(|e| format!("error: cannot write strategy to `{path}`: {e}"))?;
     }
+    // Minimize + compile once, shared by `--emit-controller` and the
+    // controller fields of `--stats-json`.
+    let controller = if args.emit_controller.is_some() || args.stats_json {
+        solution
+            .strategy
+            .as_ref()
+            .map(tiga_solver::CompiledController::compile)
+    } else {
+        None
+    };
+    if let Some(path) = &args.emit_controller {
+        let text = tiga_solver::print_controller(
+            model.system.name(),
+            solution.winning_from_initial,
+            controller.as_ref(),
+        );
+        std::fs::write(path, text)
+            .map_err(|e| format!("error: cannot write controller to `{path}`: {e}"))?;
+    }
     if args.stats_json {
-        let report = render_stats_json(&model.system, args, &solution);
+        let report = render_stats_json(&model.system, args, &solution, controller.as_ref());
         if let Some(expected) = args.expect_winning {
             if solution.winning_from_initial != expected {
                 return Err(format!(
@@ -263,6 +290,7 @@ fn render_stats_json(
     system: &tiga_model::System,
     args: &SolveArgs,
     solution: &GameSolution,
+    controller: Option<&tiga_solver::CompiledController>,
 ) -> String {
     let stats = solution.stats();
     let timed = &solution.timed;
@@ -272,16 +300,35 @@ fn render_stats_json(
         .map_or("null".to_string(), |s| s.rule_count().to_string());
     format!(
         "{{\"model\":\"{}\",\"engine\":\"{}\",\"winning\":{},{},\
-         \"strategy_rules\":{},\"exploration_us\":{},\"fixpoint_us\":{},\"total_us\":{}}}",
+         \"strategy_rules\":{},{},\
+         \"exploration_us\":{},\"fixpoint_us\":{},\"total_us\":{}}}",
         json_escape(system.name()),
         args.options.engine.name(),
         solution.winning_from_initial,
         stats_json_fields(stats),
         strategy_rules,
+        controller_json_fields(controller),
         timed.exploration_time.as_micros(),
         timed.fixpoint_time.as_micros(),
         timed.total_time().as_micros(),
     )
+}
+
+/// The compiled-controller summary as JSON fields (no braces): the rule
+/// count after minimization and the number of compiled discrete states, or
+/// `null`s when no strategy was extracted.  Shared with the `tiga serve`
+/// response payloads so both surfaces report the same block.
+pub(crate) fn controller_json_fields(
+    controller: Option<&tiga_solver::CompiledController>,
+) -> String {
+    match controller {
+        Some(c) => format!(
+            "\"minimized_rules\":{},\"controller_states\":{}",
+            c.rule_count(),
+            c.state_count()
+        ),
+        None => "\"minimized_rules\":null,\"controller_states\":null".to_string(),
+    }
 }
 
 /// The full 14-field [`tiga_solver::SolverStats`] block as JSON fields (no
@@ -422,6 +469,8 @@ mod tests {
             "\"peak_live_zones\":",
             "\"minimized_bytes_saved\":",
             "\"strategy_rules\":",
+            "\"minimized_rules\":",
+            "\"controller_states\":",
             "\"total_us\":",
         ] {
             assert!(report.contains(key), "missing {key} in {report}");
@@ -474,6 +523,71 @@ mod tests {
         // The file is a serializer fixpoint.
         assert_eq!(
             tiga_solver::print_strategy(&file.model, file.winning, Some(&strategy)),
+            text
+        );
+        std::fs::remove_file(&out).unwrap();
+    }
+
+    #[test]
+    fn stats_json_minimized_rules_never_exceed_strategy_rules() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/tg/smart_light.tg");
+        let args = parse_args(&strings(&[path.to_str().unwrap(), "--stats-json"])).unwrap();
+        let report = run_solve(&args).unwrap();
+        let field = |key: &str| {
+            let start = report.find(key).unwrap() + key.len();
+            report[start..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<usize>()
+                .unwrap()
+        };
+        let strategy_rules = field("\"strategy_rules\":");
+        let minimized = field("\"minimized_rules\":");
+        let states = field("\"controller_states\":");
+        assert!(minimized <= strategy_rules, "{report}");
+        assert!(minimized >= 1 && states >= 1, "{report}");
+        // Without strategy extraction both controller fields are null.
+        let args = parse_args(&strings(&[
+            path.to_str().unwrap(),
+            "--stats-json",
+            "--no-strategy",
+        ]))
+        .unwrap();
+        let report = run_solve(&args).unwrap();
+        assert!(
+            report.contains("\"minimized_rules\":null,\"controller_states\":null"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn emit_controller_writes_a_roundtrippable_file() {
+        let model = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/tg/smart_light.tg");
+        let out = std::env::temp_dir().join(format!(
+            "tiga-emit-controller-test-{}.controller",
+            std::process::id()
+        ));
+        let args = parse_args(&strings(&[
+            model.to_str().unwrap(),
+            "--emit-controller",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(args.emit_controller.as_deref(), out.to_str());
+        run_solve(&args).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with(tiga_solver::CONTROLLER_FORMAT_HEADER));
+        let file = tiga_solver::parse_controller(&text).unwrap();
+        assert_eq!(file.model, "smart-light");
+        assert!(file.winning);
+        let controller = file.controller.expect("winning game has a controller");
+        assert!(controller.rule_count() > 0);
+        // The file is a serializer fixpoint.
+        assert_eq!(
+            tiga_solver::print_controller(&file.model, file.winning, Some(&controller)),
             text
         );
         std::fs::remove_file(&out).unwrap();

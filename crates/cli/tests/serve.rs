@@ -304,6 +304,76 @@ fn solver_options_reach_the_solve_and_the_key() {
 }
 
 #[test]
+fn controller_fields_and_downloads_ride_the_same_cache_entry() {
+    let requests = vec![
+        format!(
+            "{{\"id\":1,\"path\":{}}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // Same game, controller requested: must be a cache hit — the flag
+        // selects what the response carries, not what is cached.
+        format!(
+            "{{\"id\":2,\"path\":{},\"controller\":true}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+        // No strategy extracted → controller summary is null.
+        format!(
+            "{{\"id\":3,\"path\":{},\"strategy\":false,\"controller\":true}}",
+            json_string(&tg("smart_light.tg"))
+        ),
+    ];
+    let lines = session(&requests, 1);
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"minimized_rules\":"), "{}", lines[0]);
+    assert!(lines[0].contains("\"controller_states\":"), "{}", lines[0]);
+    assert!(
+        !payload(&lines[0]).contains("\"controller\":\"tiga-controller"),
+        "without the flag the serialized controller stays out: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"cache\":\"hit\""),
+        "`controller` must not change the cache key: {}",
+        lines[1]
+    );
+    assert!(
+        payload(&lines[1]).contains("\"controller\":\"tiga-controller v1\\u000a"),
+        "the flag adds the versioned controller text: {}",
+        lines[1]
+    );
+    // Modulo the requested controller field, the hit payload is the miss's.
+    let with_flag = payload(&lines[1]);
+    let marker = ",\"controller\":\"";
+    let start = with_flag.find(marker).unwrap();
+    let end = with_flag[start + marker.len()..]
+        .find("\"}")
+        .map(|i| start + marker.len() + i + 1)
+        .unwrap();
+    let stripped = format!("{}{}", &with_flag[..start], &with_flag[end..]);
+    assert_eq!(stripped, payload(&lines[0]));
+    // The minimized controller never has more rules than the strategy.
+    let field = |line: &str, key: &str| {
+        let start = line.find(key).unwrap() + key.len();
+        line[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse::<usize>()
+            .unwrap()
+    };
+    assert!(
+        field(&lines[0], "\"minimized_rules\":") <= field(&lines[0], "\"strategy_rules\":"),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[2].contains("\"minimized_rules\":null,\"controller_states\":null"),
+        "{}",
+        lines[2]
+    );
+}
+
+#[test]
 fn blank_lines_are_skipped_and_ids_echo_strings() {
     let requests = vec![
         String::new(),

@@ -16,7 +16,7 @@ use crate::monitor::{MonitorOutcome, SpecMonitor};
 use crate::trace::TimedTrace;
 use crate::verdict::{FailReason, InconclusiveReason, Verdict};
 use tiga_model::{ConcreteState, DiscreteState, Interpreter, JointEdge, ModelError, System};
-use tiga_solver::{Strategy, StrategyDecision};
+use tiga_solver::{Controller, StrategyDecision};
 use tiga_tctl::{PathQuantifier, TestPurpose};
 
 /// Configuration of a test execution.
@@ -68,13 +68,28 @@ impl TestReport {
 }
 
 /// Strategy-driven test executor (the paper's `TestExec`).
-#[derive(Clone, Debug)]
+///
+/// Generic over the controller representation: any [`Controller`] — the
+/// interpreted [`tiga_solver::Strategy`] or a compiled
+/// [`tiga_solver::CompiledController`] — drives the run; both are pinned to
+/// produce identical verdicts and traces by the differential suites.
+#[derive(Clone)]
 pub struct TestExecutor<'a> {
     product: &'a System,
     spec: &'a System,
-    strategy: &'a Strategy,
+    controller: &'a dyn Controller,
     purpose: &'a TestPurpose,
     config: TestConfig,
+}
+
+impl std::fmt::Debug for TestExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestExecutor")
+            .field("product", &self.product.name())
+            .field("purpose", &self.purpose.source)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> TestExecutor<'a> {
@@ -84,7 +99,8 @@ impl<'a> TestExecutor<'a> {
     ///   synthesized on; the executor tracks its state to consult the
     ///   strategy.
     /// * `spec` — the plant-only specification used for tioco monitoring.
-    /// * `strategy` — a winning strategy for `purpose` on `product`.
+    /// * `controller` — a winning controller for `purpose` on `product`
+    ///   (an interpreted strategy or a compiled controller).
     ///
     /// # Errors
     ///
@@ -93,7 +109,7 @@ impl<'a> TestExecutor<'a> {
     pub fn new(
         product: &'a System,
         spec: &'a System,
-        strategy: &'a Strategy,
+        controller: &'a dyn Controller,
         purpose: &'a TestPurpose,
         config: TestConfig,
     ) -> Result<Self, ModelError> {
@@ -105,7 +121,7 @@ impl<'a> TestExecutor<'a> {
         Ok(TestExecutor {
             product,
             spec,
-            strategy,
+            controller,
             purpose,
             config,
         })
@@ -201,9 +217,12 @@ impl<'a> TestExecutor<'a> {
             }
 
             let discrete = Self::discrete_of(&product_state);
-            let decision = self
-                .strategy
-                .decide(&discrete, &product_state.clocks, scale);
+            // One fused query answers both the decision and — on a wait —
+            // the wake-up hint; the compiled controller serves both from a
+            // single state lookup.
+            let decision =
+                self.controller
+                    .decide_with_wakeup(&discrete, &product_state.clocks, scale);
             match decision {
                 None => {
                     return Ok(finish(
@@ -214,7 +233,7 @@ impl<'a> TestExecutor<'a> {
                         steps,
                     ));
                 }
-                Some(StrategyDecision::Take(joint)) => {
+                Some((StrategyDecision::Take(joint), _)) => {
                     match joint {
                         JointEdge::Sync { channel, .. } => {
                             let name = self.product.channel(*channel).name().to_string();
@@ -259,10 +278,7 @@ impl<'a> TestExecutor<'a> {
                         }
                     }
                 }
-                Some(StrategyDecision::Wait { .. }) => {
-                    let take_hint =
-                        self.strategy
-                            .next_take_delay(&discrete, &product_state.clocks, scale);
+                Some((StrategyDecision::Wait { .. }, take_hint)) => {
                     let inv_bound = interp.max_delay(&product_state)?;
                     let remaining = self.config.max_ticks - now;
                     let mut wait = self.config.default_wait.max(1);

@@ -10,7 +10,9 @@ use crate::iut::Iut;
 use crate::verdict::Verdict;
 use std::fmt;
 use tiga_model::{ModelError, System};
-use tiga_solver::{solve, GameSolution, SolveOptions, SolverError, Strategy};
+use tiga_solver::{
+    solve, CompiledController, Controller, GameSolution, SolveOptions, SolverError, Strategy,
+};
 use tiga_tctl::{TctlError, TestPurpose};
 
 /// Errors raised while assembling a test harness.
@@ -71,6 +73,7 @@ pub struct TestHarness {
     spec: System,
     purpose: TestPurpose,
     solution: GameSolution,
+    controller: CompiledController,
     config: TestConfig,
 }
 
@@ -120,16 +123,23 @@ impl TestHarness {
     ) -> Result<Self, HarnessError> {
         let parsed = TestPurpose::parse(purpose, &product)?;
         let solution = solve(&product, &parsed, options)?;
-        if !solution.winning_from_initial || solution.strategy.is_none() {
+        let Some(strategy) = solution.strategy.as_ref() else {
+            return Err(HarnessError::NotEnforceable {
+                purpose: purpose.to_string(),
+            });
+        };
+        if !solution.winning_from_initial {
             return Err(HarnessError::NotEnforceable {
                 purpose: purpose.to_string(),
             });
         }
+        let controller = CompiledController::compile(strategy);
         Ok(TestHarness {
             product,
             spec,
             purpose: parsed,
             solution,
+            controller,
             config,
         })
     }
@@ -145,6 +155,12 @@ impl TestHarness {
             .strategy
             .as_ref()
             .expect("synthesize only succeeds with a strategy")
+    }
+
+    /// The minimized, compiled controller executions run on by default.
+    #[must_use]
+    pub fn controller(&self) -> &CompiledController {
+        &self.controller
     }
 
     /// The solved game (winning sets, statistics, explored graph).
@@ -183,11 +199,31 @@ impl TestHarness {
     ///
     /// Returns a [`ModelError`] only for internal model-evaluation failures;
     /// conformance violations are reported through the verdict.
+    /// Runs on the compiled controller; [`TestHarness::execute_controlled`]
+    /// accepts an explicit controller (e.g. the interpreted strategy) for
+    /// differential comparison.
     pub fn execute(&self, iut: &mut dyn Iut) -> Result<TestReport, ModelError> {
+        self.execute_controlled(iut, &self.controller)
+    }
+
+    /// Executes the test case with an explicit controller.
+    ///
+    /// The differential suites run the same IUT under the compiled
+    /// controller and the interpreted [`TestHarness::strategy`] and pin
+    /// verdicts and traces identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TestHarness::execute`].
+    pub fn execute_controlled(
+        &self,
+        iut: &mut dyn Iut,
+        controller: &dyn Controller,
+    ) -> Result<TestReport, ModelError> {
         let executor = TestExecutor::new(
             &self.product,
             &self.spec,
-            self.strategy(),
+            controller,
             &self.purpose,
             self.config.clone(),
         )?;
@@ -226,6 +262,7 @@ impl fmt::Debug for TestHarness {
             .field("product", &self.product.name())
             .field("purpose", &self.purpose.source)
             .field("strategy_rules", &self.strategy().rule_count())
+            .field("controller_rules", &self.controller.rule_count())
             .finish()
     }
 }

@@ -382,6 +382,21 @@ pub fn check_test_execution(
             }
             Err(e) => return ExecCheck::Diverged(format!("re-run errored: {e}")),
         }
+        // Compiled ≡ interpreted: the same run driven by the interpreted
+        // strategy (instead of the default compiled controller) must produce
+        // the identical report, trace included.
+        let mut iut =
+            SimulatedIut::closed("conformant", system.clone(), scale, OutputPolicy::Eager);
+        match harness.execute_controlled(&mut iut, harness.strategy()) {
+            Ok(interpreted) if interpreted == first => {}
+            Ok(_) => {
+                return ExecCheck::Diverged(
+                    "interpreted strategy and compiled controller produced different reports"
+                        .into(),
+                );
+            }
+            Err(e) => return ExecCheck::Diverged(format!("interpreted run errored: {e}")),
+        }
     }
 
     let mutation = MutationConfig {

@@ -10,6 +10,7 @@
 //! zone store on or off (pinned by the solver's differential suites), so a
 //! cache hit is exact no matter which execution mode produced the entry.
 
+use crate::controller::CompiledController;
 use crate::stats::SolverStats;
 use crate::strategy::Strategy;
 use crate::winning::SolveOptions;
@@ -26,6 +27,10 @@ pub struct CacheEntry {
     pub stats: SolverStats,
     /// The extracted strategy, when one was requested and the game is won.
     pub strategy: Option<Strategy>,
+    /// The minimized, compiled form of `strategy`.  Compiled once at store
+    /// time so cache hits answer `minimized_rules`/`controller_states` and
+    /// controller downloads without re-running the minimizer.
+    pub controller: Option<CompiledController>,
 }
 
 /// Hit/miss counters, reported in `tiga serve` responses.
@@ -150,6 +155,7 @@ mod tests {
                 ..SolverStats::default()
             },
             strategy: None,
+            controller: None,
         }
     }
 

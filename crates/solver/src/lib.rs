@@ -76,8 +76,10 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod controller;
 mod error;
 mod graph;
+mod minimize;
 mod otfur;
 mod serialize;
 mod stats;
@@ -85,9 +87,15 @@ mod strategy;
 mod winning;
 
 pub use cache::{CacheEntry, CacheStats, SolveCache};
+pub use controller::{
+    parse_controller, print_controller, CompiledController, Controller, ControllerFile,
+};
 pub use error::SolverError;
 pub use graph::{ExploreOptions, GameGraph, GameNode, GraphEdge, NodeId};
-pub use serialize::{parse_strategy, print_strategy, StrategyFile, STRATEGY_FORMAT_HEADER};
+pub use minimize::{minimize_strategy, minimize_strategy_with_report, MinimizeReport};
+pub use serialize::{
+    parse_strategy, print_strategy, StrategyFile, CONTROLLER_FORMAT_HEADER, STRATEGY_FORMAT_HEADER,
+};
 pub use stats::{SolverStats, TimedStats};
 pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
 pub use winning::{solve, solve_jacobi, solve_worklist, GameSolution, SolveEngine, SolveOptions};

@@ -1,0 +1,457 @@
+//! Semantics-preserving strategy minimization.
+//!
+//! Extracted strategies keep every intermediate fixpoint region: the same
+//! wait zone re-justified at ranks 1, 2, …, n shows up n times, and `Take`
+//! regions frequently repeat or abut across rounds.  [`minimize_strategy`]
+//! shrinks a strategy without changing a single observable answer — for
+//! every `(discrete, ticks, scale)` query, `decide`, `rank_of` and
+//! `next_take_delay` return exactly what the original returned.
+//!
+//! Three rewrites run per discrete state, to a fixpoint:
+//!
+//! 1. **Wait subsumption** — a `Wait` rule of rank `r` is dropped when its
+//!    zone is covered by the union of other `Wait` zones of rank `<= r`.
+//!    `rank_of` is a *minimum* over containing wait rules — wait rules are a
+//!    rank-indexed set, order-insensitive — so every point of the dropped
+//!    zone keeps a containing wait of rank `<= r` and the minimum is
+//!    unchanged (below the dropped rank it was already attained elsewhere;
+//!    at it, the covering rule attains it).
+//! 2. **Take shadowing** — a `Take` rule is dropped when its zone is covered
+//!    by the union of `Take` zones that beat it in the selection order
+//!    (strictly lower rank, or equal rank and earlier in order).  `decide`
+//!    picks the first minimal-rank containing `Take`, so a rule that is
+//!    everywhere outranked is never the answer; the rank gate and the
+//!    wake-up hint are preserved because every beating rule passes the gate
+//!    whenever the shadowed rule would have.
+//! 3. **Union merge** — two rules of equal rank and identical decision merge
+//!    into their convex hull when every hull point outside the union
+//!    (`hull ∖ a ∖ b`) is already answered by a rule that wins against the
+//!    merged one: for `Wait` rules, covered by other waits of rank `<= r`
+//!    (the rank minimum at those points stays put); for `Take` rules,
+//!    covered by takes of *strictly* lower rank — such takes beat the merged
+//!    rule in `decide` wherever they contain the point, and they pass the
+//!    `next_take_delay` rank gate whenever the merged rule does, so the
+//!    minimum over delay windows is also preserved (any delay admitted by
+//!    the hull lands in `a`, `b`, or a covering zone, whose own window
+//!    admits it).  The hull of two canonical DBMs is the pointwise maximum
+//!    of their bound matrices (canonical by the triangle inequality).
+//!    `Take` merges are skipped at any rank where a different-edge `Take`
+//!    zone overlaps the hull: the first-in-order tie-break among equal-rank
+//!    rules could otherwise flip.
+//!
+//! Every rewrite is checked against the rule set *as currently retained* and
+//! preserves the three query functions exactly, so any sequence of rewrites
+//! composes soundly; each one strictly shrinks the rule count or grows a
+//! zone to a fixed hull, so the fixpoint loop terminates.
+
+use crate::strategy::{Decision, Strategy, StrategyRule};
+use tiga_dbm::{zone_subtract, Bound, Dbm};
+
+/// Before/after rule counts of a minimization run, for stats reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizeReport {
+    /// Rules in the input strategy.
+    pub rules_before: usize,
+    /// Rules in the minimized strategy.
+    pub rules_after: usize,
+}
+
+/// Minimizes a strategy; the result answers every `decide` / `rank_of` /
+/// `next_take_delay` query identically to the input.
+#[must_use]
+pub fn minimize_strategy(strategy: &Strategy) -> Strategy {
+    minimize_strategy_with_report(strategy).0
+}
+
+/// [`minimize_strategy`], also returning the before/after rule counts.
+#[must_use]
+pub fn minimize_strategy_with_report(strategy: &Strategy) -> (Strategy, MinimizeReport) {
+    let mut out = Strategy::new(strategy.dim());
+    let mut report = MinimizeReport {
+        rules_before: strategy.rule_count(),
+        rules_after: 0,
+    };
+    for (discrete, rules) in strategy.iter() {
+        let minimized = minimize_state(rules);
+        report.rules_after += minimized.len();
+        for rule in minimized {
+            out.add_rule(discrete.clone(), rule);
+        }
+    }
+    (out, report)
+}
+
+/// Runs the three rewrites over one state's rules until nothing changes.
+fn minimize_state(rules: &[StrategyRule]) -> Vec<StrategyRule> {
+    let mut rules: Vec<StrategyRule> = rules.to_vec();
+    loop {
+        let before = rules.len();
+        drop_subsumed(&mut rules, Class::Wait);
+        drop_subsumed(&mut rules, Class::Take);
+        let merged = merge_exact_unions(&mut rules);
+        if rules.len() == before && !merged {
+            return rules;
+        }
+    }
+}
+
+/// Which selection order a rule participates in.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Wait,
+    Take,
+}
+
+fn class_of(rule: &StrategyRule) -> Class {
+    match rule.decision {
+        Decision::Wait => Class::Wait,
+        Decision::Take(_) => Class::Take,
+    }
+}
+
+/// Drops every rule of `class` whose zone is covered by the union of
+/// currently-retained same-class zones that answer for it: for `Wait`
+/// rules, any other wait of rank `<= r` (the rank minimum is
+/// order-insensitive); for `Take` rules, takes that beat it in the
+/// selection order (strictly lower rank, or equal rank and earlier).
+fn drop_subsumed(rules: &mut Vec<StrategyRule>, class: Class) {
+    let mut index = 0;
+    while index < rules.len() {
+        if class_of(&rules[index]) != class {
+            index += 1;
+            continue;
+        }
+        let rank = rules[index].rank;
+        let covers: Vec<&Dbm> = rules
+            .iter()
+            .enumerate()
+            .filter(|(other, r)| {
+                *other != index
+                    && class_of(r) == class
+                    && match class {
+                        Class::Wait => r.rank <= rank,
+                        Class::Take => r.rank < rank || (r.rank == rank && *other < index),
+                    }
+            })
+            .map(|(_, r)| &r.zone)
+            .collect();
+        if covered_by(&rules[index].zone, &covers) {
+            rules.remove(index);
+        } else {
+            index += 1;
+        }
+    }
+}
+
+/// Whether `zone` is included in the union of `covers`.
+fn covered_by(zone: &Dbm, covers: &[&Dbm]) -> bool {
+    let mut remainder = vec![zone.clone()];
+    for cover in covers {
+        if remainder.is_empty() {
+            return true;
+        }
+        remainder = remainder
+            .iter()
+            .flat_map(|piece| zone_subtract(piece, cover))
+            .collect();
+    }
+    remainder.is_empty()
+}
+
+/// Greedily merges same-rank same-decision rule pairs whose convex hull
+/// adds no point that is not already answered identically by another rule.
+/// Returns whether any merge happened.
+fn merge_exact_unions(rules: &mut Vec<StrategyRule>) -> bool {
+    let mut changed = false;
+    let mut a = 0;
+    while a < rules.len() {
+        let mut b = a + 1;
+        while b < rules.len() {
+            if rules[a].rank == rules[b].rank
+                && rules[a].decision == rules[b].decision
+                && mergeable(rules, a, b)
+            {
+                let hull = convex_hull(&rules[a].zone, &rules[b].zone);
+                rules[a].zone = hull;
+                rules.remove(b);
+                changed = true;
+                // Re-scan partners for the grown zone from scratch.
+                b = a + 1;
+            } else {
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    changed
+}
+
+/// Whether rules `a` and `b` (same rank, same decision) may merge: every
+/// hull point outside `a ∪ b` must already be answered by a winning rule —
+/// another wait of rank `<= r` for `Wait` merges, a strictly-lower-rank
+/// take for `Take` merges — and for `Take` rules no different-edge `Take`
+/// of the same rank may overlap the hull (the first-in-order tie-break
+/// among equal ranks would otherwise be disturbed).
+fn mergeable(rules: &[StrategyRule], a: usize, b: usize) -> bool {
+    let hull = convex_hull(&rules[a].zone, &rules[b].zone);
+    let class = class_of(&rules[a]);
+    let rank = rules[a].rank;
+    let mut covers = vec![&rules[a].zone, &rules[b].zone];
+    covers.extend(
+        rules
+            .iter()
+            .enumerate()
+            .filter(|(other, r)| {
+                *other != a
+                    && *other != b
+                    && class_of(r) == class
+                    && match class {
+                        Class::Wait => r.rank <= rank,
+                        Class::Take => r.rank < rank,
+                    }
+            })
+            .map(|(_, r)| &r.zone),
+    );
+    if !covered_by(&hull, &covers) {
+        return false;
+    }
+    if matches!(rules[a].decision, Decision::Take(_)) {
+        for (other, rule) in rules.iter().enumerate() {
+            if other != a
+                && other != b
+                && rule.rank == rank
+                && matches!(rule.decision, Decision::Take(_))
+                && rule.decision != rules[a].decision
+                && rule.zone.intersects(&hull)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The convex hull of two canonical zones: the pointwise maximum of their
+/// bound matrices.  The maximum of two canonical matrices is canonical
+/// (each side satisfies the triangle inequality against the maxima), so no
+/// re-closing is needed.
+fn convex_hull(a: &Dbm, b: &Dbm) -> Dbm {
+    let dim = a.dim();
+    let mut constraints: Vec<(usize, usize, Bound)> = Vec::new();
+    for i in 0..dim {
+        for j in 0..dim {
+            if i == j {
+                continue;
+            }
+            let bound = a.at(i, j).max(b.at(i, j));
+            if !bound.is_inf() {
+                constraints.push((i, j, bound));
+            }
+        }
+    }
+    Dbm::from_constraints(dim, &constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiga_dbm::Bound;
+    use tiga_model::{AutomatonBuilder, DiscreteState, EdgeBuilder, JointEdge, SystemBuilder};
+
+    fn tiny_system() -> (tiga_model::System, DiscreteState, Vec<JointEdge>) {
+        let mut b = SystemBuilder::new("t");
+        let _x = b.clock("x").unwrap();
+        let go = b.input_channel("go").unwrap();
+        let halt = b.input_channel("halt").unwrap();
+        let mut plant = AutomatonBuilder::new("P");
+        let l0 = plant.location("L0").unwrap();
+        let l1 = plant.location("L1").unwrap();
+        plant.add_edge(EdgeBuilder::new(l0, l1).input(go));
+        plant.add_edge(EdgeBuilder::new(l0, l1).input(halt));
+        b.add_automaton(plant.build().unwrap()).unwrap();
+        let mut user = AutomatonBuilder::new("U");
+        let u0 = user.location("U0").unwrap();
+        user.add_edge(EdgeBuilder::new(u0, u0).output(go));
+        user.add_edge(EdgeBuilder::new(u0, u0).output(halt));
+        b.add_automaton(user.build().unwrap()).unwrap();
+        let sys = b.build().unwrap();
+        let d = sys.initial_discrete();
+        let edges = sys.enabled_joint_edges(&d).unwrap();
+        (sys, d, edges)
+    }
+
+    fn zone_between(lo: i32, hi: i32) -> Dbm {
+        let mut z = Dbm::universe(2);
+        z.constrain(0, 1, Bound::le(-lo));
+        z.constrain(1, 0, Bound::le(hi));
+        z
+    }
+
+    #[test]
+    fn repeated_wait_regions_collapse_to_the_lowest_rank() {
+        let (sys, d, _) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        for rank in 1..=5 {
+            strat.add_rule(
+                d.clone(),
+                StrategyRule {
+                    rank,
+                    zone: Dbm::universe(2),
+                    decision: Decision::Wait,
+                },
+            );
+        }
+        let (min, report) = minimize_strategy_with_report(&strat);
+        assert_eq!(report.rules_before, 5);
+        assert_eq!(report.rules_after, 1);
+        assert_eq!(min.rule_count(), 1);
+        assert_eq!(min.rank_of(&d, &[0], 4), Some(1));
+        assert_eq!(strat.rank_of(&d, &[0], 4), Some(1));
+    }
+
+    #[test]
+    fn adjacent_same_rank_zones_merge_exactly() {
+        let (sys, d, _) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        // [0,2] ∪ [2,5] = [0,5]: hull is exact.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(0, 2),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(2, 5),
+                decision: Decision::Wait,
+            },
+        );
+        let min = minimize_strategy(&strat);
+        assert_eq!(min.rule_count(), 1);
+        let rules = min.rules_for(&d).unwrap();
+        assert_eq!(rules[0].zone, zone_between(0, 5));
+    }
+
+    #[test]
+    fn disjoint_zones_do_not_merge() {
+        let (sys, d, _) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        // [0,1] ∪ [4,5]: the hull [0,5] strictly contains the union.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(0, 1),
+                decision: Decision::Wait,
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(4, 5),
+                decision: Decision::Wait,
+            },
+        );
+        let min = minimize_strategy(&strat);
+        assert_eq!(min.rule_count(), 2);
+        assert_eq!(min.rank_of(&d, &[8], 4), None);
+        assert_eq!(strat.rank_of(&d, &[8], 4), None);
+    }
+
+    #[test]
+    fn shadowed_take_rules_are_dropped() {
+        let (sys, d, edges) = tiny_system();
+        let go = edges[0].clone();
+        let mut strat = Strategy::new(sys.dim());
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 2,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        // Rank-1 take over [0,5] shadows the rank-2 take over [2,4].
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(0, 5),
+                decision: Decision::Take(go.clone()),
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 2,
+                zone: zone_between(2, 4),
+                decision: Decision::Take(go.clone()),
+            },
+        );
+        let min = minimize_strategy(&strat);
+        assert_eq!(min.rule_count(), 2);
+        for ticks in [0_i64, 9, 13, 21] {
+            assert_eq!(min.decide(&d, &[ticks], 4), strat.decide(&d, &[ticks], 4));
+            assert_eq!(
+                min.next_take_delay(&d, &[ticks], 4),
+                strat.next_take_delay(&d, &[ticks], 4)
+            );
+        }
+    }
+
+    #[test]
+    fn take_merge_is_blocked_by_an_overlapping_other_edge_tie() {
+        let (sys, d, edges) = tiny_system();
+        let go = edges[0].clone();
+        let halt = edges[1].clone();
+        let mut strat = Strategy::new(sys.dim());
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        // go on [0,2], then halt on [2,3] (earlier in order than the second
+        // go region), then go on [2,5]: merging the go zones into [0,5]
+        // would steal the tie from halt at x ∈ [2,3].
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(0, 2),
+                decision: Decision::Take(go.clone()),
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(2, 3),
+                decision: Decision::Take(halt.clone()),
+            },
+        );
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(2, 5),
+                decision: Decision::Take(go.clone()),
+            },
+        );
+        let min = minimize_strategy(&strat);
+        for ticks in 0..=24_i64 {
+            assert_eq!(
+                min.decide(&d, &[ticks], 4),
+                strat.decide(&d, &[ticks], 4),
+                "x ticks = {ticks}"
+            );
+        }
+    }
+}

@@ -40,6 +40,11 @@ use tiga_model::{AutomatonId, ChannelId, DiscreteState, EdgeId, JointEdge, Locat
 /// The header line every serialized strategy starts with.
 pub const STRATEGY_FORMAT_HEADER: &str = "tiga-strategy v1";
 
+/// The header line every serialized compiled controller starts with (the
+/// body is the controller's minimized source strategy in the same shape;
+/// see `crate::controller::print_controller`).
+pub const CONTROLLER_FORMAT_HEADER: &str = "tiga-controller v1";
+
 /// A parsed strategy file: the verdict plus the strategy it justifies (absent
 /// for losing games or `--no-strategy` solves).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,8 +65,20 @@ pub struct StrategyFile {
 /// serializes to the same bytes.
 #[must_use]
 pub fn print_strategy(model: &str, winning: bool, strategy: Option<&Strategy>) -> String {
+    print_with_header(STRATEGY_FORMAT_HEADER, model, winning, strategy)
+}
+
+/// Shared printer behind [`print_strategy`] and the controller format, which
+/// differ only in their header line.
+#[must_use]
+pub(crate) fn print_with_header(
+    header: &str,
+    model: &str,
+    winning: bool,
+    strategy: Option<&Strategy>,
+) -> String {
     let mut out = String::new();
-    out.push_str(STRATEGY_FORMAT_HEADER);
+    out.push_str(header);
     out.push('\n');
     let _ = writeln!(out, "model {model}");
     let _ = writeln!(
@@ -136,11 +153,17 @@ pub fn print_strategy(model: &str, winning: bool, strategy: Option<&Strategy>) -
 ///
 /// Returns a `line N: ...` message on the first malformed line.
 pub fn parse_strategy(text: &str) -> Result<StrategyFile, String> {
+    parse_with_header(STRATEGY_FORMAT_HEADER, text)
+}
+
+/// Shared parser behind [`parse_strategy`] and the controller format, which
+/// differ only in the expected header line.
+pub(crate) fn parse_with_header(expected: &str, text: &str) -> Result<StrategyFile, String> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or("empty strategy file")?;
-    if header.trim_end() != STRATEGY_FORMAT_HEADER {
+    if header.trim_end() != expected {
         return Err(format!(
-            "line 1: expected header `{STRATEGY_FORMAT_HEADER}`, got `{header}`"
+            "line 1: expected header `{expected}`, got `{header}`"
         ));
     }
     let (n, model_line) = lines.next().ok_or("missing `model` line")?;

@@ -136,26 +136,41 @@ impl Strategy {
     ) -> Option<StrategyDecision<'_>> {
         let rules = self.entries.get(discrete)?;
         let vals = dbm_point(ticks);
-        let rank = self.rank_of(discrete, ticks, scale)?;
-        // Rank 0 regions are goal states; nothing to do (the executor detects
-        // the goal through the test purpose), report Wait.
+        // Single pass: track the wait rank (min over containing Wait rules)
+        // and the best containing Take rule (min rank, first-in-order wins
+        // ties) simultaneously.  The rank gate `take.rank <= wait rank` is
+        // applied at the end: the minimum over the gated subset equals the
+        // global minimum whenever the gate admits it, and the gate rejecting
+        // the global minimum rejects the whole subset.
+        let mut wait_rank: Option<u32> = None;
         let mut best: Option<&StrategyRule> = None;
         for rule in rules {
-            if let Decision::Take(_) = rule.decision {
-                if rule.rank <= rank
-                    && rule.zone.contains_at(&vals, scale)
-                    && best.is_none_or(|b| rule.rank < b.rank)
-                {
-                    best = Some(rule);
+            match rule.decision {
+                Decision::Wait => {
+                    if wait_rank.is_none_or(|r| rule.rank < r)
+                        && rule.zone.contains_at(&vals, scale)
+                    {
+                        wait_rank = Some(rule.rank);
+                    }
+                }
+                Decision::Take(_) => {
+                    if best.is_none_or(|b| rule.rank < b.rank)
+                        && rule.zone.contains_at(&vals, scale)
+                    {
+                        best = Some(rule);
+                    }
                 }
             }
         }
+        // Rank 0 regions are goal states; nothing to do (the executor detects
+        // the goal through the test purpose), report Wait.
+        let rank = wait_rank?;
         match best {
-            Some(rule) => match &rule.decision {
+            Some(rule) if rule.rank <= rank => match &rule.decision {
                 Decision::Take(je) => Some(StrategyDecision::Take(je)),
                 Decision::Wait => unreachable!("best only holds Take rules"),
             },
-            None => Some(StrategyDecision::Wait { rank }),
+            _ => Some(StrategyDecision::Wait { rank }),
         }
     }
 
@@ -164,6 +179,11 @@ impl Strategy {
     ///
     /// The executor uses this as a wake-up hint while waiting; it re-evaluates
     /// [`Strategy::decide`] at that moment.
+    ///
+    /// Only `Take` rules that pass the same rank gate as [`Strategy::decide`]
+    /// (rule rank at most the current wait rank) contribute: waking up for a
+    /// higher-rank action that `decide` would then refuse to take is a
+    /// spurious wakeup.
     #[must_use]
     pub fn next_take_delay(
         &self,
@@ -172,10 +192,11 @@ impl Strategy {
         scale: i64,
     ) -> Option<i64> {
         let rules = self.entries.get(discrete)?;
+        let rank = self.rank_of(discrete, ticks, scale)?;
         let vals = dbm_point(ticks);
         let mut best: Option<i64> = None;
         for rule in rules {
-            if !matches!(rule.decision, Decision::Take(_)) {
+            if !matches!(rule.decision, Decision::Take(_)) || rule.rank > rank {
                 continue;
             }
             if let Some(window) = rule.zone.delay_window_at(&vals, scale) {
@@ -381,6 +402,46 @@ mod tests {
         assert_eq!(strat.next_take_delay(&d, &[4], 4), Some(8));
         // From x = 7 the region is behind: no entry by delay.
         assert_eq!(strat.next_take_delay(&d, &[28], 4), None);
+    }
+
+    #[test]
+    fn next_take_delay_ignores_takes_above_the_wait_rank() {
+        let (sys, d, je) = tiny_system();
+        let mut strat = Strategy::new(sys.dim());
+        // Rank-1 wait region covering everything...
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: Dbm::universe(2),
+                decision: Decision::Wait,
+            },
+        );
+        // ...and a rank-3 action ahead by delay.  `decide` would refuse it
+        // (rank 3 > wait rank 1), so waking up for it is spurious.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 3,
+                zone: zone_between(3, 6),
+                decision: Decision::Take(je.clone()),
+            },
+        );
+        assert_eq!(strat.next_take_delay(&d, &[4], 4), None);
+        // A rank-1 action further out is admissible and wins the hint.
+        strat.add_rule(
+            d.clone(),
+            StrategyRule {
+                rank: 1,
+                zone: zone_between(5, 6),
+                decision: Decision::Take(je),
+            },
+        );
+        assert_eq!(strat.next_take_delay(&d, &[4], 4), Some(16));
+        // An uncovered valuation yields no hint at all.
+        let mut other = d.clone();
+        other.locations[0] = tiga_model::LocationId::from_index(1);
+        assert_eq!(strat.next_take_delay(&other, &[4], 4), None);
     }
 
     #[test]
