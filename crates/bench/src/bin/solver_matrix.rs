@@ -8,9 +8,10 @@
 //! with `--out PATH`).
 //!
 //! `--smoke` restricts the zoo sweep to the smallest model, every safety
-//! purpose and the LEP-N scaling family, so CI can exercise the full
-//! pipeline — including the safety dual fixpoint and a non-toy workload —
-//! in seconds and archive the artifact; the fuzz seed set is always
+//! purpose, every time-bounded purpose and the LEP-N scaling family, so CI
+//! can exercise the full pipeline — including the safety dual fixpoint,
+//! the `#t`-augmented bounded attractor and a non-toy workload — in
+//! seconds and archive the artifact; the fuzz seed set is always
 //! included, pinning engine counters on *generated* systems too.
 //!
 //! `--check PATH` compares the run's *deterministic* counters (explored
@@ -81,14 +82,16 @@ fn main() {
     let mut instances = if smoke {
         // The zoo is ordered smallest-first; the smoke run keeps the first
         // model's purposes, every safety purpose (so the dual fixpoint is
-        // gated too) and the whole LEP family (so the baseline pins the
-        // scaling rows, lep4 included).
+        // gated too), every time-bounded purpose (so the `#t`-augmented
+        // attractor's counters are pinned) and the whole LEP family (so
+        // the baseline pins the scaling rows, lep4 included).
         let first = zoo[0].model.clone();
         zoo.into_iter()
             .filter(|z| {
                 z.model == first
                     || z.model.starts_with("lep")
                     || z.purpose.quantifier == PathQuantifier::Safety
+                    || z.purpose.bound.is_some()
             })
             .collect::<Vec<_>>()
     } else {

@@ -176,6 +176,25 @@ pub fn model_zoo() -> Vec<ZooInstance> {
             purpose: TestPurpose::parse(text, &smart).expect("purpose parses"),
         });
     }
+    // Time-bounded instances: one bounded reachability (`A<><=T`) and one
+    // bounded safety (`A[]<=T`), both *winning*, so the serve-batch CI gate
+    // (which requires every zoo verdict to be winning) stays green.  The
+    // smart-light bound sits exactly on the enforceability threshold
+    // (`A<><=4 IUT.Bright` is losing, `<=5` is winning) — the differential
+    // suite exercises the flip just below it.
+    zoo.push(ZooInstance {
+        model: "smart_light".to_string(),
+        purpose_name: "bounded".to_string(),
+        system: smart.clone(),
+        purpose: TestPurpose::parse("control: A<><=5 IUT.Bright", &smart).expect("purpose parses"),
+    });
+    zoo.push(ZooInstance {
+        model: "coffee_machine".to_string(),
+        purpose_name: "bounded".to_string(),
+        system: coffee.clone(),
+        purpose: TestPurpose::parse("control: A[]<=30 not Machine.Refunded", &coffee)
+            .expect("purpose parses"),
+    });
     for idx in 0..4 {
         let (system, purpose) = lep_instance(3, idx);
         zoo.push(ZooInstance {
@@ -433,6 +452,20 @@ mod tests {
         assert!(lep4
             .iter()
             .any(|i| { i.purpose.quantifier == tiga_tctl::PathQuantifier::Safety }));
+    }
+
+    #[test]
+    fn zoo_has_one_bounded_instance_of_each_quantifier() {
+        let zoo = model_zoo();
+        let bounded: Vec<_> = zoo.iter().filter(|i| i.purpose.bound.is_some()).collect();
+        assert_eq!(bounded.len(), 2, "one bounded reach + one bounded safety");
+        assert!(bounded
+            .iter()
+            .any(|i| i.purpose.quantifier == tiga_tctl::PathQuantifier::Reachability));
+        assert!(bounded
+            .iter()
+            .any(|i| i.purpose.quantifier == tiga_tctl::PathQuantifier::Safety));
+        assert!(bounded.iter().all(|i| i.purpose_name == "bounded"));
     }
 
     #[test]

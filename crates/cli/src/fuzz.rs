@@ -32,6 +32,9 @@ OPTIONS:
     --no-shrink       report unshrunk failing systems
     --out-dir DIR     directory for .tg reproducers (default: fuzz-failures;
                       --out is accepted as an alias)
+    --bounded P       probability in [0, 1] that a generated objective
+                      carries a time bound `<=T` (default: 0); bounded
+                      cases also run the bound-monotonicity oracle
     --max-states N    per-engine exploration budget (default: 20000)
     --zone-rounds N   zone-algebra / pred-t rounds per case (default: 2)
     --zone-samples N  sampled valuations per zone round (default: 24)
@@ -73,6 +76,17 @@ pub fn parse_args(args: &[String]) -> Result<FuzzArgs, String> {
     let _ = take_flag(&mut args, "--shrink");
     if take_flag(&mut args, "--no-shrink") {
         options.shrink = false;
+    }
+    if let Some(p) = take_value(&mut args, "--bounded")? {
+        let prob: f64 = p
+            .parse()
+            .map_err(|_| format!("error: `--bounded` expects a probability, got `{p}`"))?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!(
+                "error: `--bounded` expects a probability in [0, 1], got `{p}`"
+            ));
+        }
+        options.gen.bound_prob = prob;
     }
     if let Some(n) = take_value(&mut args, "--max-states")? {
         options.engines.max_states = parse_num(&n, "--max-states")?;
@@ -137,7 +151,7 @@ pub fn run_fuzz(args: &FuzzArgs) -> Result<(String, bool), String> {
 fn render_report(options: &FuzzOptions, report: &FuzzReport, written: &[PathBuf]) -> String {
     let mut out = format!(
         "fuzz campaign: seed {} / {} cases\n\
-         engine oracle: {} agreed ({} winning, {} losing; {} safety purposes), {} skipped\n\
+         engine oracle: {} agreed ({} winning, {} losing; {} safety, {} bounded purposes), {} skipped\n\
          exec oracle: {} strategies executed ({} winning games unobservable), {}/{} mutants detected\n\
          failures: {}",
         options.seed,
@@ -146,6 +160,7 @@ fn render_report(options: &FuzzOptions, report: &FuzzReport, written: &[PathBuf]
         report.winning,
         report.agreed - report.winning,
         report.safety,
+        report.bounded,
         report.skipped,
         report.executed,
         report.unobservable,

@@ -385,21 +385,9 @@ impl Request {
                 "controller" => {
                     controller = value.as_bool().ok_or("`controller` must be a bool")?;
                 }
-                "max_rounds" => {
-                    options.max_rounds = value
-                        .as_usize()
-                        .ok_or("`max_rounds` must be a non-negative number")?;
-                }
-                "max_states" => {
-                    options.explore.max_states = value
-                        .as_usize()
-                        .ok_or("`max_states` must be a non-negative number")?;
-                }
-                "jobs" => {
-                    options.jobs = value
-                        .as_usize()
-                        .ok_or("`jobs` must be a non-negative number")?;
-                }
+                "max_rounds" => options.max_rounds = usize_field(value, "max_rounds")?,
+                "max_states" => options.explore.max_states = usize_field(value, "max_states")?,
+                "jobs" => options.jobs = usize_field(value, "jobs")?,
                 other => return Err(format!("unknown request field `{other}`")),
             }
         }
@@ -450,6 +438,17 @@ impl Request {
             options,
             controller,
         })
+    }
+}
+
+/// Reads a non-negative integer request field.  A negative value names the
+/// field and the offending number (overflowing literals never get this far:
+/// the JSON reader rejects anything outside i64 with a byte offset).
+fn usize_field(value: &Json, name: &str) -> Result<usize, String> {
+    match value {
+        Json::Int(n) => usize::try_from(*n)
+            .map_err(|_| format!("`{name}` must be a non-negative number, got {n}")),
+        _ => Err(format!("`{name}` must be a non-negative number")),
     }
 }
 
@@ -636,6 +635,9 @@ impl Json {
         }
     }
 
+    /// Kept for tests: production numeric fields go through [`usize_field`]
+    /// so rejections carry the offending value.
+    #[cfg(test)]
     fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Int(n) => usize::try_from(*n).ok(),

@@ -184,8 +184,13 @@ pub fn run_solve(args: &SolveArgs) -> Result<String, String> {
     let mut report = render_report(&args.path, &model.system, &purpose, args, &solution);
     if args.show_strategy {
         if let Some(strategy) = &solution.strategy {
+            // A bounded strategy plays on the `#t`-augmented product; render
+            // it against that system so the extra clock dimension has a name.
+            let augmented = tiga_solver::bounded_system(&model.system, &purpose)
+                .map_err(|e| format!("error: solver failed: {e}"))?;
+            let display_system = augmented.as_ref().unwrap_or(&model.system);
             report.push('\n');
-            report.push_str(&strategy.display(&model.system).to_string());
+            report.push_str(&strategy.display(display_system).to_string());
         }
     }
     if let Some(expected) = args.expect_winning {

@@ -14,8 +14,8 @@ USAGE:
 
 Lists the benchmark model zoo (every case-study product with its test
 purposes).  With `--emit-tg`, writes each model to `<dir>/<model>.tg` (with
-its primary purpose as the `control:` line), each *safety* purpose to
-`<dir>/<model>.<purpose>.tg`, and the corresponding plant to
+its primary purpose as the `control:` line), each *safety* or *time-bounded*
+purpose to `<dir>/<model>.<purpose>.tg`, and the corresponding plant to
 `<dir>/<model>.plant.tg` — the files under `examples/tg/` in this repository
 are generated exactly this way.
 ";
@@ -89,9 +89,11 @@ pub fn run_zoo(args: &ZooArgs) -> Result<String, String> {
         let mut emitted_models = Vec::new();
         for instance in &zoo {
             // One file per model with its primary purpose, plus one file
-            // per *safety* purpose (the safety zoo instances are checked
-            // in alongside the products they constrain).
-            if instance.purpose.quantifier == tiga_tctl::PathQuantifier::Safety {
+            // per *safety* or *time-bounded* purpose (those zoo instances
+            // are checked in alongside the products they constrain).
+            if instance.purpose.quantifier == tiga_tctl::PathQuantifier::Safety
+                || instance.purpose.bound.is_some()
+            {
                 let path = dir.join(format!("{}.{}.tg", instance.model, instance.purpose_name));
                 write_tg(
                     &path,

@@ -374,6 +374,86 @@ fn controller_fields_and_downloads_ride_the_same_cache_entry() {
 }
 
 #[test]
+fn numeric_request_fields_reject_negatives_and_overflow() {
+    let light = json_string(&tg("smart_light.tg"));
+    let requests = vec![
+        format!("{{\"id\":1,\"path\":{light},\"max_rounds\":-1}}"),
+        format!("{{\"id\":2,\"path\":{light},\"jobs\":-3}}"),
+        format!("{{\"id\":3,\"path\":{light},\"max_states\":-2}}"),
+        // Beyond i64: rejected by the JSON reader itself, with a byte offset.
+        format!("{{\"id\":4,\"path\":{light},\"max_rounds\":99999999999999999999}}"),
+        // The session survives all of it and solves the next request.
+        format!("{{\"id\":5,\"path\":{light}}}"),
+    ];
+    let lines = session(&requests, 1);
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    for (line, needle) in [
+        (
+            &lines[0],
+            "`max_rounds` must be a non-negative number, got -1",
+        ),
+        (&lines[1], "`jobs` must be a non-negative number, got -3"),
+        (
+            &lines[2],
+            "`max_states` must be a non-negative number, got -2",
+        ),
+    ] {
+        assert!(line.contains("\"status\":\"error\""), "{line}");
+        assert!(line.contains(needle), "expected {needle:?} in {line}");
+    }
+    assert!(lines[3].contains("\"status\":\"error\""), "{}", lines[3]);
+    assert!(lines[3].contains("\"byte\":"), "{}", lines[3]);
+    assert!(lines[3].contains("bad number"), "{}", lines[3]);
+    assert!(lines[4].contains("\"status\":\"ok\""), "{}", lines[4]);
+}
+
+#[test]
+fn bounded_purposes_get_distinct_cache_entries() {
+    let light = json_string(&tg("smart_light.tg"));
+    let requests = vec![
+        format!("{{\"id\":1,\"path\":{light},\"purpose\":\"control: A<><=50 IUT.Bright\"}}"),
+        // Same model, same predicate, different bound: a different game —
+        // the bound lands in the canonical control: line, hence in the key.
+        format!("{{\"id\":2,\"path\":{light},\"purpose\":\"control: A<><=60 IUT.Bright\"}}"),
+        // Repeating the first bound hits its (still cached) entry.
+        format!("{{\"id\":3,\"path\":{light},\"purpose\":\"control: A<><=50 IUT.Bright\"}}"),
+        // The unbounded purpose is a third distinct game.
+        format!("{{\"id\":4,\"path\":{light},\"purpose\":\"control: A<> IUT.Bright\"}}"),
+        // An out-of-range bound is a spanned request error, not a panic.
+        format!("{{\"id\":5,\"path\":{light},\"purpose\":\"control: A<><=-1 IUT.Bright\"}}"),
+    ];
+    let lines = session(&requests, 1);
+    assert_eq!(lines.len(), 5, "{lines:?}");
+    let key = |line: &str| {
+        let marker = "\"key\":\"";
+        let start = line.find(marker).unwrap() + marker.len();
+        line[start..].split('"').next().unwrap().to_string()
+    };
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"cache\":\"miss\""),
+        "a different bound is a different game: {}",
+        lines[1]
+    );
+    assert_ne!(
+        key(&lines[0]),
+        key(&lines[1]),
+        "bounds T=50 and T=60 must produce distinct cache keys"
+    );
+    assert!(
+        lines[2].contains("\"cache\":\"hit\""),
+        "both bounded games sit in one session cache: {}",
+        lines[2]
+    );
+    assert_eq!(key(&lines[0]), key(&lines[2]));
+    assert_eq!(payload(&lines[0]), payload(&lines[2]));
+    assert!(lines[3].contains("\"cache\":\"miss\""), "{}", lines[3]);
+    assert_ne!(key(&lines[3]), key(&lines[0]));
+    assert!(lines[4].contains("\"status\":\"error\""), "{}", lines[4]);
+    assert!(lines[4].contains("a time bound in 0..="), "{}", lines[4]);
+}
+
+#[test]
 fn blank_lines_are_skipped_and_ids_echo_strings() {
     let requests = vec![
         String::new(),

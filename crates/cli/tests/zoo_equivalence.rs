@@ -186,6 +186,50 @@ fn checked_in_safety_instances_match_the_zoo_and_are_winning() {
     }
 }
 
+#[test]
+fn checked_in_bounded_instances_match_the_zoo_and_are_winning() {
+    // The time-bounded zoo: every purpose with a bound is checked in as
+    // `<model>.<purpose>.tg`, round-trips with its bound intact, and
+    // solves WINNING with an extracted strategy over the `#t`-augmented
+    // product (one extra clock column).
+    let zoo = model_zoo();
+    let bounded: Vec<_> = zoo.iter().filter(|i| i.purpose.bound.is_some()).collect();
+    assert!(
+        bounded.len() >= 2,
+        "expected at least two bounded zoo instances, found {}",
+        bounded.len()
+    );
+    for instance in bounded {
+        let file = format!("{}.{}.tg", instance.model, instance.purpose_name);
+        let parsed = load(&file);
+        assert_eq!(
+            parsed.system, instance.system,
+            "{file} drifted — regenerate with `tiga zoo --emit-tg examples/tg`"
+        );
+        let purpose = parsed.purpose.expect("bounded files carry a control: line");
+        assert_eq!(purpose, instance.purpose, "{file} purpose drifted");
+        assert_eq!(
+            purpose.bound, instance.purpose.bound,
+            "{file} bound drifted"
+        );
+        let solution = solve(&parsed.system, &purpose, &SolveOptions::default()).expect("solves");
+        assert!(solution.winning_from_initial, "{file} must be enforceable");
+        assert_eq!(
+            solution.bound, purpose.bound,
+            "{file}: the solution must record the bound it was solved under"
+        );
+        let strategy = solution
+            .strategy
+            .as_ref()
+            .expect("bounded strategies must be extracted");
+        assert_eq!(
+            strategy.dim(),
+            parsed.system.dim() + 1,
+            "{file}: bounded strategies range over the #t-augmented product"
+        );
+    }
+}
+
 /// The primary (first-listed) purpose of each zoo model.
 fn zoo_primary(model: &str) -> &'static str {
     match model {

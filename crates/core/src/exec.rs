@@ -10,6 +10,17 @@
 //! the goal check: entering a `¬φ` state is a failure, and a run that
 //! exhausts its step or time budget while maintaining `φ` passes — the safe
 //! controller is allowed to be non-terminating.
+//!
+//! Time-bounded purposes (`control: A<><=T φ` / `control: A[]<=T φ`) tighten
+//! the run's time budget to `T` model time units: a bounded reachability run
+//! that has not reached `φ` by the deadline ends
+//! `Inconclusive(BoundExceeded)` (attributed to the purpose, not the
+//! executor's own budget), and a bounded safety run passes as soon as the
+//! deadline is reached with `φ` still holding — the bound is weak, so a
+//! violation at exactly `T` still fails.  The controller of a bounded
+//! purpose was synthesized on the `#t`-augmented product (see
+//! [`tiga_solver::bounded_system`]); the executor transparently appends the
+//! elapsed time to the clock valuation when consulting it.
 
 use crate::iut::{DelayOutcome, Iut};
 use crate::monitor::{MonitorOutcome, SpecMonitor};
@@ -100,7 +111,10 @@ impl<'a> TestExecutor<'a> {
     ///   strategy.
     /// * `spec` — the plant-only specification used for tioco monitoring.
     /// * `controller` — a winning controller for `purpose` on `product`
-    ///   (an interpreted strategy or a compiled controller).
+    ///   (an interpreted strategy or a compiled controller).  For a
+    ///   time-bounded purpose the controller must have been synthesized on
+    ///   the `#t`-augmented product (one extra trailing clock dimension);
+    ///   the executor appends the elapsed time to every query.
     ///
     /// # Errors
     ///
@@ -161,6 +175,15 @@ impl<'a> TestExecutor<'a> {
         };
 
         let safety = self.purpose.quantifier == PathQuantifier::Safety;
+        // A time-bounded purpose caps the run at `T` model time units; the
+        // effective time budget is the tighter of the bound and the
+        // executor's own `max_ticks`, and exhaustion is attributed to
+        // whichever was hit.
+        let bound_ticks = self.purpose.bound.map(|t| t.saturating_mul(scale));
+        let budget_ticks = match bound_ticks {
+            Some(b) => b.min(self.config.max_ticks),
+            None => self.config.max_ticks,
+        };
         loop {
             steps += 1;
             if safety {
@@ -187,7 +210,11 @@ impl<'a> TestExecutor<'a> {
                         steps,
                     ));
                 }
-                if steps > self.config.max_steps || now >= self.config.max_ticks {
+                if steps > self.config.max_steps || now >= budget_ticks {
+                    // For a bounded purpose this fires at the deadline `T`
+                    // itself: the `¬φ` check above ran first, so a violation
+                    // at exactly `T` fails (weak bound), while `φ` holding
+                    // through the deadline passes.
                     return Ok(finish(Verdict::Pass, trace, steps));
                 }
             } else {
@@ -207,22 +234,34 @@ impl<'a> TestExecutor<'a> {
                 {
                     return Ok(finish(Verdict::Pass, trace, steps));
                 }
-                if now >= self.config.max_ticks {
-                    return Ok(finish(
-                        Verdict::Inconclusive(InconclusiveReason::TimeBudgetExhausted),
-                        trace,
-                        steps,
-                    ));
+                if now >= budget_ticks {
+                    // The goal check above ran first, so reaching `φ` at
+                    // exactly the deadline still passes (weak bound).
+                    let reason = match bound_ticks {
+                        Some(b) if now >= b => InconclusiveReason::BoundExceeded {
+                            bound: self.purpose.bound.unwrap_or(0),
+                        },
+                        _ => InconclusiveReason::TimeBudgetExhausted,
+                    };
+                    return Ok(finish(Verdict::Inconclusive(reason), trace, steps));
                 }
             }
 
             let discrete = Self::discrete_of(&product_state);
             // One fused query answers both the decision and — on a wait —
             // the wake-up hint; the compiled controller serves both from a
-            // single state lookup.
-            let decision =
+            // single state lookup.  Bounded controllers play on the
+            // `#t`-augmented product, whose extra trailing clock is the
+            // never-reset elapsed time — exactly `now`.
+            let decision = if self.purpose.bound.is_some() {
+                let mut clocks = product_state.clocks.clone();
+                clocks.push(now);
                 self.controller
-                    .decide_with_wakeup(&discrete, &product_state.clocks, scale);
+                    .decide_with_wakeup(&discrete, &clocks, scale)
+            } else {
+                self.controller
+                    .decide_with_wakeup(&discrete, &product_state.clocks, scale)
+            };
             match decision {
                 None => {
                     return Ok(finish(
@@ -280,7 +319,7 @@ impl<'a> TestExecutor<'a> {
                 }
                 Some((StrategyDecision::Wait { .. }, take_hint)) => {
                     let inv_bound = interp.max_delay(&product_state)?;
-                    let remaining = self.config.max_ticks - now;
+                    let remaining = budget_ticks - now;
                     let mut wait = self.config.default_wait.max(1);
                     // A zero hint would mean an immediately applicable action,
                     // which `decide` already ruled out (it can only come from

@@ -100,6 +100,14 @@ pub enum InconclusiveReason {
         /// Virtual time at which the specification got stuck, in ticks.
         at_ticks: i64,
     },
+    /// A time-bounded reachability purpose (`control: A<><=T φ`) ran out of
+    /// its deadline `T` before reaching `φ`.  Distinct from
+    /// [`InconclusiveReason::TimeBudgetExhausted`]: the purpose's own bound
+    /// expired, not the executor's observation budget.
+    BoundExceeded {
+        /// The purpose's time bound `T`, in model time units.
+        bound: i64,
+    },
 }
 
 impl fmt::Display for InconclusiveReason {
@@ -114,6 +122,10 @@ impl fmt::Display for InconclusiveReason {
             InconclusiveReason::SpecTimelock { at_ticks } => write!(
                 f,
                 "specification is timelocked at t={at_ticks} ticks (deadline with no output to discharge it)"
+            ),
+            InconclusiveReason::BoundExceeded { bound } => write!(
+                f,
+                "purpose not reached within its time bound of {bound} time units"
             ),
         }
     }

@@ -14,8 +14,9 @@
 
 use crate::gen::{generate_spec, GenConfig};
 use crate::oracle::{
-    check_engine_agreement, check_pred_t, check_roundtrip, check_test_execution,
-    check_zone_algebra, EngineCheck, EngineCheckOptions, ExecCheck, ExecCheckOptions,
+    check_bound_monotonicity, check_engine_agreement, check_pred_t, check_roundtrip,
+    check_test_execution, check_zone_algebra, EngineCheck, EngineCheckOptions, ExecCheck,
+    ExecCheckOptions,
 };
 use crate::shrink::shrink_spec;
 use crate::spec::SysSpec;
@@ -76,7 +77,7 @@ pub struct FuzzFailure {
     /// The derived per-case seed (regenerates the unshrunk system).
     pub case_seed: u64,
     /// Which oracle failed: `engine-agreement`, `roundtrip`, `zone-algebra`,
-    /// `pred-t` or `test-execution`.
+    /// `pred-t`, `bound-monotonicity` or `test-execution`.
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -98,6 +99,8 @@ pub struct FuzzReport {
     pub winning: usize,
     /// ... of which the objective was a safety purpose (`A[]`).
     pub safety: usize,
+    /// ... of which the objective carried a time bound (`<=T`).
+    pub bounded: usize,
     /// Cases skipped by the engine oracle (state limit exceeded).
     pub skipped: usize,
     /// Winning games whose strategy was executed end-to-end (oracle 5).
@@ -161,6 +164,7 @@ struct CaseOutcome {
     agreed: bool,
     winning: bool,
     safety: bool,
+    bounded: bool,
     skipped: bool,
     executed: bool,
     unobservable: bool,
@@ -174,6 +178,7 @@ fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOut
         agreed: false,
         winning: false,
         safety: false,
+        bounded: false,
         skipped: false,
         executed: false,
         unobservable: false,
@@ -226,6 +231,7 @@ fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOut
         }
     };
     outcome.safety = purpose.quantifier == tiga_tctl::PathQuantifier::Safety;
+    outcome.bounded = purpose.bound.is_some();
 
     // Oracle 2: roundtrip.
     if let Some(detail) = check_roundtrip(&system, &purpose) {
@@ -266,6 +272,27 @@ fn run_case(case_index: usize, case_seed: u64, options: &FuzzOptions) -> CaseOut
                 oracle: "engine-agreement",
                 detail,
                 reproducer: Some(reproducer_tg(&shrunk, case_seed, "engine-agreement")),
+            });
+        }
+    }
+
+    // Bound monotonicity, on every time-bounded purpose: tightening the
+    // deadline can only shrink a reachability winning set and grow a safety
+    // one.  Cheap relative to the engine sweep (three Jacobi runs).
+    if outcome.bounded {
+        if let Some(detail) = check_bound_monotonicity(&system, &purpose, &options.engines) {
+            let engines = options.engines.clone();
+            let shrunk = maybe_shrink(options, &spec, &mut |s| {
+                s.build()
+                    .ok()
+                    .is_some_and(|(sys, p)| check_bound_monotonicity(&sys, &p, &engines).is_some())
+            });
+            outcome.failures.push(FuzzFailure {
+                case_index,
+                case_seed,
+                oracle: "bound-monotonicity",
+                detail,
+                reproducer: Some(reproducer_tg(&shrunk, case_seed, "bound-monotonicity")),
             });
         }
     }
@@ -344,6 +371,7 @@ pub fn fuzz_campaign(options: &FuzzOptions, progress: &mut dyn FnMut(usize, usiz
         report.agreed += usize::from(outcome.agreed);
         report.winning += usize::from(outcome.winning);
         report.safety += usize::from(outcome.safety);
+        report.bounded += usize::from(outcome.bounded);
         report.skipped += usize::from(outcome.skipped);
         report.executed += usize::from(outcome.executed);
         report.unobservable += usize::from(outcome.unobservable);
@@ -387,6 +415,51 @@ mod tests {
         assert_eq!(a.cases, 10);
         let b = fuzz_campaign(&options, &mut |_, _| {});
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_campaign_is_clean_with_zero_skips() {
+        // With every objective bounded, all oracles — including
+        // bound-monotonicity — must be clean, and no case may be skipped:
+        // the `#t`-augmented products of generated (single-digit-constant)
+        // games stay well inside the state budget.
+        let options = FuzzOptions {
+            count: 30,
+            zone_rounds: 0,
+            gen: GenConfig {
+                bound_prob: 1.0,
+                safety_prob: 0.3,
+                ..GenConfig::default()
+            },
+            ..FuzzOptions::default()
+        };
+        let report = fuzz_campaign(&options, &mut |_, _| {});
+        assert!(report.is_clean(), "failures: {:?}", report.failures);
+        assert_eq!(report.cases, 30);
+        assert_eq!(report.bounded, 30, "bound_prob=1.0 must bound every case");
+        assert_eq!(report.skipped, 0, "bounded cases must not blow the budget");
+        assert!(report.agreed == 30, "engines must agree on every case");
+        assert!(report.winning > 0, "some bounded games should be winning");
+        assert!(
+            report.executed > 0,
+            "some bounded strategies should execute end-to-end"
+        );
+    }
+
+    #[test]
+    fn a_zero_bound_probability_leaves_the_seed_stream_untouched() {
+        // The pinned fixed-seed gates (bench baseline, campaign pins) rely
+        // on `bound_prob: 0.0` consuming no RNG draws.
+        let seeds = derive_case_seeds(7, 5);
+        for seed in seeds {
+            let default_spec = generate_spec(seed, &GenConfig::default());
+            let explicit = GenConfig {
+                bound_prob: 0.0,
+                ..GenConfig::default()
+            };
+            assert_eq!(default_spec, generate_spec(seed, &explicit));
+            assert!(default_spec.objective.bound.is_none());
+        }
     }
 
     #[test]

@@ -73,6 +73,11 @@ pub struct GenConfig {
     pub or_target_prob: f64,
     /// Probability that the objective conjoins a variable comparison.
     pub var_clause_prob: f64,
+    /// Probability that the objective carries a time bound (`A<><=T` /
+    /// `A[]<=T`).  The default is `0.0`, and a zero probability draws
+    /// nothing from the RNG, so the pinned fixed-seed streams (the bench
+    /// baseline's fuzz matrix, the campaign gates) stay bit-identical.
+    pub bound_prob: f64,
 }
 
 impl Default for GenConfig {
@@ -99,6 +104,7 @@ impl Default for GenConfig {
             safety_prob: 0.1,
             or_target_prob: 0.25,
             var_clause_prob: 0.25,
+            bound_prob: 0.0,
         }
     }
 }
@@ -381,11 +387,21 @@ fn gen_objective(
     } else {
         None
     };
+    // The zero-probability guard is load-bearing: `gen_bool(0.0)` would
+    // still consume a draw and shift every pinned fixed-seed stream.
+    let bound = if config.bound_prob > 0.0 && rng.gen_bool(config.bound_prob) {
+        // Bounds near the generated constants keep the clip non-vacuous:
+        // anything far above `max_const` would subsume every run.
+        Some(rng.gen_range(1..=config.max_const.max(1) * 2))
+    } else {
+        None
+    };
     ObjectiveSpec {
         reachability: !rng.gen_bool(config.safety_prob),
         target,
         or_target,
         var_clause,
+        bound,
     }
 }
 

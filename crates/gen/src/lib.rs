@@ -55,9 +55,9 @@ pub use campaign::{
 };
 pub use gen::{generate_spec, GenConfig};
 pub use oracle::{
-    check_engine_agreement, check_pred_t, check_roundtrip, check_test_execution,
-    check_zone_algebra, random_federation, random_zone, subtract_partition_violation, EngineCheck,
-    EngineCheckOptions, ExecCheck, ExecCheckOptions,
+    check_bound_monotonicity, check_engine_agreement, check_pred_t, check_roundtrip,
+    check_test_execution, check_zone_algebra, random_federation, random_zone,
+    subtract_partition_violation, EngineCheck, EngineCheckOptions, ExecCheck, ExecCheckOptions,
 };
 pub use shrink::shrink_spec;
 pub use spec::{

@@ -135,6 +135,62 @@ pub fn check_engine_agreement(
     }
 }
 
+/// The bound-monotonicity oracle: on a time-bounded purpose, the verdict
+/// must be monotone in the bound — for reachability, winning under `T`
+/// implies winning under any looser bound and unbounded; for safety,
+/// dually, winning under a looser bound (or unbounded) implies winning
+/// under `T`.  Returns a description of the first violation; `None` when
+/// the purpose is unbounded, the budget is exceeded, or everything holds.
+#[must_use]
+pub fn check_bound_monotonicity(
+    system: &System,
+    purpose: &TestPurpose,
+    options: &EngineCheckOptions,
+) -> Option<String> {
+    let bound = purpose.bound?;
+    let mut unbounded = purpose.clone();
+    unbounded.bound = None;
+    unbounded.source = String::new();
+    let mut looser = purpose.clone();
+    looser.bound = Some(bound.saturating_mul(2).saturating_add(1));
+    looser.source = String::new();
+
+    let jacobi = solve_options(SolveEngine::Jacobi, true, options.max_states);
+    let verdict_of = |p: &TestPurpose, label: &str| match solve(system, p, &jacobi) {
+        Ok(solution) => Some(Ok(solution.winning_from_initial)),
+        Err(SolverError::StateLimitExceeded { .. }) => None,
+        Err(e) => Some(Err(format!("{label} solve failed: {e}"))),
+    };
+    let tight = match verdict_of(purpose, "bounded")? {
+        Ok(w) => w,
+        Err(e) => return Some(e),
+    };
+    let loose = match verdict_of(&looser, "loosely bounded")? {
+        Ok(w) => w,
+        Err(e) => return Some(e),
+    };
+    let free = match verdict_of(&unbounded, "unbounded")? {
+        Ok(w) => w,
+        Err(e) => return Some(e),
+    };
+    let ok = match purpose.quantifier {
+        tiga_tctl::PathQuantifier::Reachability => tight <= loose && loose <= free,
+        tiga_tctl::PathQuantifier::Safety => free <= loose && loose <= tight,
+    };
+    if ok {
+        None
+    } else {
+        Some(format!(
+            "bound monotonicity violated ({:?}): T={bound} -> {}, T={} -> {}, unbounded -> {}",
+            purpose.quantifier,
+            verdict(tight),
+            looser.bound.unwrap_or(0),
+            verdict(loose),
+            verdict(free)
+        ))
+    }
+}
+
 fn verdict(winning: bool) -> &'static str {
     if winning {
         "WINNING"

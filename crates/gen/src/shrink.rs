@@ -177,6 +177,18 @@ fn candidates(spec: &SysSpec) -> Vec<SysSpec> {
         s.objective.var_clause = None;
         out.push(s);
     }
+    if let Some(bound) = spec.objective.bound {
+        // Drop the time bound entirely, and bisect it toward 1 (a bound of
+        // 0 degenerates most objectives to the initial state).
+        let mut s = spec.clone();
+        s.objective.bound = None;
+        out.push(s);
+        if bound > 1 {
+            let mut s = spec.clone();
+            s.objective.bound = Some(bound / 2);
+            out.push(s);
+        }
+    }
     out
 }
 

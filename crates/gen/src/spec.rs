@@ -195,6 +195,8 @@ pub struct ObjectiveSpec {
     pub or_target: Option<(usize, usize)>,
     /// Optional conjoined variable comparison `v op c` (scalar vars only).
     pub var_clause: Option<(usize, CmpOp, i64)>,
+    /// Optional time bound `T` (`A<><=T` / `A[]<=T`).
+    pub bound: Option<i64>,
 }
 
 /// A complete generated system description.
@@ -238,10 +240,11 @@ impl SysSpec {
         if let Some((v, op, c)) = o.var_clause {
             pred = format!("({pred} && v{v} {op} {c})");
         }
+        let bound = o.bound.map(|t| format!("<={t}")).unwrap_or_default();
         if o.reachability {
-            format!("control: A<> {pred}")
+            format!("control: A<>{bound} {pred}")
         } else {
-            format!("control: A[] not ({pred})")
+            format!("control: A[]{bound} not ({pred})")
         }
     }
 
@@ -758,6 +761,7 @@ mod tests {
                 target: (0, 1),
                 or_target: None,
                 var_clause: Some((0, CmpOp::Ge, 1)),
+                bound: None,
             },
         }
     }

@@ -94,9 +94,10 @@ pub fn print_system(system: &System, purpose: Option<&TestPurpose>) -> String {
 }
 
 /// The `control:` line for an objective: its original source when it was
-/// parsed from text.  Programmatic purposes (empty `source`) render as the
-/// non-parseable `Display` placeholder; use [`control_line_for`] when the
-/// line must re-parse.
+/// parsed from text.  Programmatic purposes (empty `source`) render through
+/// the structural `Display` (quantifier, bound and predicate with index-based
+/// names); use [`control_line_for`] when the line must re-parse against a
+/// specific system.
 #[must_use]
 pub fn control_line(purpose: &TestPurpose) -> String {
     if purpose.source.is_empty() {
@@ -107,19 +108,12 @@ pub fn control_line(purpose: &TestPurpose) -> String {
 }
 
 /// The `control:` line for an objective, reconstructed from the resolved
-/// predicate when the purpose was built programmatically (no source text),
-/// so the printed file re-parses.
+/// predicate (and time bound, if any) when the purpose was built
+/// programmatically (no source text), so the printed file re-parses.
 #[must_use]
 pub fn control_line_for(purpose: &TestPurpose, system: &System) -> String {
     if purpose.source.is_empty() {
-        let quantifier = match purpose.quantifier {
-            tiga_tctl::PathQuantifier::Reachability => "A<>",
-            tiga_tctl::PathQuantifier::Safety => "A[]",
-        };
-        format!(
-            "control: {quantifier} {}",
-            purpose.predicate.display(system)
-        )
+        purpose.display(system).to_string()
     } else {
         purpose.source.clone()
     }

@@ -79,6 +79,8 @@ fn specific_diagnostics_name_the_problem() {
         ("bare_overflowing_literal.tg", "overflows i64"),
         ("keyword_as_name.tg", "keyword `guard`"),
         ("bad_control_line.tg", "Ghost"),
+        ("negative_time_bound.tg", "a time bound in 0..="),
+        ("huge_time_bound.tg", "a time bound in 0..="),
         ("clock_in_data_guard.tg", "clocks cannot appear"),
         ("no_automaton.tg", "at least one automaton"),
         ("missing_arrow.tg", "`->`"),
@@ -105,4 +107,14 @@ fn spans_single_out_the_right_source_text() {
     let err = parse_model(&source).unwrap_err();
     // The *second* declaration is the offender.
     assert!(err.span.start > source.find("clock x").unwrap());
+
+    // Bound errors re-base the tctl position onto the control line: the span
+    // lands on the offending literal, not at the start of the line.
+    let source = std::fs::read_to_string(corpus_dir().join("negative_time_bound.tg")).unwrap();
+    let err = parse_model(&source).unwrap_err();
+    assert_eq!(&source[err.span.start..err.span.end], "-");
+
+    let source = std::fs::read_to_string(corpus_dir().join("huge_time_bound.tg")).unwrap();
+    let err = parse_model(&source).unwrap_err();
+    assert!(source[err.span.start..].starts_with("536870911"));
 }

@@ -132,6 +132,40 @@ fn programmatic_purposes_print_reparseably() {
     assert_eq!(reparsed.predicate, purpose.predicate);
 }
 
+#[test]
+fn bounded_purposes_roundtrip() {
+    let system = smart_light::product().unwrap();
+    // Parsed bounded purposes keep their source verbatim through the printer.
+    for control in [
+        "control: A<><=7 IUT.Bright",
+        "control: A[]<=0 not IUT.Bright",
+    ] {
+        let purpose = tiga_tctl::TestPurpose::parse(control, &system).unwrap();
+        let printed = print_system(&system, Some(&purpose));
+        let model = parse_model(&printed)
+            .unwrap_or_else(|e| panic!("`{control}` does not survive printing: {e}\n{printed}"));
+        assert_eq!(model.system, system, "`{control}` perturbed the system");
+        assert_eq!(
+            model.purpose.expect("control line present"),
+            purpose,
+            "`{control}` differs after the round trip"
+        );
+    }
+    // A programmatic bounded purpose reconstructs with its bound intact.
+    let (aut, loc) = system.location_by_qualified_name("IUT.Bright").unwrap();
+    let purpose =
+        tiga_tctl::TestPurpose::reachability(tiga_tctl::StatePredicate::Location(aut, loc))
+            .with_bound(9);
+    assert!(purpose.source.is_empty());
+    let printed = print_system(&system, Some(&purpose));
+    let model = parse_model(&printed)
+        .unwrap_or_else(|e| panic!("programmatic bounded purpose does not re-parse: {e}"));
+    let reparsed = model.purpose.expect("control line present");
+    assert_eq!(reparsed.bound, Some(9));
+    assert_eq!(reparsed.quantifier, purpose.quantifier);
+    assert_eq!(reparsed.predicate, purpose.predicate);
+}
+
 // ---- random expression trees -------------------------------------------
 
 /// A variable table with a scalar and an array, matching indices 0 and 1.

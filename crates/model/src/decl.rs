@@ -231,12 +231,26 @@ impl<'a> IntoIterator for &'a VarTable {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClockDecl {
     name: String,
+    /// Minimum extrapolation constant: [`crate::System::max_bounds`] never
+    /// reports less than this for the clock, even when no guard or invariant
+    /// mentions it.  Needed for auxiliary clocks (the `#t` tick clock of
+    /// time-bounded objectives) whose relevant constant comes from the test
+    /// purpose rather than the model.
+    max_constant_floor: i32,
 }
 
 impl ClockDecl {
     pub(crate) fn new(name: &str) -> Self {
         ClockDecl {
             name: name.to_string(),
+            max_constant_floor: 0,
+        }
+    }
+
+    pub(crate) fn with_max_constant(name: &str, max_constant_floor: i32) -> Self {
+        ClockDecl {
+            name: name.to_string(),
+            max_constant_floor,
         }
     }
 
@@ -244,6 +258,13 @@ impl ClockDecl {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Minimum extrapolation constant contributed by the declaration itself
+    /// (`0` for ordinary clocks).
+    #[must_use]
+    pub fn max_constant_floor(&self) -> i32 {
+        self.max_constant_floor
     }
 }
 

@@ -74,4 +74,5 @@ pub use expr::{CmpOp, DisplayExpr, Expr};
 pub use ids::{AutomatonId, ChannelId, ClockId, EdgeId, LocationId, VarId};
 pub use symbolic::{DiscreteState, DisplayDiscreteState, JointEdge, SymbolicState};
 pub use system::System;
+pub use tiga_dbm::MAX_CONSTANT;
 pub use tiots::{ConcreteState, DisplayConcreteState, EdgeRef, Interpreter};

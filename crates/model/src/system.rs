@@ -3,6 +3,7 @@
 
 use crate::automaton::Automaton;
 use crate::decl::{Channel, ClockDecl, VarTable};
+use crate::error::ModelError;
 use crate::ids::{AutomatonId, ChannelId, ClockId, LocationId};
 
 /// A complete model: global declarations plus a vector of automata composed
@@ -193,9 +194,55 @@ impl System {
                 }
             }
         }
+        for (i, c) in self.clocks.iter().enumerate() {
+            let slot = &mut max[i + 1];
+            let floor = i64::from(c.max_constant_floor());
+            if floor > *slot {
+                *slot = floor;
+            }
+        }
         max.into_iter()
             .map(|m| i32::try_from(m).unwrap_or(i32::MAX / 8))
             .collect()
+    }
+
+    /// Returns a copy of the system extended with one fresh, never-reset
+    /// clock whose extrapolation constant is at least `max_constant`.
+    ///
+    /// No location, edge or invariant mentions the new clock, so the
+    /// augmented system has exactly the same behaviour — the clock merely
+    /// measures global elapsed time.  This is how time-bounded objectives
+    /// (`control: A<><=T φ`) are lowered: the solver runs the ordinary
+    /// unbounded fixpoint on the augmented system and intersects the goal
+    /// (or bad-state) seeds with `new_clock <= T`.
+    ///
+    /// Existing [`crate::ClockId`]s remain valid in the augmented system,
+    /// and zones over it have [`System::dim`]` + 1` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if a clock named `name` already
+    /// exists, and [`ModelError::Invalid`] if `max_constant` is negative or
+    /// exceeds [`tiga_dbm::MAX_CONSTANT`].
+    pub fn with_extra_clock(
+        &self,
+        name: &str,
+        max_constant: i32,
+    ) -> Result<(System, ClockId), ModelError> {
+        if self.clocks.iter().any(|c| c.name() == name) {
+            return Err(ModelError::DuplicateName(name.to_string()));
+        }
+        if !(0..=tiga_dbm::MAX_CONSTANT).contains(&max_constant) {
+            return Err(ModelError::Invalid(format!(
+                "extrapolation constant {max_constant} for clock `{name}` outside 0..={}",
+                tiga_dbm::MAX_CONSTANT
+            )));
+        }
+        let mut sys = self.clone();
+        let id = ClockId::from_index(sys.clocks.len());
+        sys.clocks
+            .push(ClockDecl::with_max_constant(name, max_constant));
+        Ok((sys, id))
     }
 
     /// Total number of locations across all automata (a rough size measure
@@ -278,6 +325,37 @@ mod tests {
         assert_eq!(bounds[sys.clock_by_name("x").unwrap().dbm_index()], 5);
         // y bounded by the guard y >= 2.
         assert_eq!(bounds[sys.clock_by_name("y").unwrap().dbm_index()], 2);
+    }
+
+    #[test]
+    fn with_extra_clock_extends_dim_and_extrapolation() {
+        let sys = tiny_system();
+        let (aug, tick) = sys.with_extra_clock("#t", 42).unwrap();
+        assert_eq!(aug.dim(), sys.dim() + 1);
+        assert_eq!(aug.clock(tick).name(), "#t");
+        // Existing clock ids keep their meaning.
+        assert_eq!(aug.clock_by_name("x"), sys.clock_by_name("x"));
+        // The extrapolation bound covers the new clock even though no
+        // constraint mentions it.
+        let bounds = aug.max_bounds();
+        assert_eq!(bounds[tick.dbm_index()], 42);
+        // Old clocks are unaffected.
+        assert_eq!(bounds[aug.clock_by_name("x").unwrap().dbm_index()], 5);
+        // Behaviour-level structure is untouched.
+        assert_eq!(aug.edge_count(), sys.edge_count());
+
+        assert!(matches!(
+            aug.with_extra_clock("#t", 1),
+            Err(ModelError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            sys.with_extra_clock("#u", -1),
+            Err(ModelError::Invalid(_))
+        ));
+        assert!(matches!(
+            sys.with_extra_clock("#u", i32::MAX),
+            Err(ModelError::Invalid(_))
+        ));
     }
 
     #[test]

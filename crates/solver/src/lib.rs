@@ -98,4 +98,7 @@ pub use serialize::{
 };
 pub use stats::{SolverStats, TimedStats};
 pub use strategy::{Decision, DisplayStrategy, Strategy, StrategyDecision, StrategyRule};
-pub use winning::{solve, solve_jacobi, solve_worklist, GameSolution, SolveEngine, SolveOptions};
+pub use winning::{
+    bounded_system, solve, solve_jacobi, solve_worklist, GameSolution, SolveEngine, SolveOptions,
+    TICK_CLOCK,
+};

@@ -107,6 +107,9 @@ struct Search<'a> {
     /// or safety (the dual rule: propagate *losing* federations backward
     /// from the `¬φ` states, with the players' roles swapped in `π`).
     mode: GameMode,
+    /// Bounded purposes: the `#t <= T` zone intersected into every attractor
+    /// seed as it is reached.  `None` for unbounded purposes.
+    clip: Option<&'a Dbm>,
     explorer: Explorer<'a>,
     nodes: Vec<NodeData>,
     win: Vec<Federation>,
@@ -145,12 +148,14 @@ pub(crate) fn run(
     goal: &StatePredicate,
     options: &SolveOptions,
     mode: GameMode,
+    clip: Option<&Dbm>,
 ) -> Result<(GameGraph, EngineOutcome), SolverError> {
     let mut search = Search {
         system,
         goal,
         options,
         mode,
+        clip,
         explorer: Explorer::new(system),
         nodes: Vec::new(),
         win: Vec::new(),
@@ -243,26 +248,39 @@ impl Search<'_> {
         if self.nodes[node].is_goal {
             // Reach zones are delay-closed within the invariant, so the zone
             // is already a valid attractor seed (goal-winning region for
-            // reachability, losing region of a bad state for safety).
-            let before = self.win[node].len();
-            self.mem.dbm_clones += 1;
-            self.win[node].add_zone(zone.clone());
-            self.win_total = self.win_total + self.win[node].len() - before;
-            if self.options.extract_strategy && self.mode == GameMode::Reachability {
-                self.strategy.add_rule(
-                    self.explorer.state(node).discrete.clone(),
-                    StrategyRule {
-                        rank: 0,
-                        zone: zone.clone(),
-                        decision: Decision::Wait,
-                    },
-                );
+            // reachability, losing region of a bad state for safety).  For
+            // bounded purposes only the pre-deadline part `#t <= T` seeds —
+            // the zone still joins the frontier in full, because forward
+            // exploration is unaffected by the bound.
+            let seed = match self.clip {
+                Some(clip) => {
+                    let mut s = zone.clone();
+                    s.intersect(clip);
+                    s
+                }
+                None => zone.clone(),
+            };
+            if !seed.is_empty() {
+                let before = self.win[node].len();
+                self.mem.dbm_clones += 1;
+                self.win[node].add_zone(seed.clone());
+                self.win_total = self.win_total + self.win[node].len() - before;
+                if self.options.extract_strategy && self.mode == GameMode::Reachability {
+                    self.strategy.add_rule(
+                        self.explorer.state(node).discrete.clone(),
+                        StrategyRule {
+                            rank: 0,
+                            zone: seed,
+                            decision: Decision::Wait,
+                        },
+                    );
+                }
+                let dependents = std::mem::take(&mut self.nodes[node].depend);
+                for d in &dependents {
+                    self.enqueue(*d);
+                }
+                self.nodes[node].depend = dependents;
             }
-            let dependents = std::mem::take(&mut self.nodes[node].depend);
-            for d in &dependents {
-                self.enqueue(*d);
-            }
-            self.nodes[node].depend = dependents;
         }
         self.mem.peak_live_zones = self
             .mem

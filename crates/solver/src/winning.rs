@@ -142,6 +142,12 @@ pub struct GameSolution {
     pub winning: Vec<Federation>,
     /// The synthesized strategy (when requested and the game is winnable).
     pub strategy: Option<Strategy>,
+    /// The time bound of the purpose, if any.  Bounded games are solved on
+    /// the augmented system (see [`bounded_system`]): the graph, federations
+    /// and strategy all have one extra trailing [`TICK_CLOCK`] dimension, and
+    /// [`GameSolution::is_winning_state`] expects the tick clock's value as
+    /// the last element of `ticks`.
+    pub bound: Option<i64>,
     /// Statistics and timing.
     pub timed: TimedStats,
 }
@@ -254,6 +260,45 @@ impl GameMode {
     }
 }
 
+/// Name of the auxiliary, never-reset tick clock injected for time-bounded
+/// purposes (`control: A<><=T φ` / `A[]<=T φ`).  The `#` prefix cannot be
+/// lexed in `.tg` models, so the name can never clash with a user clock.
+pub const TICK_CLOCK: &str = "#t";
+
+/// The augmented system a *bounded* purpose is solved on: the original
+/// system plus a fresh, never-reset [`TICK_CLOCK`] clock measuring global
+/// elapsed time (extrapolated up to the bound).  Returns `None` for
+/// unbounded purposes, which are solved on the original system directly.
+///
+/// Strategies and controllers synthesized for a bounded purpose are
+/// expressed over this augmented system — callers that render them
+/// (clock names) or query them (one extra trailing clock value) need it.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Model`] if the bound is negative or exceeds
+/// [`tiga_model::MAX_CONSTANT`], or if the system already declares a clock
+/// named `#t`.
+pub fn bounded_system(
+    system: &System,
+    purpose: &TestPurpose,
+) -> Result<Option<System>, SolverError> {
+    match purpose.bound {
+        Some(t) => bounded_parts(system, t).map(|(aug, _)| Some(aug)),
+        None => Ok(None),
+    }
+}
+
+/// Builds the augmented system and the clip zone `#t <= T` for a bounded
+/// purpose.
+fn bounded_parts(system: &System, bound: i64) -> Result<(System, Dbm), SolverError> {
+    let max = i32::try_from(bound).unwrap_or(i32::MIN);
+    let (aug, tick) = system.with_extra_clock(TICK_CLOCK, max)?;
+    let mut clip = Dbm::universe(aug.dim());
+    clip.constrain(tick.dbm_index(), 0, Bound::le(max));
+    Ok((aug, clip))
+}
+
 /// The single parameterized entry point behind every public solver function:
 /// derives the game mode from the purpose, runs the selected engine, and
 /// assembles the solution (safety complementation, timing, statistics,
@@ -274,12 +319,28 @@ fn solve_with_engine(
         GameMode::Reachability => purpose.predicate.clone(),
         GameMode::Safety => purpose.predicate.clone().negated(),
     };
+    // Time-bounded purposes are lowered right here: the *unbounded* fixpoint
+    // runs on the augmented system (fresh never-reset tick clock), with the
+    // attractor seeds clipped to `#t <= T` — goal regions past the deadline
+    // are not wins (reachability), violations past the deadline are not
+    // losses (safety).  `#t` only grows and goal/bad nodes are absorbing in
+    // the π update, so the clipped seeds stay exact; everything downstream
+    // (strategy extraction, minimization, compiled controllers) works
+    // unchanged on the transformed game.
+    let bounded = purpose
+        .bound
+        .map(|t| bounded_parts(system, t))
+        .transpose()?;
+    let (system, clip) = match &bounded {
+        Some((aug, clip)) => (aug, Some(clip)),
+        None => (system, None),
+    };
     let (graph, outcome, exploration_time, fixpoint_time) = match engine {
         SolveEngine::Otfur => {
             // Exploration and propagation are interleaved: the whole search
             // is accounted to the fixpoint phase.
             let start = Instant::now();
-            let (graph, outcome) = crate::otfur::run(system, &target, options, mode)?;
+            let (graph, outcome) = crate::otfur::run(system, &target, options, mode, clip)?;
             (graph, outcome, Duration::ZERO, start.elapsed())
         }
         SolveEngine::Jacobi | SolveEngine::Worklist => {
@@ -293,7 +354,7 @@ fn solve_with_engine(
             )?;
             let exploration_time = explore_start.elapsed();
             let fixpoint_start = Instant::now();
-            let mut fixpoint = Engine::new(system, &graph, mode);
+            let mut fixpoint = Engine::new(system, &graph, mode, clip);
             let outcome = if engine == SolveEngine::Jacobi {
                 let jacobi = fixpoint.run_jacobi(options)?;
                 mem.peak_live_zones = mem.peak_live_zones.max(jacobi.peak_live_zones);
@@ -390,6 +451,7 @@ fn solve_with_engine(
         graph,
         winning,
         strategy,
+        bound: purpose.bound,
         timed: TimedStats {
             stats,
             exploration_time,
@@ -507,6 +569,9 @@ struct Engine<'a> {
     /// Reachability (attractor = winning) or safety (attractor = losing,
     /// roles swapped in the `π` update).
     mode: GameMode,
+    /// Bounded purposes: the `#t <= T` zone intersected into every attractor
+    /// seed.  `None` for unbounded purposes.
+    clip: Option<&'a Dbm>,
     /// Invariant-boundary federation per node (states where time cannot
     /// progress further).
     boundary: Vec<Federation>,
@@ -521,7 +586,12 @@ struct JacobiOutcome {
 }
 
 impl<'a> Engine<'a> {
-    fn new(system: &'a System, graph: &'a GameGraph, mode: GameMode) -> Self {
+    fn new(
+        system: &'a System,
+        graph: &'a GameGraph,
+        mode: GameMode,
+        clip: Option<&'a Dbm>,
+    ) -> Self {
         let boundary = graph
             .nodes()
             .iter()
@@ -531,6 +601,7 @@ impl<'a> Engine<'a> {
             system,
             graph,
             mode,
+            clip,
             boundary,
         }
     }
@@ -541,7 +612,17 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|n| {
                 if n.is_goal {
-                    Federation::from_zone(n.invariant.clone())
+                    // Bounded purposes: only the pre-deadline part of a goal
+                    // (or bad) region seeds the attractor.
+                    let mut seed = n.invariant.clone();
+                    if let Some(clip) = self.clip {
+                        seed.intersect(clip);
+                    }
+                    if seed.is_empty() {
+                        Federation::empty(self.system.dim())
+                    } else {
+                        Federation::from_zone(seed)
+                    }
                 } else {
                     Federation::empty(self.system.dim())
                 }
@@ -1625,6 +1706,218 @@ mod tests {
                 "{name}: urgent x = 2 is lost to the forced move"
             );
         }
+    }
+
+    #[test]
+    fn bounded_reachability_respects_the_deadline() {
+        // The plant replies within [1, 3] of the kick (invariant x <= 3), so
+        // the tester can force Done by global time 3 but no earlier than 1:
+        // T >= 3 wins, T <= 2 loses (the plant may sit on the reply until
+        // x = 3).
+        let sys = forced_output_system();
+        for (bound, expected) in [(0, false), (2, false), (3, true), (1000, true)] {
+            let tp =
+                TestPurpose::parse(&format!("control: A<><={bound} Plant.Done"), &sys).unwrap();
+            for (name, solution) in solutions_by_engine(&sys, &tp) {
+                assert_eq!(
+                    solution.winning_from_initial, expected,
+                    "{name}: T = {bound}"
+                );
+                assert_eq!(solution.bound, Some(bound));
+                if expected && name != "worklist" {
+                    assert!(solution.strategy.is_some(), "{name}: T = {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_beyond_the_horizon() {
+        // Every play of these finite games decides the purpose well before
+        // T = 1000, so the bounded verdict must equal the unbounded one.
+        for sys in [
+            forced_output_system(),
+            silent_plant_system(),
+            dodging_plant_system(),
+        ] {
+            for goal in ["Plant.Done", "Plant.Busy"] {
+                let unbounded = TestPurpose::parse(&format!("control: A<> {goal}"), &sys).unwrap();
+                let bounded =
+                    TestPurpose::parse(&format!("control: A<><=1000 {goal}"), &sys).unwrap();
+                let want = solve_jacobi(&sys, &unbounded, &SolveOptions::default())
+                    .unwrap()
+                    .winning_from_initial;
+                for (name, solution) in solutions_by_engine(&sys, &bounded) {
+                    assert_eq!(
+                        solution.winning_from_initial,
+                        want,
+                        "{name}: {} / {goal}",
+                        sys.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_safety_wins_exactly_until_the_plant_can_strike() {
+        // boom! is forced in [1, 3] and the tester has no move at all:
+        // `A[] not Plant.BadLoc` is unbounded-losing, but with a deadline
+        // before the plant's window (T = 0) no violation fits, so the
+        // bounded purpose is winning.  From T = 1 on the plant can violate
+        // at time exactly 1 <= T (weak bound): losing again.
+        let sys = forced_violation_system();
+        for (bound, expected) in [(0, true), (1, false), (3, false), (1000, false)] {
+            let tp = TestPurpose::parse(&format!("control: A[]<={bound} not Plant.BadLoc"), &sys)
+                .unwrap();
+            for (name, solution) in solutions_by_engine(&sys, &tp) {
+                assert_eq!(
+                    solution.winning_from_initial, expected,
+                    "{name}: T = {bound}"
+                );
+            }
+        }
+        // The unbounded purpose stays losing.
+        let tp = TestPurpose::parse("control: A[] not Plant.BadLoc", &sys).unwrap();
+        assert!(
+            !solve(&sys, &tp, &SolveOptions::default())
+                .unwrap()
+                .winning_from_initial
+        );
+    }
+
+    #[test]
+    fn bounded_winning_sets_agree_across_engines_jobs_and_interning() {
+        // The same semantic contract as the unbounded suites, on bounded
+        // purposes: worklist ≡ jacobi exactly, exhaustive otfur ≡ jacobi ∩
+        // reach — and every combination of jobs and interning is
+        // bit-identical to the sequential interned run of the same engine.
+        for sys in [forced_output_system(), forced_violation_system()] {
+            for line in [
+                "control: A<><=3 Plant.Done",
+                "control: A<><=2 Plant.Done",
+                "control: A[]<=0 not Plant.BadLoc",
+                "control: A[]<=2 not Plant.BadLoc",
+            ] {
+                let Ok(tp) = TestPurpose::parse(line, &sys) else {
+                    continue; // goal location not present in this system
+                };
+                let jacobi = solve_jacobi(&sys, &tp, &SolveOptions::default()).unwrap();
+                let worklist = solve_worklist(&sys, &tp, &SolveOptions::default()).unwrap();
+                let otfur = solve(&sys, &tp, &otfur_options(false)).unwrap();
+                for (id, node) in jacobi.graph.nodes().iter().enumerate() {
+                    let w = worklist.graph.node_of(&node.discrete).unwrap();
+                    assert!(
+                        jacobi.winning[id].set_equals(&worklist.winning[w]),
+                        "worklist differs in {line}"
+                    );
+                    let o = otfur.graph.node_of(&node.discrete).unwrap();
+                    let expected = jacobi.winning[id].intersection(&node.reach);
+                    assert!(
+                        expected.set_equals(&otfur.winning[o]),
+                        "otfur differs in {line}"
+                    );
+                }
+                for engine in [
+                    SolveEngine::Otfur,
+                    SolveEngine::Jacobi,
+                    SolveEngine::Worklist,
+                ] {
+                    let base = solve(
+                        &sys,
+                        &tp,
+                        &SolveOptions {
+                            engine,
+                            early_termination: false,
+                            ..SolveOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    for jobs in [1, 4] {
+                        for interning in [true, false] {
+                            let run = solve(
+                                &sys,
+                                &tp,
+                                &SolveOptions {
+                                    engine,
+                                    early_termination: false,
+                                    jobs,
+                                    interning,
+                                    ..SolveOptions::default()
+                                },
+                            )
+                            .unwrap();
+                            assert_eq!(
+                                run.winning_from_initial,
+                                base.winning_from_initial,
+                                "{line} {} jobs={jobs} interning={interning}",
+                                engine.name()
+                            );
+                            for (id, win) in base.winning.iter().enumerate() {
+                                assert_eq!(
+                                    win,
+                                    &run.winning[id],
+                                    "{line} {} jobs={jobs} interning={interning}",
+                                    engine.name()
+                                );
+                            }
+                            assert_eq!(
+                                base.strategy.is_some(),
+                                run.strategy.is_some(),
+                                "{line} {}",
+                                engine.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_strategy_is_queryable_over_the_augmented_dimensions() {
+        let sys = forced_output_system();
+        let tp = TestPurpose::parse("control: A<><=3 Plant.Done", &sys).unwrap();
+        let aug = bounded_system(&sys, &tp).unwrap().expect("augmented");
+        assert_eq!(aug.dim(), sys.dim() + 1);
+        assert_eq!(
+            aug.clock_names().last().map(String::as_str),
+            Some(TICK_CLOCK)
+        );
+        let solution = solve(&sys, &tp, &SolveOptions::default()).unwrap();
+        assert!(solution.winning_from_initial);
+        let strategy = solution.strategy.as_ref().expect("strategy");
+        // Queries carry the tick clock as the trailing value.
+        let d0 = sys.initial_discrete();
+        let decision = strategy.decide(&d0, &[0, 0], 4).expect("covered");
+        assert!(matches!(
+            decision,
+            crate::strategy::StrategyDecision::Take(_)
+        ));
+        // Busy at x = 0, #t = 0 is winning; at x = 0, #t = 2 the deadline
+        // can no longer be met (the plant may sit on the reply until x = 3,
+        // i.e. global time 5) — losing.
+        let busy = {
+            let mut d = d0.clone();
+            let (aut, loc) = sys.location_by_qualified_name("Plant.Busy").unwrap();
+            d.locations[aut.index()] = loc;
+            d
+        };
+        assert!(solution.is_winning_state(&busy, &[0, 0], 4));
+        assert!(!solution.is_winning_state(&busy, &[0, 8], 4));
+        // An unparseable bound in a programmatic purpose is rejected, not
+        // silently wrapped.
+        let mut bad = tp.clone();
+        bad.bound = Some(-1);
+        assert!(matches!(
+            solve(&sys, &bad, &SolveOptions::default()),
+            Err(SolverError::Model(_))
+        ));
+        bad.bound = Some(i64::MAX);
+        assert!(matches!(
+            solve(&sys, &bad, &SolveOptions::default()),
+            Err(SolverError::Model(_))
+        ));
     }
 
     #[test]

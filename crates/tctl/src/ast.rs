@@ -126,6 +126,74 @@ impl StatePredicate {
     }
 }
 
+/// System-free rendering, for logs and `Debug`-adjacent contexts where no
+/// [`System`] is at hand: locations print as positional `@<automaton>.<location>`
+/// indices and variables as `v<index>` (`v<index>[...]` for array elements).
+/// Use [`StatePredicate::display`] for the name-resolved, parseable form.
+impl std::fmt::Display for StatePredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn expr(e: &Expr, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            fn bin(
+                a: &Expr,
+                op: &str,
+                b: &Expr,
+                f: &mut std::fmt::Formatter<'_>,
+            ) -> std::fmt::Result {
+                write!(f, "(")?;
+                expr(a, f)?;
+                write!(f, " {op} ")?;
+                expr(b, f)?;
+                write!(f, ")")
+            }
+            match e {
+                Expr::Const(v) => write!(f, "{v}"),
+                Expr::Var(v) => write!(f, "v{}", v.index()),
+                Expr::Index(v, i) => {
+                    write!(f, "v{}[", v.index())?;
+                    expr(i, f)?;
+                    write!(f, "]")
+                }
+                Expr::Neg(e) => {
+                    write!(f, "-(")?;
+                    expr(e, f)?;
+                    write!(f, ")")
+                }
+                Expr::Add(a, b) => bin(a, "+", b, f),
+                Expr::Sub(a, b) => bin(a, "-", b, f),
+                Expr::Mul(a, b) => bin(a, "*", b, f),
+                Expr::Div(a, b) => bin(a, "/", b, f),
+                Expr::Mod(a, b) => bin(a, "%", b, f),
+                Expr::Cmp(op, a, b) => bin(a, &op.to_string(), b, f),
+                Expr::And(a, b) => bin(a, "&&", b, f),
+                Expr::Or(a, b) => bin(a, "||", b, f),
+                Expr::Not(e) => {
+                    write!(f, "!(")?;
+                    expr(e, f)?;
+                    write!(f, ")")
+                }
+                Expr::Ite(c, t, e) => {
+                    write!(f, "(")?;
+                    expr(c, f)?;
+                    write!(f, " ? ")?;
+                    expr(t, f)?;
+                    write!(f, " : ")?;
+                    expr(e, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        match self {
+            StatePredicate::True => write!(f, "true"),
+            StatePredicate::False => write!(f, "false"),
+            StatePredicate::Location(a, l) => write!(f, "@{}.{}", a.index(), l.index()),
+            StatePredicate::Expr(e) => expr(e, f),
+            StatePredicate::And(a, b) => write!(f, "({a} and {b})"),
+            StatePredicate::Or(a, b) => write!(f, "({a} or {b})"),
+            StatePredicate::Not(a) => write!(f, "not {a}"),
+        }
+    }
+}
+
 /// Helper returned by [`StatePredicate::display`].
 pub struct DisplayPredicate<'a> {
     pred: &'a StatePredicate,
@@ -181,6 +249,14 @@ pub struct TestPurpose {
     pub quantifier: PathQuantifier,
     /// The state predicate.
     pub predicate: StatePredicate,
+    /// Optional time bound `T` in model time units (weak: deadline `≤ T`),
+    /// written `control: A<><=T φ` / `control: A[]<=T φ`.
+    ///
+    /// A bounded reachability purpose requires the tester to force φ within
+    /// `T` time units; a bounded safety purpose requires φ to hold at every
+    /// point up to and including time `T`.  Parsing guarantees
+    /// `0 <= T <= tiga_model::MAX_CONSTANT`.
+    pub bound: Option<i64>,
     /// The original source text, kept for reports.
     pub source: String,
 }
@@ -224,6 +300,7 @@ impl TestPurpose {
         TestPurpose {
             quantifier: PathQuantifier::Reachability,
             predicate,
+            bound: None,
             source: String::new(),
         }
     }
@@ -235,18 +312,77 @@ impl TestPurpose {
         TestPurpose {
             quantifier: PathQuantifier::Safety,
             predicate,
+            bound: None,
             source: String::new(),
         }
     }
+
+    /// Attaches a time bound `T` (model time units, weak `≤ T`) to the
+    /// purpose, clearing any stale `source` text so the purpose renders from
+    /// its structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is negative or exceeds [`tiga_model::MAX_CONSTANT`]
+    /// — the same range the parser enforces with a spanned error.
+    #[must_use]
+    pub fn with_bound(mut self, bound: i64) -> Self {
+        assert!(
+            (0..=i64::from(tiga_model::MAX_CONSTANT)).contains(&bound),
+            "time bound {bound} outside 0..={}",
+            tiga_model::MAX_CONSTANT
+        );
+        self.bound = Some(bound);
+        self.source = String::new();
+        self
+    }
+
+    /// Renders the purpose as a parseable `control:` line using the system's
+    /// names (`control: A<><=7 IUT.Bright` style).  This is the canonical
+    /// form: feeding the result back through [`TestPurpose::parse`] on the
+    /// same system reconstructs an equivalent purpose.
+    #[must_use]
+    pub fn display<'a>(&'a self, system: &'a System) -> DisplayTestPurpose<'a> {
+        DisplayTestPurpose {
+            purpose: self,
+            system,
+        }
+    }
+
+    fn fmt_header(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.quantifier {
+            PathQuantifier::Reachability => write!(f, "control: A<>")?,
+            PathQuantifier::Safety => write!(f, "control: A[]")?,
+        }
+        if let Some(t) = self.bound {
+            write!(f, "<={t}")?;
+        }
+        write!(f, " ")
+    }
 }
 
+/// Helper returned by [`TestPurpose::display`].
+pub struct DisplayTestPurpose<'a> {
+    purpose: &'a TestPurpose,
+    system: &'a System,
+}
+
+impl std::fmt::Display for DisplayTestPurpose<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.purpose.fmt_header(f)?;
+        write!(f, "{}", self.purpose.predicate.display(self.system))
+    }
+}
+
+/// Renders the original source text when the purpose was parsed, and
+/// otherwise reconstructs the `control:` line from the structure, using the
+/// system-free [`StatePredicate`] rendering (positional location/variable
+/// indices).  Use [`TestPurpose::display`] for the name-resolved form.
 impl std::fmt::Display for TestPurpose {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.source.is_empty() {
-            match self.quantifier {
-                PathQuantifier::Reachability => write!(f, "control: A<> <predicate>"),
-                PathQuantifier::Safety => write!(f, "control: A[] <predicate>"),
-            }
+            self.fmt_header(f)?;
+            write!(f, "{}", self.predicate)
         } else {
             f.write_str(&self.source)
         }

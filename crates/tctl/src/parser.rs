@@ -110,6 +110,37 @@ impl<'t> Parser<'t> {
         }
     }
 
+    /// Parses the `T` of a `<=T` time bound (the `<=` is already consumed),
+    /// rejecting negative values and values above
+    /// [`tiga_model::MAX_CONSTANT`] with a spanned error instead of letting
+    /// them panic deep inside the DBM layer.
+    fn parse_time_bound(&mut self) -> Result<i64, TctlError> {
+        let position = self.position();
+        let negative = if self.peek() == Some(&TokenKind::Minus) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let value = match self.peek() {
+            Some(TokenKind::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                n
+            }
+            _ => return Err(self.error("a time bound (non-negative integer)")),
+        };
+        let value = if negative { -value } else { value };
+        if !(0..=i64::from(tiga_model::MAX_CONSTANT)).contains(&value) {
+            return Err(TctlError::Parse {
+                position,
+                expected: format!("a time bound in 0..={}", tiga_model::MAX_CONSTANT),
+                found: value.to_string(),
+            });
+        }
+        Ok(value)
+    }
+
     /// `imply` has the lowest precedence and associates to the right.
     fn parse_imply(&mut self) -> Result<Raw, TctlError> {
         let lhs = self.parse_or()?;
@@ -496,6 +527,13 @@ pub fn parse_test_purpose(input: &str, system: &System) -> Result<TestPurpose, T
             ))
         }
     };
+    // Optional time bound: `A<><=T φ` / `A[]<=T φ`.
+    let bound = if p.peek() == Some(&TokenKind::Le) {
+        p.pos += 1;
+        Some(p.parse_time_bound()?)
+    } else {
+        None
+    };
     let raw = p.parse_imply()?;
     if p.peek().is_some() {
         return Err(p.error("end of input"));
@@ -504,6 +542,7 @@ pub fn parse_test_purpose(input: &str, system: &System) -> Result<TestPurpose, T
     Ok(TestPurpose {
         quantifier,
         predicate,
+        bound,
         source: input.trim().to_string(),
     })
 }
@@ -743,6 +782,113 @@ mod tests {
             TestPurpose::parse("control: A<> IUT.Bright + 1 == 2", &sys),
             Err(TctlError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn parses_time_bounds_on_both_quantifiers() {
+        let sys = sample_system();
+        let tp = TestPurpose::parse("control: A<><=7 IUT.Bright", &sys).unwrap();
+        assert_eq!(tp.quantifier, PathQuantifier::Reachability);
+        assert_eq!(tp.bound, Some(7));
+        assert_eq!(tp.to_string(), "control: A<><=7 IUT.Bright");
+
+        let tp = TestPurpose::parse("control: A[]<=12 not IUT.Bright", &sys).unwrap();
+        assert_eq!(tp.quantifier, PathQuantifier::Safety);
+        assert_eq!(tp.bound, Some(12));
+
+        // Whitespace around the bound is irrelevant; zero is a legal bound.
+        let tp = TestPurpose::parse("control: A<> <= 0 IUT.Bright", &sys).unwrap();
+        assert_eq!(tp.bound, Some(0));
+
+        // The largest representable bound parses; `<=` further in stays an
+        // ordinary comparison.
+        let max = i64::from(tiga_model::MAX_CONSTANT);
+        let tp = TestPurpose::parse(&format!("control: A<><={max} IUT.Bright"), &sys).unwrap();
+        assert_eq!(tp.bound, Some(max));
+        let tp = TestPurpose::parse("control: A<> forwardCount <= 3", &sys).unwrap();
+        assert_eq!(tp.bound, None);
+    }
+
+    #[test]
+    fn rejects_out_of_range_time_bounds_with_spans() {
+        let sys = sample_system();
+        let text = "control: A<><=-1 IUT.Bright";
+        match TestPurpose::parse(text, &sys) {
+            Err(TctlError::Parse {
+                position,
+                expected,
+                found,
+            }) => {
+                assert_eq!(position, text.find("-1").unwrap());
+                assert!(expected.contains("time bound"), "{expected}");
+                assert_eq!(found, "-1");
+            }
+            other => panic!("expected a spanned parse error, got {other:?}"),
+        }
+        let too_big = i64::from(tiga_model::MAX_CONSTANT) + 1;
+        let text = format!("control: A[]<={too_big} IUT.Bright");
+        match TestPurpose::parse(&text, &sys) {
+            Err(TctlError::Parse {
+                position, found, ..
+            }) => {
+                assert_eq!(position, text.find(&too_big.to_string()).unwrap());
+                assert_eq!(found, too_big.to_string());
+            }
+            other => panic!("expected a spanned parse error, got {other:?}"),
+        }
+        // A bound that does not even fit in i64 is a lexer-level error.
+        assert!(matches!(
+            TestPurpose::parse("control: A<><=99999999999999999999 IUT.Bright", &sys),
+            Err(TctlError::Invalid(_))
+        ));
+        // `<=` with no number at all.
+        assert!(matches!(
+            TestPurpose::parse("control: A<><= IUT.Bright", &sys),
+            Err(TctlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let sys = sample_system();
+        for text in [
+            "control: A<> IUT.Bright",
+            "control: A<><=7 IUT.Bright",
+            "control: A[]<=3 betterInfo == 1 imply IUT.Dim",
+            "control: A<> (IUT.Dim and betterInfo == 1)",
+        ] {
+            let tp = TestPurpose::parse(text, &sys).unwrap();
+            // Parsed purposes display as their source and re-parse to the
+            // same purpose.
+            let reparsed = TestPurpose::parse(&tp.to_string(), &sys).unwrap();
+            assert_eq!(tp, reparsed, "{text}");
+            // The canonical system-resolved rendering also round-trips to an
+            // equivalent purpose (source text may differ).
+            let canon = tp.display(&sys).to_string();
+            let from_canon = TestPurpose::parse(&canon, &sys).unwrap();
+            assert_eq!(from_canon.quantifier, tp.quantifier, "{canon}");
+            assert_eq!(from_canon.bound, tp.bound, "{canon}");
+            assert_eq!(from_canon.predicate, tp.predicate, "{canon}");
+        }
+    }
+
+    #[test]
+    fn programmatic_purposes_display_their_structure() {
+        let sys = sample_system();
+        let parsed = TestPurpose::parse("control: A<> IUT.Bright", &sys).unwrap();
+        let programmatic = TestPurpose::reachability(parsed.predicate.clone());
+        // The old implementation printed a literal `<predicate>` placeholder.
+        let text = programmatic.to_string();
+        assert!(!text.contains("<predicate>"), "{text}");
+        assert!(text.starts_with("control: A<> "), "{text}");
+        let bounded = TestPurpose::safety(parsed.predicate.clone()).with_bound(9);
+        assert!(bounded.to_string().starts_with("control: A[]<=9 "));
+        // The system-resolved rendering is parseable.
+        let canon = bounded.display(&sys).to_string();
+        assert_eq!(canon, "control: A[]<=9 IUT.Bright");
+        let reparsed = TestPurpose::parse(&canon, &sys).unwrap();
+        assert_eq!(reparsed.predicate, bounded.predicate);
+        assert_eq!(reparsed.bound, Some(9));
     }
 
     #[test]
